@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the coalesce-before-profile design choice
+//! (§4: "coalescing is modeled before applying the memory locality
+//! analysis, as it significantly reduces the computational and memory
+//! complexity of the G-MAP model") — measuring exactly that reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmap_core::{profile_kernel, ProfilerConfig};
+use gmap_gpu::exec::execute_kernel;
+use gmap_gpu::workloads::{self, Scale};
+use gmap_trace::reuse::ReuseComputer;
+
+fn bench_coalesce_before_profile(c: &mut Criterion) {
+    let kernel = workloads::backprop(Scale::Tiny);
+    let app = execute_kernel(&kernel);
+
+    let mut group = c.benchmark_group("coalesce_ablation");
+    // The shipped design: profile the coalesced warp stream.
+    group.bench_function("profile_coalesced", |b| {
+        b.iter(|| std::hint::black_box(profile_kernel(&kernel, &ProfilerConfig::default())))
+    });
+    // The alternative: reuse analysis over the RAW per-thread stream —
+    // 32x the events, which is the cost §4 avoids.
+    group.bench_function("reuse_over_raw_threads", |b| {
+        b.iter(|| {
+            let mut rc = ReuseComputer::new();
+            for (_, acc) in app.thread_entries() {
+                std::hint::black_box(rc.push(acc.addr.0 / 128));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_coalesce_before_profile
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the individual substrates: reuse-distance
+//! computation, histogram sampling, cache simulation, and DRAM simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gmap_dram::{DramConfig, DramRequest, DramSystem};
+use gmap_memsim::cache::{Cache, CacheConfig, ReplacementPolicy};
+use gmap_trace::record::{AccessKind, ByteAddr};
+use gmap_trace::reuse::ReuseComputer;
+use gmap_trace::rng::mix64;
+use gmap_trace::{Histogram, Rng};
+
+fn bench_reuse_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse_distance");
+    for &n in &[10_000u64, 100_000] {
+        let lines: Vec<u64> = (0..n).map(|i| mix64(i) % 4096).collect();
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(format!("random_{n}"), |b| {
+            b.iter_batched(
+                ReuseComputer::new,
+                |mut rc| {
+                    for &l in &lines {
+                        std::hint::black_box(rc.push(l));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram_sampling(c: &mut Criterion) {
+    let mut hist = Histogram::new();
+    for i in 0..1000i64 {
+        hist.add_n(i * 128, (mix64(i as u64) % 100) + 1);
+    }
+    let sampler = hist.sampler();
+    let mut group = c.benchmark_group("histogram");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("sampler_draw", |b| {
+        let mut rng = Rng::seed_from(7);
+        b.iter(|| std::hint::black_box(sampler.sample(&mut rng)))
+    });
+    group.bench_function("direct_draw", |b| {
+        let mut rng = Rng::seed_from(7);
+        b.iter(|| std::hint::black_box(hist.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CacheConfig::new(16 * 1024, 4, 128, ReplacementPolicy::Lru).expect("valid");
+    let addrs: Vec<u64> = (0..100_000u64).map(|i| mix64(i) % 16384).collect();
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.bench_function("l1_16k_random", |b| {
+        b.iter_batched(
+            || Cache::new(cfg),
+            |mut cache| {
+                for &a in &addrs {
+                    std::hint::black_box(cache.access(a, false));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let reqs: Vec<DramRequest> = (0..50_000u64)
+        .map(|i| DramRequest {
+            cycle: i * 3,
+            addr: ByteAddr((mix64(i) % (1 << 20)) * 128),
+            kind: if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read },
+        })
+        .collect();
+    let mut group = c.benchmark_group("dram");
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    group.bench_function("frfcfs_50k", |b| {
+        b.iter(|| {
+            let mut sys = DramSystem::new(DramConfig::table2_baseline());
+            std::hint::black_box(sys.run(&reqs))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reuse_distance, bench_histogram_sampling, bench_cache, bench_dram
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the G-MAP pipeline stages: kernel execution,
+//! profiling, clone generation, and the full scheduler + hierarchy
+//! simulation — the costs that determine how much a miniaturized clone
+//! saves (Fig. 8's right axis).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gmap_core::{
+    generate::generate_streams, model::original_streams, profile_kernel, simulate_streams,
+    ProfilerConfig, SimtConfig,
+};
+use gmap_gpu::exec::execute_kernel;
+use gmap_gpu::workloads::{self, Scale};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let kernel = workloads::kmeans(Scale::Tiny);
+    let streams = original_streams(&kernel);
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let proxy = generate_streams(&profile, 42);
+    let accesses: u64 = streams.iter().map(|s| s.num_accesses() as u64).sum();
+    let cfg = SimtConfig::default();
+
+    let mut group = c.benchmark_group("pipeline_kmeans_tiny");
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("execute_kernel", |b| {
+        b.iter(|| std::hint::black_box(execute_kernel(&kernel)))
+    });
+    group.bench_function("profile", |b| {
+        b.iter(|| std::hint::black_box(profile_kernel(&kernel, &ProfilerConfig::default())))
+    });
+    group.bench_function("generate_clone", |b| {
+        b.iter(|| std::hint::black_box(generate_streams(&profile, 42)))
+    });
+    group.bench_function("simulate_original", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                simulate_streams(&streams, &kernel.launch, &cfg).expect("valid config"),
+            )
+        })
+    });
+    group.bench_function("simulate_clone", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                simulate_streams(&proxy, &profile.launch, &cfg).expect("valid config"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

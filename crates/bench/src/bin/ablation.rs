@@ -1,0 +1,146 @@
+//! Ablations of G-MAP's design choices (DESIGN.md §4):
+//!
+//! 1. **Reuse-aware generation** (Algorithm 1 lines 11–13) vs stride-only
+//!    generation — the paper credits reuse replay for kmeans/heartwall
+//!    accuracy.
+//! 2. **π-profile clustering threshold** Th — cluster count and accuracy
+//!    on the divergent benchmark (bfs).
+//! 3. **SchedP_self replay** vs plain LRR replay when the original ran
+//!    GTO.
+//! 4. **L1 write policy**: the Fermi write-through/no-allocate baseline
+//!    vs a write-back/write-allocate L1 — and whether the clone tracks
+//!    the original under both.
+
+use gmap_bench::{prepare, ExperimentOpts};
+use gmap_core::{generate::generate_streams, simulate_streams, ProfilerConfig, SimtConfig};
+use gmap_core::profiler::profile_kernel;
+use gmap_gpu::schedule::Policy;
+use gmap_gpu::workloads::{self};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let cfg = SimtConfig { seed: opts.seed, ..SimtConfig::default() };
+
+    // ---- 1. Reuse-aware vs stride-only generation. -----------------------
+    // "full" = this reproduction (paper mechanisms + the PC-localized
+    // reuse extension); "paper" = Algorithm 1 exactly as published
+    // (global reuse check only); "stride" = no temporal replay at all.
+    println!("=== Ablation 1: temporal-reuse replay in Algorithm 1 ===\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "benchmark", "orig L1%", "full err", "paper err", "stride err"
+    );
+    for name in ["kmeans", "heartwall", "lib", "backprop", "scalarprod"] {
+        let data = prepare(name, opts.scale, opts.seed);
+        let orig = simulate_streams(&data.orig_streams, &data.kernel.launch, &cfg)
+            .expect("baseline is valid");
+        let err_of = |profile: &gmap_core::GmapProfile| {
+            let streams = generate_streams(profile, opts.seed);
+            let out = simulate_streams(&streams, &profile.launch, &cfg)
+                .expect("baseline is valid");
+            (orig.l1_miss_pct() - out.l1_miss_pct()).abs()
+        };
+        let full = err_of(&data.profile);
+        // Paper-exact: drop the PC-localized extension entirely.
+        let mut paper = data.profile.clone();
+        for h in &mut paper.pc_reuse {
+            *h = gmap_trace::Histogram::new();
+        }
+        for s in &mut paper.pc_reuse_schedule {
+            s.clear();
+        }
+        for s in &mut paper.intra_stride_schedule {
+            s.clear();
+        }
+        for s in &mut paper.inter_stride_phase {
+            s.clear();
+        }
+        let paper_err = err_of(&paper);
+        // Stride-only: no temporal replay at all.
+        let mut stride = paper.clone();
+        for r in &mut stride.reuse {
+            *r = gmap_trace::ReuseHistogram::new();
+        }
+        let stride_err = err_of(&stride);
+        println!(
+            "{:<14} {:>9.2}% {:>10.2}pp {:>10.2}pp {:>10.2}pp",
+            name,
+            orig.l1_miss_pct(),
+            full,
+            paper_err,
+            stride_err
+        );
+    }
+
+    // ---- 2. Clustering threshold sweep. ----------------------------------
+    println!("\n=== Ablation 2: pi-profile clustering threshold Th (paper uses 0.9) ===\n");
+    println!("{:<8} {:>12} {:>14}", "Th", "pi profiles", "bfs L1 err pp");
+    let kernel = workloads::by_name("bfs", opts.scale, ).expect("bfs exists");
+    let orig_streams = gmap_core::model::original_streams(&kernel);
+    let orig = simulate_streams(&orig_streams, &kernel.launch, &cfg).expect("baseline is valid");
+    for th in [0.5, 0.7, 0.9, 0.99, 1.0] {
+        let pcfg = ProfilerConfig { cluster_threshold: th, ..ProfilerConfig::default() };
+        let profile = profile_kernel(&kernel, &pcfg);
+        let streams = generate_streams(&profile, opts.seed);
+        let proxy = simulate_streams(&streams, &profile.launch, &cfg).expect("baseline is valid");
+        println!(
+            "{th:<8} {:>12} {:>12.2}",
+            profile.profiles.len(),
+            (orig.l1_miss_pct() - proxy.l1_miss_pct()).abs()
+        );
+    }
+
+    // ---- 3. SchedP_self replay vs LRR replay of a GTO original. ----------
+    println!("\n=== Ablation 3: SchedP_self replay of GTO (Section 4.5) ===\n");
+    println!(
+        "{:<14} {:>10} {:>14} {:>12}",
+        "benchmark", "GTO L1%", "SelfProb err", "LRR err"
+    );
+    for name in ["kmeans", "heartwall", "backprop", "fwt"] {
+        let data = prepare(name, opts.scale, opts.seed);
+        let mut gto = cfg;
+        gto.policy = Policy::Gto;
+        let orig = simulate_streams(&data.orig_streams, &data.kernel.launch, &gto)
+            .expect("baseline is valid");
+        let mut self_prob = cfg;
+        self_prob.policy = Policy::SelfProb(orig.schedule.sched_p_self);
+        let replay = simulate_streams(&data.proxy_streams, &data.profile.launch, &self_prob)
+            .expect("baseline is valid");
+        let lrr = simulate_streams(&data.proxy_streams, &data.profile.launch, &cfg)
+            .expect("baseline is valid");
+        println!(
+            "{:<14} {:>9.2}% {:>12.2}pp {:>10.2}pp",
+            name,
+            orig.l1_miss_pct(),
+            (orig.l1_miss_pct() - replay.l1_miss_pct()).abs(),
+            (orig.l1_miss_pct() - lrr.l1_miss_pct()).abs()
+        );
+    }
+
+    // ---- 4. L1 write policy. ---------------------------------------------
+    println!("\n=== Ablation 4: L1 write policy (write-through baseline vs write-back) ===\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>14}",
+        "benchmark", "WT orig L1%", "WB orig L1%", "WT clone err", "WB clone err"
+    );
+    for name in ["backprop", "blackscholes", "pathfinder", "fwt"] {
+        let data = prepare(name, opts.scale, opts.seed);
+        let mut results = Vec::new();
+        for policy in [
+            gmap_memsim::hierarchy::L1WritePolicy::WriteThroughNoAllocate,
+            gmap_memsim::hierarchy::L1WritePolicy::WriteBackAllocate,
+        ] {
+            let mut c = cfg;
+            c.hierarchy.l1_write_policy = policy;
+            let orig = simulate_streams(&data.orig_streams, &data.kernel.launch, &c)
+                .expect("baseline is valid");
+            let proxy = simulate_streams(&data.proxy_streams, &data.profile.launch, &c)
+                .expect("baseline is valid");
+            results.push((orig.l1_miss_pct(), (orig.l1_miss_pct() - proxy.l1_miss_pct()).abs()));
+        }
+        println!(
+            "{:<14} {:>11.2}% {:>11.2}% {:>12.2}pp {:>12.2}pp",
+            name, results[0].0, results[1].0, results[0].1, results[1].1
+        );
+    }
+}

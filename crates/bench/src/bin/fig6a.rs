@@ -1,0 +1,17 @@
+//! Regenerates Figure 6a: error in L1 miss rates between original
+//! applications and G-MAP proxies across 30 L1 cache configurations per
+//! benchmark (size 8–128 KB, associativity 1–16, line size 32–128 B).
+//!
+//! Paper result: average error 5.1 %, average correlation 0.91.
+
+use gmap_bench::{run_figure, sweeps, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    run_figure(
+        "Figure 6a: L1 cache configurations (paper: avg err 5.1%, corr 0.91)",
+        &sweeps::l1_sweep(),
+        Metric::L1MissPct,
+        opts,
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 6b: error in L2 miss rates between original
+//! applications and G-MAP proxies across 30 L2 cache configurations per
+//! benchmark (size 128 KB–4 MB, associativity 1–16, line size 64–128 B).
+//!
+//! Paper result: average error 7.1 %, average correlation 0.91.
+
+use gmap_bench::{run_figure, sweeps, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    run_figure(
+        "Figure 6b: L2 cache configurations (paper: avg err 7.1%, corr 0.91)",
+        &sweeps::l2_sweep(),
+        Metric::L2MissPct,
+        opts,
+    );
+}

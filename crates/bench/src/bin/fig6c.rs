@@ -1,0 +1,19 @@
+//! Regenerates Figure 6c: error in L1 miss rates with a many-thread-aware
+//! per-PC stride prefetcher, across 72 prefetcher/L1 configurations per
+//! benchmark (prefetch degree, distance, table size, L1 geometry).
+//!
+//! Paper result: average error 6.3 %, average correlation 0.90. The paper
+//! notes scalarProd and srad stay insensitive to prefetching (large
+//! footprints, low temporal locality) while kmeans and nw benefit.
+
+use gmap_bench::{run_figure, sweeps, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    run_figure(
+        "Figure 6c: L1 cache + stride prefetcher (paper: avg err 6.3%, corr 0.90)",
+        &sweeps::l1_prefetch_sweep(),
+        Metric::L1MissPct,
+        opts,
+    );
+}

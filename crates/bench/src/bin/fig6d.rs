@@ -1,0 +1,17 @@
+//! Regenerates Figure 6d: error in L2 miss rates with an L2 stream
+//! prefetcher, across 96 configurations per benchmark (stream window
+//! 8/16/32, prefetch degree 1/2/4/8, L2 geometry).
+//!
+//! Paper result: average error 8.9 %, average correlation 0.88.
+
+use gmap_bench::{run_figure, sweeps, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    run_figure(
+        "Figure 6d: L2 cache + stream prefetcher (paper: avg err 8.9%, corr 0.88)",
+        &sweeps::l2_prefetch_sweep(),
+        Metric::L2MissPct,
+        opts,
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates Figure 6e: replicating cache performance across warp
+//! scheduling policies — loose round-robin (LRR) and greedy-then-oldest
+//! (GTO).
+//!
+//! G-MAP does not model the core, so the proxy replays GTO through the
+//! `SchedP_self` statistic (§4.5): the measured probability of scheduling
+//! the same warp consecutively, replayed by the parametric `SelfProb`
+//! policy. LRR is replayed directly.
+//!
+//! Paper result: average L1 miss-rate error 8 % (5.1 % for LRR, 10.9 %
+//! for GTO).
+
+use gmap_bench::{parallel_map, prepare, print_header, sweeps, ExperimentOpts};
+use gmap_core::{compare_series, simulate_streams, summarize};
+use gmap_gpu::schedule::Policy;
+use gmap_gpu::workloads;
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let configs = sweeps::policy_l1_sweep();
+    print_header(
+        "Figure 6e: scheduling policies (paper: avg err 8%; LRR 5.1%, GTO 10.9%)",
+        configs.len() * 2,
+        &opts,
+    );
+
+    for policy in [Policy::Lrr, Policy::Gto] {
+        let names: Vec<&str> = workloads::NAMES.to_vec();
+        let comparisons = parallel_map(&names, opts.threads, |name| {
+            let data = prepare(name, opts.scale, opts.seed);
+            let mut orig_series = Vec::with_capacity(configs.len());
+            let mut proxy_series = Vec::with_capacity(configs.len());
+            for base in &configs {
+                // Original runs under the true policy; measure SchedP_self.
+                let mut ocfg = *base;
+                ocfg.policy = policy;
+                let orig = simulate_streams(&data.orig_streams, &data.kernel.launch, &ocfg)
+                    .expect("valid sweep config");
+                // The proxy replays: LRR directly, GTO via SchedP_self.
+                let mut pcfg = *base;
+                pcfg.policy = match policy {
+                    Policy::Lrr => Policy::Lrr,
+                    _ => Policy::SelfProb(orig.schedule.sched_p_self),
+                };
+                let proxy = simulate_streams(&data.proxy_streams, &data.profile.launch, &pcfg)
+                    .expect("valid sweep config");
+                orig_series.push(orig.l1_miss_pct());
+                proxy_series.push(proxy.l1_miss_pct());
+            }
+            compare_series(name, orig_series, proxy_series)
+        });
+        let summary = summarize(comparisons);
+        println!("--- policy {policy} ---");
+        println!("{summary}\n");
+    }
+}

@@ -1,0 +1,74 @@
+//! Regenerates Figure 8: impact of trace miniaturization — performance
+//! cloning accuracy (left axis) and memory-simulation speedup over the
+//! full clone (right axis) as the reduction factor grows 1×–16×.
+//!
+//! Paper result: speedup grows almost linearly while accuracy stays high
+//! until ~8× (where it drops to ~90 %).
+
+use gmap_bench::{parallel_map, prepare, sweeps, ExperimentOpts};
+use gmap_core::{
+    generate::{expected_accesses, generate_streams},
+    miniaturize, simulate_streams, SimtConfig,
+};
+use gmap_gpu::workloads;
+use gmap_trace::stats;
+use std::time::Instant;
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let factors = sweeps::miniaturization_factors();
+    println!("=== Figure 8: trace miniaturization (paper: ~90% accuracy and ~8x speedup at 8x) ===\n");
+    let cfg = SimtConfig { seed: opts.seed, ..SimtConfig::default() };
+
+    let names: Vec<&str> = workloads::NAMES.to_vec();
+    // Per benchmark: (orig miss%, full clone sim time, per-factor results).
+    struct Row {
+        orig_miss: f64,
+        per_factor: Vec<(f64, f64, u64)>, // (proxy miss%, sim seconds, accesses)
+    }
+    let rows = parallel_map(&names, opts.threads, |name| {
+        let data = prepare(name, opts.scale, opts.seed);
+        let orig = simulate_streams(&data.orig_streams, &data.kernel.launch, &cfg)
+            .expect("baseline config is valid");
+        let per_factor = factors
+            .iter()
+            .map(|&f| {
+                let mini = miniaturize(&data.profile, f).expect("factor is valid");
+                let streams = generate_streams(&mini, opts.seed);
+                let t0 = Instant::now();
+                let out = simulate_streams(&streams, &mini.launch, &cfg)
+                    .expect("baseline config is valid");
+                (out.l1_miss_pct(), t0.elapsed().as_secs_f64(), expected_accesses(&mini))
+            })
+            .collect();
+        Row { orig_miss: orig.l1_miss_pct(), per_factor }
+    });
+
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>12}",
+        "factor", "accuracy %", "avg err pp", "speedup", "reduction"
+    );
+    for (fi, &factor) in factors.iter().enumerate() {
+        let mut errs = Vec::new();
+        let mut rels = Vec::new();
+        let mut speedups = Vec::new();
+        let mut reductions = Vec::new();
+        for r in &rows {
+            let (miss, secs, accesses) = r.per_factor[fi];
+            errs.push((r.orig_miss - miss).abs());
+            rels.push(stats::rel_error(r.orig_miss.max(1.0), miss.max(0.0)));
+            let (_, full_secs, full_accesses) = r.per_factor[0];
+            speedups.push(full_secs.max(1e-9) / secs.max(1e-9));
+            reductions.push(full_accesses as f64 / accesses.max(1) as f64);
+        }
+        let accuracy = 100.0 * (1.0 - stats::mean(&rels));
+        println!(
+            "{factor:>7.0} {accuracy:>12.1} {:>12.2} {:>11.1}x {:>11.1}x",
+            stats::mean(&errs),
+            stats::mean(&speedups),
+            stats::mean(&reductions)
+        );
+    }
+    println!("\naccuracy = 100% - mean relative L1 miss-rate error vs the original");
+    println!("speedup  = full-clone simulation time / miniaturized-clone simulation time");
+}

@@ -1,0 +1,294 @@
+//! Experiment harness for the G-MAP reproduction.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`); this library
+//! holds what they share: the configuration sweeps of §5, benchmark
+//! preparation (execute → profile → clone, each done once per benchmark),
+//! multi-threaded sweep execution, and result formatting.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — per-application access signatures |
+//! | `fig5`   | Figure 5 — reuse distance worked example |
+//! | `fig6a`  | Figure 6a — L1 cache sweep (30 configs/benchmark) |
+//! | `fig6b`  | Figure 6b — L2 cache sweep (30 configs/benchmark) |
+//! | `fig6c`  | Figure 6c — L1 + stride prefetcher (72 configs/benchmark) |
+//! | `fig6d`  | Figure 6d — L2 + stream prefetcher (96 configs/benchmark) |
+//! | `fig6e`  | Figure 6e — LRR vs GTO scheduling policies |
+//! | `fig7`   | Figure 7 — DRAM metrics across 11 GDDR5 configs |
+//! | `fig8`   | Figure 8 — miniaturization accuracy/speedup sweep |
+//! | `ablation` | DESIGN.md §4 — design-choice ablations |
+
+#![warn(missing_docs)]
+
+use gmap_core::{
+    compare_series, generate::generate_streams, profile_kernel, simulate_streams, summarize,
+    BenchmarkComparison, GmapProfile, ProfilerConfig, SimtConfig, SweepSummary,
+};
+use gmap_gpu::kernel::KernelDesc;
+use gmap_gpu::schedule::WarpStream;
+use gmap_gpu::workloads::{self, Scale};
+
+pub mod sweeps;
+
+/// Options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExperimentOpts {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Clone-generation / scheduling seed.
+    pub seed: u64,
+    /// Worker threads (one benchmark per thread).
+    pub threads: usize,
+    /// Optional CSV output path for the raw per-config series.
+    pub csv: Option<String>,
+}
+
+impl ExperimentOpts {
+    /// Parses `--scale tiny|small|default` and `--seed N` from the command
+    /// line; anything unrecognized is ignored.
+    pub fn from_args() -> Self {
+        let mut opts = ExperimentOpts {
+            scale: Scale::Default,
+            seed: 42,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            csv: None,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            match w[0].as_str() {
+                "--scale" => {
+                    opts.scale = match w[1].as_str() {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        _ => Scale::Default,
+                    }
+                }
+                "--seed" => {
+                    if let Ok(s) = w[1].parse() {
+                        opts.seed = s;
+                    }
+                }
+                "--threads" => {
+                    if let Ok(t) = w[1].parse() {
+                        opts.threads = t;
+                    }
+                }
+                "--csv" => opts.csv = Some(w[1].clone()),
+                _ => {}
+            }
+        }
+        opts
+    }
+}
+
+/// Everything derived once per benchmark: the executed original stream,
+/// the statistical profile, and the clone stream.
+#[derive(Debug)]
+pub struct BenchData {
+    /// The kernel description.
+    pub kernel: KernelDesc,
+    /// Original coalesced per-warp streams.
+    pub orig_streams: Vec<WarpStream>,
+    /// The statistical profile.
+    pub profile: GmapProfile,
+    /// Clone streams generated from the profile.
+    pub proxy_streams: Vec<WarpStream>,
+}
+
+/// Prepares one benchmark: execute, profile, clone.
+pub fn prepare(name: &str, scale: Scale, seed: u64) -> BenchData {
+    let kernel = workloads::by_name(name, scale).expect("known benchmark name");
+    let orig_streams = gmap_core::model::original_streams(&kernel);
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let proxy_streams = generate_streams(&profile, seed);
+    BenchData { kernel, orig_streams, profile, proxy_streams }
+}
+
+/// Metric extracted from a simulation for figure comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// L1 miss rate, percent.
+    L1MissPct,
+    /// L2 miss rate, percent.
+    L2MissPct,
+}
+
+impl Metric {
+    fn extract(self, out: &gmap_core::SimOutcome) -> f64 {
+        match self {
+            Metric::L1MissPct => out.l1_miss_pct(),
+            Metric::L2MissPct => out.l2_miss_pct(),
+        }
+    }
+}
+
+/// Runs one benchmark through every configuration, original and proxy,
+/// and compares the chosen metric.
+pub fn sweep_benchmark(
+    data: &BenchData,
+    configs: &[SimtConfig],
+    metric: Metric,
+) -> BenchmarkComparison {
+    let mut orig = Vec::with_capacity(configs.len());
+    let mut proxy = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        let o = simulate_streams(&data.orig_streams, &data.kernel.launch, cfg)
+            .expect("sweep configurations are valid");
+        let p = simulate_streams(&data.proxy_streams, &data.profile.launch, cfg)
+            .expect("sweep configurations are valid");
+        orig.push(metric.extract(&o));
+        proxy.push(metric.extract(&p));
+    }
+    compare_series(&data.kernel.name, orig, proxy)
+}
+
+/// Runs a whole figure: all 18 benchmarks across the sweep, parallelized
+/// one benchmark per thread.
+pub fn run_figure(
+    title: &str,
+    configs: &[SimtConfig],
+    metric: Metric,
+    opts: ExperimentOpts,
+) -> SweepSummary {
+    print_header(title, configs.len(), &opts);
+    let names: Vec<&str> = workloads::NAMES.to_vec();
+    let comparisons = parallel_map(&names, opts.threads, |name| {
+        let data = prepare(name, opts.scale, opts.seed);
+        sweep_benchmark(&data, configs, metric)
+    });
+    let summary = summarize(comparisons);
+    println!("{summary}");
+    if let Some(path) = &opts.csv {
+        match write_summary_csv(&summary, path) {
+            Ok(()) => println!("raw series written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    summary
+}
+
+/// Writes the raw per-config original/proxy series of a sweep as CSV
+/// (`benchmark,config,original,proxy`), ready for external plotting.
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn write_summary_csv(summary: &SweepSummary, path: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "benchmark,config,original,proxy")?;
+    for b in &summary.per_benchmark {
+        for (i, (o, p)) in b.original.iter().zip(&b.proxy).enumerate() {
+            writeln!(f, "{},{},{},{}", b.name, i, o, p)?;
+        }
+    }
+    Ok(())
+}
+
+/// Prints the experiment banner with the Table 2 baseline reminder.
+pub fn print_header(title: &str, num_configs: usize, opts: &ExperimentOpts) {
+    println!("=== {title} ===");
+    println!(
+        "benchmarks: {}  configs/benchmark: {num_configs}  validation points: {}",
+        workloads::NAMES.len(),
+        workloads::NAMES.len() * num_configs
+    );
+    println!(
+        "scale: {:?}  seed: {}  baseline: 15 SMs, L1 16KB/4-way/128B, L2 1MB/8-way/8-bank (Table 2)\n",
+        opts.scale, opts.seed
+    );
+}
+
+/// Maps `f` over `items` using up to `threads` worker threads, preserving
+/// input order in the output.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots_ref = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                let mut guard = slots_ref.lock().expect("no poisoned workers");
+                guard[i] = Some(r);
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmap_core::compare_series;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        for threads in [1, 2, 8] {
+            let out = parallel_map(&items, threads, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+        let empty: Vec<u64> = vec![];
+        assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn prepare_produces_consistent_bundle() {
+        let data = prepare("kmeans", Scale::Tiny, 7);
+        assert_eq!(data.kernel.name, "kmeans");
+        assert_eq!(data.orig_streams.len(), data.proxy_streams.len());
+        assert_eq!(
+            data.profile.launch.total_warps(data.profile.warp_size) as usize,
+            data.proxy_streams.len()
+        );
+    }
+
+    #[test]
+    fn sweep_benchmark_runs_every_config() {
+        let data = prepare("scalarprod", Scale::Tiny, 7);
+        let configs = vec![SimtConfig::default(); 3];
+        let cmp = sweep_benchmark(&data, &configs, Metric::L1MissPct);
+        assert_eq!(cmp.original.len(), 3);
+        assert_eq!(cmp.proxy.len(), 3);
+        // Identical configs: identical values.
+        assert_eq!(cmp.original[0], cmp.original[2]);
+    }
+
+    #[test]
+    fn csv_output_has_expected_shape() {
+        let summary = gmap_core::summarize(vec![
+            compare_series("a", vec![1.0, 2.0], vec![1.5, 2.5]),
+            compare_series("b", vec![3.0], vec![3.0]),
+        ]);
+        let path = std::env::temp_dir().join(format!("gmap-csv-{}.csv", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        write_summary_csv(&summary, &path_str).expect("write");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines[0], "benchmark,config,original,proxy");
+        assert_eq!(lines.len(), 1 + 3);
+        assert!(lines[1].starts_with("a,0,1,1.5"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metric_extraction_matches_outcome() {
+        let data = prepare("aes", Scale::Tiny, 7);
+        let cfg = SimtConfig::default();
+        let out = simulate_streams(&data.orig_streams, &data.kernel.launch, &cfg)
+            .expect("baseline is valid");
+        assert_eq!(Metric::L1MissPct.extract(&out), out.l1_miss_pct());
+        assert_eq!(Metric::L2MissPct.extract(&out), out.l2_miss_pct());
+    }
+}

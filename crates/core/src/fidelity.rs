@@ -1,0 +1,248 @@
+//! Profile fidelity analysis: *will this profile clone well?*
+//!
+//! The paper's error analysis (§5) observes that cloning accuracy tracks
+//! how *dominant* an application's patterns are: "Hotspot experiences the
+//! highest error because it does not have significantly dominant
+//! intra-/inter-thread stride patterns or reuse locality." This module
+//! makes that observation operational: it scores a [`GmapProfile`] on the
+//! dominance of each statistical component and predicts a fidelity class,
+//! so a workload owner can tell — before shipping a profile — whether a
+//! clone will be trustworthy, and an architect can weight results
+//! accordingly.
+
+use crate::profile::GmapProfile;
+use gmap_trace::Histogram;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Normalized entropy of a histogram in `[0, 1]`: 0 = a single value
+/// (perfectly predictable), 1 = uniform over its support.
+fn normalized_entropy<T: Ord + Copy>(h: &Histogram<T>) -> f64 {
+    let total = h.total();
+    if total == 0 || h.distinct() <= 1 {
+        return 0.0;
+    }
+    let mut entropy = 0.0;
+    for (_, c) in h.iter() {
+        let p = c as f64 / total as f64;
+        entropy -= p * p.log2();
+    }
+    entropy / (h.distinct() as f64).log2()
+}
+
+/// Weighted dominance of a profile's stride distributions: the mean
+/// frequency of the most common stride, weighted by each instruction's
+/// execution frequency. 1.0 = every instruction has a single stride.
+fn stride_dominance(profile: &GmapProfile, strides: &[Histogram<i64>]) -> f64 {
+    let freqs = profile.slot_frequencies();
+    let mut acc = 0.0;
+    let mut weight = 0.0;
+    for (slot, h) in strides.iter().enumerate() {
+        if let Some((_, f)) = h.dominant() {
+            acc += f * freqs[slot];
+            weight += freqs[slot];
+        }
+    }
+    if weight == 0.0 {
+        // No instruction repeats at all: trivially predictable.
+        1.0
+    } else {
+        acc / weight
+    }
+}
+
+/// Predicted cloneability class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FidelityClass {
+    /// Strongly dominant patterns: expect clone errors of a few percent
+    /// or less (the kmeans/heartwall regime).
+    High,
+    /// Mixed regularity: expect single-digit to low-teens errors.
+    Medium,
+    /// No dominant patterns: the hotspot regime — the clone reproduces
+    /// aggregate intensity, not fine-grained locality.
+    Low,
+}
+
+impl fmt::Display for FidelityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FidelityClass::High => f.write_str("high"),
+            FidelityClass::Medium => f.write_str("medium"),
+            FidelityClass::Low => f.write_str("low"),
+        }
+    }
+}
+
+/// Fidelity report for one profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    /// Application name.
+    pub name: String,
+    /// Frequency-weighted dominance of inter-warp strides `[0, 1]`.
+    pub inter_stride_dominance: f64,
+    /// Frequency-weighted dominance of intra-warp strides `[0, 1]`.
+    pub intra_stride_dominance: f64,
+    /// Mean normalized entropy of the reuse-distance distributions
+    /// (lower = more predictable temporal locality).
+    pub reuse_entropy: f64,
+    /// Fraction of stride/reuse positions covered by structural schedules
+    /// (majority-agreed per-ordinal behaviour).
+    pub structural_coverage: f64,
+    /// Weight of the heaviest π profile in `[0, 1]` — control-flow
+    /// uniformity (§4.4).
+    pub path_dominance: f64,
+    /// Combined score in `[0, 1]`.
+    pub score: f64,
+    /// Predicted class.
+    pub class: FidelityClass,
+}
+
+impl fmt::Display for FidelityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} score {:.2} ({})  inter {:.2}  intra {:.2}  reuseH {:.2}  struct {:.2}  path {:.2}",
+            self.name,
+            self.score,
+            self.class,
+            self.inter_stride_dominance,
+            self.intra_stride_dominance,
+            self.reuse_entropy,
+            self.structural_coverage,
+            self.path_dominance
+        )
+    }
+}
+
+/// Analyzes a profile's expected cloning fidelity.
+pub fn analyze(profile: &GmapProfile) -> FidelityReport {
+    let inter = stride_dominance(profile, &profile.inter_stride);
+    let intra = stride_dominance(profile, &profile.intra_stride);
+    let reuse_entropy = {
+        let hs: Vec<f64> = profile
+            .reuse
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let w = profile.profile_weights.freq_of(i);
+                w * normalized_entropy(r.distances())
+            })
+            .collect();
+        hs.iter().sum()
+    };
+    let structural_coverage = {
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        for sched in &profile.intra_stride_schedule {
+            total += sched.len();
+            covered += sched.iter().filter(|e| e.is_some()).count();
+        }
+        for sched in &profile.pc_reuse_schedule {
+            total += sched.len();
+            covered += sched.iter().filter(|e| e.is_some()).count();
+        }
+        if total == 0 {
+            1.0
+        } else {
+            covered as f64 / total as f64
+        }
+    };
+    let path_dominance = profile.profile_weights.dominant().map_or(1.0, |(_, f)| f);
+
+    // Equal-weight blend; entropy enters inverted (low entropy = good).
+    let score = (inter + intra + (1.0 - reuse_entropy) + structural_coverage + path_dominance)
+        / 5.0;
+    let class = if score >= 0.8 {
+        FidelityClass::High
+    } else if score >= 0.55 {
+        FidelityClass::Medium
+    } else {
+        FidelityClass::Low
+    };
+    FidelityReport {
+        name: profile.name.clone(),
+        inter_stride_dominance: inter,
+        intra_stride_dominance: intra,
+        reuse_entropy,
+        structural_coverage,
+        path_dominance,
+        score,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{profile_kernel, ProfilerConfig};
+    use gmap_gpu::workloads::{self, Scale};
+
+    fn report(name: &str) -> FidelityReport {
+        let k = workloads::by_name(name, Scale::Tiny).expect("known");
+        analyze(&profile_kernel(&k, &ProfilerConfig::default()))
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        let single: Histogram<i64> = [5, 5, 5].into_iter().collect();
+        assert_eq!(normalized_entropy(&single), 0.0);
+        let uniform: Histogram<i64> = (0..16).collect();
+        assert!((normalized_entropy(&uniform) - 1.0).abs() < 1e-9);
+        let skewed: Histogram<i64> = [1, 1, 1, 1, 1, 1, 1, 2].into_iter().collect();
+        let h = normalized_entropy(&skewed);
+        assert!(h > 0.0 && h < 1.0);
+        assert_eq!(normalized_entropy(&Histogram::<i64>::new()), 0.0);
+    }
+
+    #[test]
+    fn regular_workloads_score_high() {
+        for name in ["scalarprod", "blackscholes", "kmeans", "srad"] {
+            let r = report(name);
+            assert_eq!(r.class, FidelityClass::High, "{name}: {r}");
+            assert!(r.inter_stride_dominance > 0.7, "{name}: {r}");
+        }
+    }
+
+    #[test]
+    fn hotspot_scores_low() {
+        let r = report("hotspot");
+        assert_eq!(r.class, FidelityClass::Low, "{r}");
+        assert!(r.inter_stride_dominance < 0.3, "{r}");
+        assert!(r.reuse_entropy > 0.5, "{r}");
+    }
+
+    #[test]
+    fn irregular_apps_score_below_regular_ones() {
+        let hotspot = report("hotspot").score;
+        let bfs = report("bfs").score;
+        let kmeans = report("kmeans").score;
+        assert!(hotspot < kmeans);
+        assert!(bfs < kmeans);
+    }
+
+    #[test]
+    fn score_in_unit_interval_for_all_workloads() {
+        for name in workloads::NAMES {
+            let r = report(name);
+            assert!((0.0..=1.0).contains(&r.score), "{name}: score {}", r.score);
+            assert!((0.0..=1.0).contains(&r.structural_coverage), "{name}: {r}");
+            assert!((0.0..=1.0).contains(&r.path_dominance), "{name}: {r}");
+        }
+    }
+
+    #[test]
+    fn display_mentions_name_and_class() {
+        let r = report("aes");
+        let text = r.to_string();
+        assert!(text.contains("aes"));
+        assert!(text.contains("score"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report("lib");
+        let json = serde_json::to_string(&r).expect("serialize");
+        assert_eq!(serde_json::from_str::<FidelityReport>(&json).expect("deserialize"), r);
+    }
+}

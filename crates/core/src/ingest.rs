@@ -1,0 +1,248 @@
+//! Ingesting raw per-thread traces from external tools.
+//!
+//! G-MAP's profiler consumes *coalesced warp streams*, but third-party
+//! tracers (binary instrumentation, simulator hooks) typically emit flat
+//! per-thread access lists — the `gmap-trace::io` formats. This module
+//! reconstructs the warp-level view: threads are grouped into warps by the
+//! launch geometry, each warp's lanes are replayed in lockstep (the k-th
+//! access of every lane at the same PC forms one warp-level dynamic
+//! instruction), and the per-lane requests are coalesced per CUDA §G.4.2.
+//!
+//! Divergence is handled by majority: when lane fronts disagree on the
+//! next PC, the most common front PC forms the instruction with the lanes
+//! that agree; the rest wait. This reconstructs exactly the SIMT order for
+//! traces produced by lockstep execution, and degrades gracefully for
+//! approximately-ordered traces.
+
+use crate::error::GmapError;
+use crate::profile::GmapProfile;
+use crate::profiler::{profile_streams, ProfilerConfig};
+use gmap_gpu::coalesce::coalesce_addrs;
+use gmap_gpu::hierarchy::LaunchConfig;
+use gmap_gpu::schedule::{CoalescedAccess, WarpStream, WarpStreamEvent};
+use gmap_trace::io::TraceEntry;
+use gmap_trace::record::{ByteAddr, Pc, WarpId};
+use std::collections::{HashMap, VecDeque};
+
+/// Reconstructs coalesced warp streams from flat per-thread entries.
+///
+/// Entries must be in per-thread program order (the order a tracer
+/// naturally emits them); relative order *between* threads is irrelevant.
+/// Threads whose ids fall outside the launch geometry are ignored.
+pub fn warp_streams_from_entries(
+    entries: &[TraceEntry],
+    launch: &LaunchConfig,
+    warp_size: u32,
+    line_size: u64,
+) -> Vec<WarpStream> {
+    let wpb = launch.warps_per_block(warp_size);
+    let tpb = launch.threads_per_block();
+    let total_threads = launch.total_threads();
+    // Per-warp, per-lane access queues.
+    let mut lanes: HashMap<u32, Vec<VecDeque<&TraceEntry>>> = HashMap::new();
+    for e in entries {
+        let tid = e.0 .0 as u64;
+        if tid >= total_threads {
+            continue;
+        }
+        let block = (tid / tpb as u64) as u32;
+        let in_block = (tid % tpb as u64) as u32;
+        let warp = block * wpb + in_block / warp_size;
+        let lane = (in_block % warp_size) as usize;
+        lanes
+            .entry(warp)
+            .or_insert_with(|| vec![VecDeque::new(); warp_size as usize])[lane]
+            .push_back(e);
+    }
+    let mut warps: Vec<u32> = lanes.keys().copied().collect();
+    warps.sort_unstable();
+    warps
+        .into_iter()
+        .map(|w| {
+            let block = w / wpb;
+            let mut queues = lanes.remove(&w).expect("key from map");
+            let mut events = Vec::new();
+            loop {
+                // Majority PC among lane fronts.
+                let mut votes: HashMap<Pc, u32> = HashMap::new();
+                for q in &queues {
+                    if let Some(e) = q.front() {
+                        *votes.entry(e.1.pc).or_insert(0) += 1;
+                    }
+                }
+                let Some((&pc, _)) = votes
+                    .iter()
+                    .max_by_key(|(pc, &c)| (c, std::cmp::Reverse(pc.0)))
+                else {
+                    break;
+                };
+                let mut addrs = Vec::new();
+                let mut kind = None;
+                for q in &mut queues {
+                    if q.front().is_some_and(|e| e.1.pc == pc) {
+                        let e = q.pop_front().expect("front checked");
+                        addrs.push(e.1.addr);
+                        kind.get_or_insert(e.1.kind);
+                    }
+                }
+                events.push(WarpStreamEvent::Access(CoalescedAccess {
+                    pc,
+                    kind: kind.expect("at least one lane participated"),
+                    lines: coalesce_addrs(&addrs, line_size),
+                }));
+            }
+            WarpStream { warp: WarpId(w), block, events }
+        })
+        .collect()
+}
+
+/// End-to-end ingestion: per-thread entries → warp reconstruction →
+/// statistical profile.
+///
+/// # Errors
+///
+/// Returns [`GmapError::EmptyProfile`] if no entry falls inside the
+/// launch geometry.
+pub fn profile_thread_trace(
+    name: &str,
+    entries: &[TraceEntry],
+    launch: &LaunchConfig,
+    cfg: &ProfilerConfig,
+) -> Result<GmapProfile, GmapError> {
+    let streams = warp_streams_from_entries(entries, launch, 32, cfg.line_size);
+    profile_streams(name, &streams, launch, 32, cfg)
+}
+
+/// Convenience: total transactions after reconstruction (useful for
+/// validating a tracer's output).
+pub fn transaction_count(streams: &[WarpStream]) -> u64 {
+    streams
+        .iter()
+        .flat_map(|s| s.events.iter())
+        .map(|e| match e {
+            WarpStreamEvent::Access(a) => a.lines.len() as u64,
+            WarpStreamEvent::Sync => 0,
+        })
+        .sum()
+}
+
+/// Convenience: the line-aligned footprint (distinct lines) of a stream
+/// set.
+pub fn footprint_lines(streams: &[WarpStream], line_size: u64) -> u64 {
+    let mut set = std::collections::HashSet::new();
+    for s in streams {
+        for e in &s.events {
+            if let WarpStreamEvent::Access(a) = e {
+                for l in &a.lines {
+                    set.insert(ByteAddr(l.0).line(line_size));
+                }
+            }
+        }
+    }
+    set.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmap_trace::record::{AccessKind, MemAccess, ThreadId};
+
+    fn entry(tid: u32, pc: u64, addr: u64) -> TraceEntry {
+        (ThreadId(tid), MemAccess { pc: Pc(pc), addr: ByteAddr(addr), kind: AccessKind::Read })
+    }
+
+    /// 2 warps x 32 threads, unit stride, two instructions per thread.
+    fn lockstep_entries() -> Vec<TraceEntry> {
+        let mut out = Vec::new();
+        for tid in 0..64u32 {
+            out.push(entry(tid, 0x10, 0x1000 + tid as u64 * 4));
+            out.push(entry(tid, 0x20, 0x9000 + tid as u64 * 4));
+        }
+        out
+    }
+
+    #[test]
+    fn lockstep_trace_reconstructs_two_instructions_per_warp() {
+        let launch = LaunchConfig::new(1u32, 64u32);
+        let streams = warp_streams_from_entries(&lockstep_entries(), &launch, 32, 128);
+        assert_eq!(streams.len(), 2);
+        for s in &streams {
+            assert_eq!(s.events.len(), 2);
+            match &s.events[0] {
+                WarpStreamEvent::Access(a) => {
+                    assert_eq!(a.pc, Pc(0x10));
+                    assert_eq!(a.lines.len(), 1, "unit stride fully coalesces");
+                }
+                other => panic!("expected access, got {other:?}"),
+            }
+        }
+        assert_eq!(transaction_count(&streams), 4);
+        assert_eq!(footprint_lines(&streams, 128), 4);
+    }
+
+    #[test]
+    fn divergent_lanes_split_by_majority() {
+        // Lanes 0..8 execute PC 0x30 before rejoining at 0x40; the rest go
+        // straight to 0x40.
+        let mut entries = Vec::new();
+        for tid in 0..32u32 {
+            if tid < 8 {
+                entries.push(entry(tid, 0x30, 0x2000 + tid as u64 * 4));
+            }
+            entries.push(entry(tid, 0x40, 0x3000 + tid as u64 * 4));
+        }
+        let launch = LaunchConfig::new(1u32, 32u32);
+        let streams = warp_streams_from_entries(&entries, &launch, 32, 128);
+        assert_eq!(streams.len(), 1);
+        let evs = &streams[0].events;
+        // Majority first: 0x40 with 24 lanes, then 0x30, then the
+        // remaining 0x40 lanes.
+        assert_eq!(evs.len(), 3);
+        let pcs: Vec<Pc> = evs
+            .iter()
+            .map(|e| match e {
+                WarpStreamEvent::Access(a) => a.pc,
+                WarpStreamEvent::Sync => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pcs, vec![Pc(0x40), Pc(0x30), Pc(0x40)]);
+    }
+
+    #[test]
+    fn out_of_range_threads_ignored() {
+        let launch = LaunchConfig::new(1u32, 32u32);
+        let mut entries = lockstep_entries(); // tids up to 63
+        entries.push(entry(999, 0x10, 0));
+        let streams = warp_streams_from_entries(&entries, &launch, 32, 128);
+        assert_eq!(streams.len(), 1, "only warp 0 fits the 32-thread launch");
+    }
+
+    #[test]
+    fn profile_from_thread_trace() {
+        let launch = LaunchConfig::new(1u32, 64u32);
+        let p = profile_thread_trace("ingested", &lockstep_entries(), &launch, &ProfilerConfig::default())
+            .expect("valid trace");
+        assert_eq!(p.num_slots(), 2);
+        let slot = p.slot_of(Pc(0x10)).expect("profiled");
+        assert_eq!(p.inter_stride[slot].dominant().expect("non-empty").0, 128);
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        let launch = LaunchConfig::new(1u32, 32u32);
+        let err = profile_thread_trace("empty", &[], &launch, &ProfilerConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn round_trip_through_io_formats() {
+        let entries = lockstep_entries();
+        let mut buf = Vec::new();
+        gmap_trace::io::write_binary(&mut buf, &entries).expect("write");
+        let back = gmap_trace::io::read_binary(&buf[..]).expect("read");
+        let launch = LaunchConfig::new(1u32, 64u32);
+        let a = warp_streams_from_entries(&entries, &launch, 32, 128);
+        let b = warp_streams_from_entries(&back, &launch, 32, 128);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Trace miniaturization (§4.6, Figure 8).
+//!
+//! "Miniaturization is performed by scaling down the number of proxy
+//! accesses (J), intra-thread statistics followed by the inter-thread
+//! statistics by the target scaling factor."
+//!
+//! The factor is split between the two axes: repeated executions inside
+//! each π profile are thinned first (intra), then the grid is shrunk
+//! (inter). Splitting near the square root keeps both statistics populated
+//! as long as possible — the accuracy knee the paper shows at ~8× arises
+//! because one of the two sample populations becomes too thin for the law
+//! of large numbers to hold.
+
+use crate::error::GmapError;
+use crate::profile::{GmapProfile, PiEntry, PiProfile};
+use gmap_gpu::dim::Dim3;
+
+/// Produces a miniaturized (factor > 1) or scaled-up (factor < 1) copy of
+/// a profile.
+///
+/// # Errors
+///
+/// Returns [`GmapError::BadScaleFactor`] unless `factor > 0`.
+pub fn miniaturize(profile: &GmapProfile, factor: f64) -> Result<GmapProfile, GmapError> {
+    if !(factor > 0.0 && factor.is_finite()) {
+        return Err(GmapError::BadScaleFactor { factor });
+    }
+    let mut out = profile.clone();
+    if (factor - 1.0).abs() < 1e-9 {
+        return Ok(out);
+    }
+    if factor < 1.0 {
+        // Scale-up: more threadblocks of the same shape (the paper's
+        // "model futuristic workloads with ... larger number of threads").
+        let grow = (profile.launch.grid.x as f64 / factor).round().max(1.0) as u32;
+        out.launch.grid = Dim3::new(grow, profile.launch.grid.y, profile.launch.grid.z);
+        out.total_warp_accesses = (profile.total_warp_accesses as f64 / factor) as u64;
+        return Ok(out);
+    }
+
+    // --- Intra-thread thinning. ------------------------------------------
+    // Keep the first execution of every instruction; keep every `step`-th
+    // repetition after that. step ~ sqrt(factor) splits the factor between
+    // the two axes.
+    let step = factor.sqrt().round().max(1.0) as u64;
+    let mut kept = 0u64;
+    let mut orig = 0u64;
+    for p in &mut out.profiles {
+        *p = thin_profile(p, step);
+    }
+    for (i, p) in out.profiles.iter().enumerate() {
+        let w = out.profile_weights.count_of(i);
+        kept += w * p.num_accesses() as u64;
+        orig += w * profile.profiles[i].num_accesses() as u64;
+    }
+    let f_intra = if kept == 0 { 1.0 } else { orig as f64 / kept as f64 };
+
+    // --- Inter-thread shrinking. ------------------------------------------
+    let f_inter = (factor / f_intra).max(1.0);
+    let shrunk = (profile.launch.grid.x as f64 / f_inter).round().max(1.0) as u32;
+    out.launch.grid = Dim3::new(shrunk, profile.launch.grid.y, profile.launch.grid.z);
+
+    // Scale the sampled statistics' populations (shape-preserving; §4.6
+    // scales intra statistics first, then inter).
+    let inv = 1.0 / factor;
+    for h in &mut out.intra_stride {
+        if !h.is_empty() {
+            h.scale_counts(inv);
+        }
+    }
+    for h in &mut out.pc_reuse {
+        if !h.is_empty() {
+            h.scale_counts(inv);
+        }
+    }
+    // Thinning keeps every `step`-th execution, so reuse distances and the
+    // positional schedule contract by the same step.
+    if step > 1 {
+        for h in &mut out.pc_reuse {
+            let mut contracted = gmap_trace::Histogram::new();
+            for (d, c) in h.iter() {
+                let nd = if d == 0 { 0 } else { (d as u64 / step).max(1) as u32 };
+                contracted.add_n(nd, c);
+            }
+            *h = contracted;
+        }
+        // The stride from kept ordinal j to j+1 is the sum of the original
+        // strides across the thinned-out gap — defined only where every
+        // intermediate stride was structural.
+        for sched in &mut out.intra_stride_schedule {
+            let thinned: Vec<Option<i64>> = (0..)
+                .map(|j| j * step as usize)
+                .take_while(|&s| s + step as usize <= sched.len())
+                .map(|s| {
+                    sched[s..s + step as usize]
+                        .iter()
+                        .try_fold(0i64, |acc, d| d.map(|d| acc + d))
+                })
+                .collect();
+            *sched = thinned;
+        }
+        for sched in &mut out.pc_reuse_schedule {
+            let thinned: Vec<Option<u32>> = (1..)
+                .map(|j| j * step as usize)
+                .take_while(|&e| e <= sched.len())
+                .map(|e| {
+                    sched[e - 1].map(|d| {
+                        if d == 0 {
+                            0
+                        } else {
+                            (d as u64 / step).max(1) as u32
+                        }
+                    })
+                })
+                .collect();
+            *sched = thinned;
+        }
+    }
+    for r in &mut out.reuse {
+        r.scale_counts(inv);
+    }
+    for h in &mut out.inter_stride {
+        if !h.is_empty() {
+            h.scale_counts(inv);
+        }
+    }
+    out.total_warp_accesses = ((profile.total_warp_accesses as f64) / factor).round() as u64;
+    Ok(out)
+}
+
+/// Keeps the first occurrence of every slot plus every `step`-th
+/// repetition, preserving order and barriers.
+fn thin_profile(p: &PiProfile, step: u64) -> PiProfile {
+    if step <= 1 {
+        return p.clone();
+    }
+    let mut occ: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+    let entries = p
+        .entries
+        .iter()
+        .filter(|e| match e {
+            PiEntry::Sync => true,
+            PiEntry::Mem(slot) => {
+                let c = occ.entry(*slot).or_insert(0);
+                let keep = *c % step == 0;
+                *c += 1;
+                keep
+            }
+        })
+        .copied()
+        .collect();
+    PiProfile { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{expected_accesses, generate_streams};
+    use crate::profiler::{profile_kernel, ProfilerConfig};
+    use gmap_gpu::workloads::{self, Scale};
+
+    fn base_profile() -> GmapProfile {
+        profile_kernel(&workloads::scalarprod(Scale::Small), &ProfilerConfig::default())
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let p = base_profile();
+        assert_eq!(miniaturize(&p, 1.0).expect("valid factor"), p);
+    }
+
+    #[test]
+    fn invalid_factors_rejected() {
+        let p = base_profile();
+        assert!(matches!(
+            miniaturize(&p, 0.0),
+            Err(GmapError::BadScaleFactor { .. })
+        ));
+        assert!(miniaturize(&p, -2.0).is_err());
+        assert!(miniaturize(&p, f64::NAN).is_err());
+        assert!(miniaturize(&p, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clone_shrinks_by_roughly_the_factor() {
+        let p = base_profile();
+        let full = expected_accesses(&p);
+        for factor in [2.0, 4.0, 8.0] {
+            let m = miniaturize(&p, factor).expect("valid factor");
+            let small = expected_accesses(&m);
+            let achieved = full as f64 / small as f64;
+            assert!(
+                achieved > factor * 0.5 && achieved < factor * 2.0,
+                "factor {factor}: achieved {achieved:.2} (full {full}, small {small})"
+            );
+        }
+    }
+
+    #[test]
+    fn thinning_keeps_first_occurrences() {
+        let p = PiProfile {
+            entries: vec![
+                PiEntry::Mem(0),
+                PiEntry::Mem(1),
+                PiEntry::Mem(0),
+                PiEntry::Sync,
+                PiEntry::Mem(0),
+                PiEntry::Mem(0),
+            ],
+        };
+        let t = thin_profile(&p, 2);
+        // Slot 0 has 4 occurrences at positions 0,2,4,5; step 2 keeps
+        // occurrences 0 and 2 (positions 0 and 4). Slot 1's single
+        // occurrence and the barrier are kept.
+        assert_eq!(
+            t.entries,
+            vec![PiEntry::Mem(0), PiEntry::Mem(1), PiEntry::Sync, PiEntry::Mem(0)]
+        );
+    }
+
+    #[test]
+    fn miniaturized_profile_still_generates() {
+        let p = base_profile();
+        let m = miniaturize(&p, 8.0).expect("valid factor");
+        m.validate().expect("still consistent");
+        let streams = generate_streams(&m, 5);
+        assert!(!streams.is_empty());
+        let total: usize = streams.iter().map(|s| s.num_accesses()).sum();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn scale_up_grows_the_grid() {
+        let p = base_profile();
+        let up = miniaturize(&p, 0.5).expect("valid factor");
+        assert_eq!(up.launch.grid.x, p.launch.grid.x * 2);
+        assert!(expected_accesses(&up) > expected_accesses(&p));
+    }
+
+    #[test]
+    fn support_survives_extreme_miniaturization() {
+        let p = base_profile();
+        let m = miniaturize(&p, 16.0).expect("valid factor");
+        for (orig, mini) in p.intra_stride.iter().zip(&m.intra_stride) {
+            let a: Vec<i64> = orig.support().collect();
+            let b: Vec<i64> = mini.support().collect();
+            assert_eq!(a, b, "stride support must be preserved");
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! The profiling phase (paper §4, phases ① and ②).
+//!
+//! Consumes coalesced per-warp transaction streams — from the execution
+//! substrate or any external trace source — and produces the statistical
+//! [`GmapProfile`]. Coalescing has already happened (the paper applies the
+//! coalescing model *before* locality analysis), so the unit of "thread"
+//! in the locality statistics is the warp, matching Table 1's "inter-warp"
+//! stride columns.
+
+use crate::error::GmapError;
+use crate::profile::{GmapProfile, PiEntry, PiProfile};
+use crate::COALESCE_BYTES;
+use gmap_gpu::coalesce::coalesce_app;
+use gmap_gpu::exec::execute_kernel;
+use gmap_gpu::hierarchy::LaunchConfig;
+use gmap_gpu::kernel::KernelDesc;
+use gmap_gpu::schedule::{WarpStream, WarpStreamEvent};
+use gmap_trace::record::{AccessKind, ByteAddr, Pc};
+use gmap_trace::reuse::ReuseHistogram;
+use gmap_trace::Histogram;
+use std::collections::HashMap;
+
+/// Profiler parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilerConfig {
+    /// Coalescing granularity (must match how the streams were coalesced).
+    pub line_size: u64,
+    /// π-profile clustering threshold `Th` (§4.4; the paper uses 0.9).
+    pub cluster_threshold: f64,
+    /// Cap on the number of dominant profiles kept; overflow joins the
+    /// nearest cluster.
+    pub max_profiles: usize,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig { line_size: COALESCE_BYTES, cluster_threshold: 0.9, max_profiles: 32 }
+    }
+}
+
+/// Profiles a kernel end to end: execute → coalesce → profile.
+///
+/// # Panics
+///
+/// Panics if the kernel produces no memory accesses (a validated workload
+/// kernel always does); use [`profile_streams`] for a fallible interface.
+pub fn profile_kernel(kernel: &KernelDesc, cfg: &ProfilerConfig) -> GmapProfile {
+    let app = execute_kernel(kernel);
+    let streams = coalesce_app(&app, cfg.line_size);
+    profile_streams(&kernel.name, &streams, &app.launch, app.warp_size, cfg)
+        .expect("executed kernel has memory accesses")
+}
+
+/// Profiles coalesced warp streams.
+///
+/// # Errors
+///
+/// Returns [`GmapError::EmptyProfile`] if the streams contain no memory
+/// accesses.
+pub fn profile_streams(
+    name: &str,
+    streams: &[WarpStream],
+    launch: &LaunchConfig,
+    warp_size: u32,
+    cfg: &ProfilerConfig,
+) -> Result<GmapProfile, GmapError> {
+    // --- Pass 1: slot table and per-warp raw sequences. ------------------
+    let mut slot_of: HashMap<Pc, usize> = HashMap::new();
+    let mut pcs: Vec<Pc> = Vec::new();
+    let mut kinds: Vec<AccessKind> = Vec::new();
+    let mut total_warp_accesses = 0u64;
+
+    struct WarpRaw {
+        warp: u32,
+        pi: PiProfile,
+        /// First-transaction address of every memory entry, in order.
+        addrs: Vec<u64>,
+        /// Per-slot: indices into `addrs` of this slot's executions.
+        by_slot: HashMap<usize, Vec<usize>>,
+        /// Full line stream (all transactions) for reuse analysis.
+        lines: Vec<u64>,
+    }
+
+    let mut raws: Vec<WarpRaw> = Vec::with_capacity(streams.len());
+    for s in streams {
+        let mut raw = WarpRaw {
+            warp: s.warp.0,
+            pi: PiProfile::default(),
+            addrs: Vec::new(),
+            by_slot: HashMap::new(),
+            lines: Vec::new(),
+        };
+        for ev in &s.events {
+            match ev {
+                WarpStreamEvent::Access(a) => {
+                    if a.lines.is_empty() {
+                        continue;
+                    }
+                    let slot = *slot_of.entry(a.pc).or_insert_with(|| {
+                        pcs.push(a.pc);
+                        kinds.push(a.kind);
+                        pcs.len() - 1
+                    });
+                    raw.pi.entries.push(PiEntry::Mem(slot));
+                    let idx = raw.addrs.len();
+                    raw.addrs.push(a.lines[0].0);
+                    raw.by_slot.entry(slot).or_default().push(idx);
+                    for l in &a.lines {
+                        raw.lines.push(l.0 / cfg.line_size);
+                    }
+                    total_warp_accesses += 1;
+                }
+                WarpStreamEvent::Sync => raw.pi.entries.push(PiEntry::Sync),
+            }
+        }
+        raws.push(raw);
+    }
+    if pcs.is_empty() {
+        return Err(GmapError::EmptyProfile);
+    }
+    // Profile statistics are keyed by warp id order.
+    raws.sort_by_key(|r| r.warp);
+
+    // --- Pass 2: π clustering (§4.4). ------------------------------------
+    // Deduplicate identical sequences first; cluster the unique ones
+    // greedily by positional similarity against cluster representatives.
+    let mut unique: Vec<(PiProfile, u64)> = Vec::new();
+    let mut seq_index: HashMap<PiProfile, usize> = HashMap::new();
+    let mut warp_unique: Vec<usize> = Vec::with_capacity(raws.len());
+    for raw in &raws {
+        let i = *seq_index.entry(raw.pi.clone()).or_insert_with(|| {
+            unique.push((raw.pi.clone(), 0));
+            unique.len() - 1
+        });
+        unique[i].1 += 1;
+        warp_unique.push(i);
+    }
+    let order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..unique.len()).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(unique[i].1));
+        idx
+    };
+    let mut cluster_of_unique: Vec<usize> = vec![usize::MAX; unique.len()];
+    let mut reps: Vec<PiProfile> = Vec::new();
+    let mut weights: Histogram<usize> = Histogram::new();
+    for &u in &order {
+        let (seq, count) = &unique[u];
+        let found = reps
+            .iter()
+            .position(|rep| rep.similarity(seq) >= cfg.cluster_threshold)
+            .or_else(|| {
+                if reps.len() >= cfg.max_profiles {
+                    // Overflow: join the nearest cluster.
+                    reps.iter()
+                        .enumerate()
+                        .max_by(|(_, a), (_, b)| {
+                            a.similarity(seq)
+                                .partial_cmp(&b.similarity(seq))
+                                .expect("similarities are finite")
+                        })
+                        .map(|(i, _)| i)
+                } else {
+                    None
+                }
+            });
+        let c = match found {
+            Some(c) => c,
+            None => {
+                reps.push(seq.clone());
+                reps.len() - 1
+            }
+        };
+        cluster_of_unique[u] = c;
+        weights.add_n(c, *count);
+    }
+    let warp_cluster: Vec<usize> = warp_unique.iter().map(|&u| cluster_of_unique[u]).collect();
+
+    // --- Pass 3: locality distributions. ----------------------------------
+    let n = pcs.len();
+    let mut base_addrs = vec![ByteAddr(0); n];
+    let mut base_set = vec![false; n];
+    let mut inter_stride: Vec<Histogram<i64>> = vec![Histogram::new(); n];
+    let mut intra_stride: Vec<Histogram<i64>> = vec![Histogram::new(); n];
+    let mut pc_reuse: Vec<Histogram<u32>> = vec![Histogram::new(); n];
+    // Per-slot, per-ordinal distance votes (ordinal e stored at e-1).
+    let mut schedule_votes: Vec<Vec<Histogram<u32>>> = vec![Vec::new(); n];
+    // Per-slot, per-ordinal intra-stride votes.
+    let mut stride_votes: Vec<Vec<Histogram<i64>>> = vec![Vec::new(); n];
+    // Per-slot, per-block-phase inter-warp stride votes.
+    let wpb = launch.warps_per_block(warp_size).max(1) as usize;
+    let mut phase_votes: Vec<Vec<Histogram<i64>>> =
+        vec![(0..wpb).map(|_| Histogram::new()).collect(); n];
+    let mut txn_count: Vec<Histogram<u32>> = vec![Histogram::new(); n];
+    let mut txn_span: Vec<Histogram<u64>> = vec![Histogram::new(); n];
+    let mut last_first_addr: Vec<Option<u64>> = vec![None; n];
+    let mut reuse: Vec<ReuseHistogram> = vec![ReuseHistogram::new(); reps.len()];
+
+    for (w, raw) in raws.iter().enumerate() {
+        // Inter-warp strides: first execution per slot vs the previous
+        // warp that executed the slot (warp-id order).
+        for (&slot, execs) in &raw.by_slot {
+            let first = raw.addrs[execs[0]];
+            if !base_set[slot] {
+                base_addrs[slot] = ByteAddr(first);
+                base_set[slot] = true;
+            } else if let Some(prev) = last_first_addr[slot] {
+                let stride = first as i64 - prev as i64;
+                inter_stride[slot].add(stride);
+                phase_votes[slot][raw.warp as usize % wpb].add(stride);
+            }
+            last_first_addr[slot] = Some(first);
+            // Intra-warp strides: successive executions of the slot.
+            for (e, pair) in execs.windows(2).enumerate() {
+                let stride = raw.addrs[pair[1]] as i64 - raw.addrs[pair[0]] as i64;
+                intra_stride[slot].add(stride);
+                let votes = &mut stride_votes[slot];
+                if votes.len() <= e {
+                    votes.resize_with(e + 1, Histogram::new);
+                }
+                votes[e].add(stride);
+            }
+            // PC-localized reuse: for every execution after the first,
+            // distance in same-slot executions back to the previous touch
+            // of the same address (0 = fresh address for this slot). Also
+            // accumulate the per-ordinal distance votes for the modal
+            // reuse schedule.
+            let mut last_touch: HashMap<u64, usize> = HashMap::new();
+            for (e, &idx) in execs.iter().enumerate() {
+                let addr = raw.addrs[idx];
+                let dist = match last_touch.insert(addr, e) {
+                    Some(prev) => (e - prev) as u32,
+                    None => 0,
+                };
+                if e > 0 {
+                    pc_reuse[slot].add(dist);
+                    let votes = &mut schedule_votes[slot];
+                    if votes.len() < e {
+                        votes.resize_with(e, Histogram::new);
+                    }
+                    votes[e - 1].add(dist);
+                }
+            }
+        }
+        // Reuse distances per π cluster, at line granularity.
+        reuse[warp_cluster[w]].merge(&ReuseHistogram::from_lines(raw.lines.iter().copied()));
+        let _ = w;
+    }
+    // Transaction counts per slot (needs a second walk over events to keep
+    // slot association simple).
+    for s in streams {
+        for ev in &s.events {
+            if let WarpStreamEvent::Access(a) = ev {
+                if let Some(&slot) = slot_of.get(&a.pc) {
+                    if !a.lines.is_empty() {
+                        txn_count[slot].add(a.lines.len() as u32);
+                        if a.lines.len() > 1 {
+                            let span = (a.lines[a.lines.len() - 1].0 - a.lines[0].0)
+                                / cfg.line_size;
+                            txn_span[slot].add(span);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let profile = GmapProfile {
+        name: name.to_owned(),
+        launch: *launch,
+        warp_size,
+        line_size: cfg.line_size,
+        pcs,
+        kinds,
+        profiles: reps,
+        profile_weights: weights,
+        base_addrs,
+        inter_stride,
+        intra_stride,
+        pc_reuse,
+        pc_reuse_schedule: modal_schedule(schedule_votes),
+        intra_stride_schedule: modal_schedule(stride_votes),
+        inter_stride_phase: modal_schedule(phase_votes),
+        reuse,
+        txn_count,
+        txn_span,
+        sched_p_self: None,
+        total_warp_accesses,
+    };
+    profile.validate()?;
+    Ok(profile)
+}
+
+/// Reduces per-position vote histograms to modal values, keeping a value
+/// only where a majority of voters agree — i.e. where the behaviour is
+/// *structural* (every warp does it) rather than incidental.
+fn modal_schedule<T: Ord + Copy>(votes: Vec<Vec<Histogram<T>>>) -> Vec<Vec<Option<T>>> {
+    votes
+        .into_iter()
+        .map(|per_pos| {
+            per_pos
+                .into_iter()
+                .map(|h| h.dominant().and_then(|(v, f)| (f >= 0.5).then_some(v)))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmap_gpu::kernel::{dsl, IndexExpr, KernelBuilder, Pred, Stmt};
+    use gmap_gpu::workloads::{self, Scale};
+    use gmap_trace::reuse::ReuseClass;
+
+    fn simple_kernel() -> KernelDesc {
+        KernelBuilder::new("simple", 4u32, 64u32)
+            .array("a", 1 << 18)
+            .stmt(dsl::loop_n(
+                4,
+                vec![dsl::read(0x10, 0, dsl::affine(0, 1, vec![(0, 1024)]))],
+            ))
+            .write(Pc(0x20), 0, IndexExpr::tid_linear(0, 1))
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn profiles_simple_kernel() {
+        let p = profile_kernel(&simple_kernel(), &ProfilerConfig::default());
+        assert_eq!(p.pcs, vec![Pc(0x10), Pc(0x20)]);
+        assert_eq!(p.kinds, vec![AccessKind::Read, AccessKind::Write]);
+        // No divergence: exactly one π profile.
+        assert_eq!(p.profiles.len(), 1);
+        assert_eq!(p.profiles[0].num_accesses(), 5);
+        assert_eq!(p.total_warp_accesses, 8 * 5);
+    }
+
+    #[test]
+    fn inter_warp_stride_is_captured() {
+        let p = profile_kernel(&simple_kernel(), &ProfilerConfig::default());
+        let slot = p.slot_of(Pc(0x10)).expect("profiled");
+        // Unit-stride 4-byte elements, 32 lanes: inter-warp stride 128 B.
+        let (stride, freq) = p.inter_stride[slot].dominant().expect("non-empty");
+        assert_eq!(stride, 128);
+        assert!(freq > 0.9);
+    }
+
+    #[test]
+    fn intra_warp_stride_is_captured() {
+        let p = profile_kernel(&simple_kernel(), &ProfilerConfig::default());
+        let slot = p.slot_of(Pc(0x10)).expect("profiled");
+        // Loop coefficient 1024 elements = 4096 B.
+        let (stride, _) = p.intra_stride[slot].dominant().expect("non-empty");
+        assert_eq!(stride, 4096);
+    }
+
+    #[test]
+    fn txn_counts_reflect_coalescing() {
+        let p = profile_kernel(&simple_kernel(), &ProfilerConfig::default());
+        let slot = p.slot_of(Pc(0x10)).expect("profiled");
+        // Fully coalesced: one transaction per access.
+        assert_eq!(p.txn_count[slot].dominant(), Some((1, 1.0)));
+    }
+
+    #[test]
+    fn base_address_is_first_warp_first_access() {
+        let p = profile_kernel(&simple_kernel(), &ProfilerConfig::default());
+        let slot = p.slot_of(Pc(0x10)).expect("profiled");
+        // Array base is 0x1000 (builder layout), line-aligned.
+        assert_eq!(p.base_addrs[slot], ByteAddr(0x1000));
+    }
+
+    #[test]
+    fn divergent_kernel_yields_multiple_profiles() {
+        let k = KernelBuilder::new("div", 8u32, 32u32)
+            .array("a", 1 << 16)
+            .stmt(Stmt::If {
+                pred: Pred::BlockMod { m: 2, r: 0 },
+                then_body: vec![
+                    dsl::read(0x10, 0, IndexExpr::tid_linear(0, 1)),
+                    dsl::read(0x18, 0, IndexExpr::tid_linear(64, 1)),
+                    dsl::read(0x20, 0, IndexExpr::tid_linear(128, 1)),
+                ],
+                else_body: vec![dsl::read(0x28, 0, IndexExpr::tid_linear(0, 2))],
+            })
+            .build()
+            .expect("valid");
+        let p = profile_kernel(&k, &ProfilerConfig::default());
+        assert_eq!(p.profiles.len(), 2, "two distinct execution paths");
+        // Equal split: 4 blocks each.
+        let w0 = p.profile_weights.count_of(0);
+        let w1 = p.profile_weights.count_of(1);
+        assert_eq!(w0 + w1, 8);
+        assert_eq!(w0, 4);
+    }
+
+    #[test]
+    fn clustering_threshold_merges_similar_paths() {
+        // Paths differing in 1 of 20 entries (95% similar) must merge at
+        // Th=0.9 but split at Th=0.99.
+        let body = |extra_pc: u64| {
+            let mut v = vec![];
+            for i in 0..19 {
+                v.push(dsl::read(0x100 + i * 8, 0, IndexExpr::tid_linear(0, 1)));
+            }
+            v.push(dsl::read(extra_pc, 0, IndexExpr::tid_linear(0, 1)));
+            v
+        };
+        let k = KernelBuilder::new("near", 4u32, 32u32)
+            .array("a", 1 << 16)
+            .stmt(Stmt::If {
+                pred: Pred::BlockMod { m: 2, r: 0 },
+                then_body: body(0x200),
+                else_body: body(0x208),
+            })
+            .build()
+            .expect("valid");
+        let loose = profile_kernel(&k, &ProfilerConfig::default());
+        assert_eq!(loose.profiles.len(), 1, "95%-similar paths merge at Th=0.9");
+        let strict = profile_kernel(
+            &k,
+            &ProfilerConfig { cluster_threshold: 0.99, ..ProfilerConfig::default() },
+        );
+        assert_eq!(strict.profiles.len(), 2, "95%-similar paths split at Th=0.99");
+    }
+
+    #[test]
+    fn sync_entries_survive_profiling() {
+        let k = KernelBuilder::new("sync", 2u32, 64u32)
+            .array("a", 1 << 12)
+            .read(Pc(0x10), 0, IndexExpr::tid_linear(0, 1))
+            .stmt(Stmt::Sync)
+            .read(Pc(0x18), 0, IndexExpr::tid_linear(0, 1))
+            .build()
+            .expect("valid");
+        let p = profile_kernel(&k, &ProfilerConfig::default());
+        assert_eq!(
+            p.profiles[0].entries,
+            vec![PiEntry::Mem(0), PiEntry::Sync, PiEntry::Mem(1)]
+        );
+    }
+
+    #[test]
+    fn reuse_class_survives_profiling() {
+        // kmeans is the paper's canonical high-reuse app.
+        let p = profile_kernel(&workloads::kmeans(Scale::Tiny), &ProfilerConfig::default());
+        let dominant_profile = p.profile_weights.dominant().expect("non-empty").0;
+        assert_eq!(p.reuse[dominant_profile].class(), ReuseClass::High);
+        // scalarprod is streaming.
+        let p = profile_kernel(&workloads::scalarprod(Scale::Tiny), &ProfilerConfig::default());
+        let dom = p.profile_weights.dominant().expect("non-empty").0;
+        assert_eq!(p.reuse[dom].class(), ReuseClass::Low);
+    }
+
+    #[test]
+    fn empty_streams_are_rejected() {
+        let launch = LaunchConfig::new(1u32, 32u32);
+        let err = profile_streams("empty", &[], &launch, 32, &ProfilerConfig::default());
+        assert!(matches!(err, Err(GmapError::EmptyProfile)));
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let k = workloads::bfs(Scale::Tiny);
+        let a = profile_kernel(&k, &ProfilerConfig::default());
+        let b = profile_kernel(&k, &ProfilerConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_workloads_profile_cleanly() {
+        for k in workloads::all(Scale::Tiny) {
+            let p = profile_kernel(&k, &ProfilerConfig::default());
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(p.total_warp_accesses > 0, "{}", k.name);
+        }
+    }
+}

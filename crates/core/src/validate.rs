@@ -1,0 +1,149 @@
+//! Validation metrics (paper §5).
+//!
+//! "We use two metrics for validation: the percentage error between
+//! original and proxy performance metrics and Pearson's correlation
+//! coefficient" — error says how close the clone's absolute numbers are;
+//! correlation says whether the clone *ranks* configurations the way the
+//! original does, which is what design-space exploration actually needs.
+
+use gmap_trace::stats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Original-vs-proxy comparison of one benchmark across a configuration
+/// sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkComparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Original metric per configuration.
+    pub original: Vec<f64>,
+    /// Proxy metric per configuration (same order).
+    pub proxy: Vec<f64>,
+    /// Mean absolute error, in the metric's unit (percentage points for
+    /// miss rates).
+    pub mean_abs_err: f64,
+    /// Mean relative error, as a fraction of the original.
+    pub mean_rel_err: f64,
+    /// Pearson correlation across the sweep.
+    pub correlation: f64,
+}
+
+impl fmt::Display for BenchmarkComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} err={:6.2}  rel={:6.2}%  corr={:5.2}  ({} configs)",
+            self.name,
+            self.mean_abs_err,
+            self.mean_rel_err * 100.0,
+            self.correlation,
+            self.original.len()
+        )
+    }
+}
+
+/// Compares a benchmark's original and proxy metric series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ (a harness bug, not user input).
+pub fn compare_series(name: &str, original: Vec<f64>, proxy: Vec<f64>) -> BenchmarkComparison {
+    assert_eq!(original.len(), proxy.len(), "sweep series must align");
+    let mean_abs_err = stats::mean_abs_error(&original, &proxy);
+    let mean_rel_err = stats::mean_rel_error(&original, &proxy);
+    let correlation = stats::pearson(&original, &proxy);
+    BenchmarkComparison {
+        name: name.to_owned(),
+        original,
+        proxy,
+        mean_abs_err,
+        mean_rel_err,
+        correlation,
+    }
+}
+
+/// Summary over all benchmarks of one experiment (one paper figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Per-benchmark comparisons.
+    pub per_benchmark: Vec<BenchmarkComparison>,
+    /// Average of the per-benchmark mean absolute errors.
+    pub avg_error: f64,
+    /// Average of the per-benchmark correlations.
+    pub avg_correlation: f64,
+    /// Total validation points (benchmarks × configurations).
+    pub validation_points: usize,
+}
+
+/// Aggregates per-benchmark comparisons into the figure-level summary the
+/// paper reports ("the average error ... and average correlation ...").
+pub fn summarize(per_benchmark: Vec<BenchmarkComparison>) -> SweepSummary {
+    let errs: Vec<f64> = per_benchmark.iter().map(|b| b.mean_abs_err).collect();
+    let corrs: Vec<f64> = per_benchmark.iter().map(|b| b.correlation).collect();
+    let validation_points = per_benchmark.iter().map(|b| b.original.len()).sum();
+    SweepSummary {
+        avg_error: stats::mean(&errs),
+        avg_correlation: stats::mean(&corrs),
+        validation_points,
+        per_benchmark,
+    }
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.per_benchmark {
+            writeln!(f, "{b}")?;
+        }
+        write!(
+            f,
+            "average: err={:.2}  corr={:.2}  over {} validation points",
+            self.avg_error, self.avg_correlation, self.validation_points
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_proxy_scores_zero_error_full_correlation() {
+        let c = compare_series("x", vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(c.mean_abs_err, 0.0);
+        assert!((c.correlation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn biased_but_tracking_proxy_keeps_correlation() {
+        let c = compare_series("x", vec![10.0, 20.0, 30.0], vec![12.0, 22.0, 32.0]);
+        assert!((c.mean_abs_err - 2.0).abs() < 1e-12);
+        assert!((c.correlation - 1.0).abs() < 1e-12);
+        assert!((c.mean_rel_err - (0.2 + 0.1 + 2.0 / 30.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_averages_over_benchmarks() {
+        let s = summarize(vec![
+            compare_series("a", vec![1.0, 2.0], vec![1.0, 2.0]),
+            compare_series("b", vec![5.0, 7.0], vec![7.0, 9.0]),
+        ]);
+        assert!((s.avg_error - 1.0).abs() < 1e-12);
+        assert!((s.avg_correlation - 1.0).abs() < 1e-12);
+        assert_eq!(s.validation_points, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_series_panic() {
+        compare_series("x", vec![1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = summarize(vec![compare_series("aes", vec![1.0, 2.0], vec![1.5, 2.5])]);
+        let text = s.to_string();
+        assert!(text.contains("aes"));
+        assert!(text.contains("average:"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the profile → clone pipeline.
+
+use gmap_core::generate::{expected_accesses, generate_streams};
+use gmap_core::miniaturize;
+use gmap_core::profiler::{profile_kernel, ProfilerConfig};
+use gmap_gpu::kernel::{dsl, KernelBuilder};
+use gmap_gpu::schedule::WarpStreamEvent;
+use proptest::prelude::*;
+
+/// A randomized-but-valid strided kernel.
+fn arb_kernel() -> impl Strategy<Value = gmap_gpu::kernel::KernelDesc> {
+    (1u32..6, 1u32..4, 1i64..64, 1u32..12, -256i64..256).prop_map(
+        |(blocks, warps_pb, tid_coef, trip, iter_coef)| {
+            KernelBuilder::new("prop", blocks, warps_pb * 32)
+                .array("a", 1 << 16)
+                .stmt(dsl::loop_n(
+                    trip,
+                    vec![dsl::read(0x10, 0, dsl::affine(0, tid_coef, vec![(0, iter_coef)]))],
+                ))
+                .write(gmap_trace::record::Pc(0x20), 0, gmap_gpu::kernel::IndexExpr::tid_linear(0, 1))
+                .build()
+                .expect("construction is valid by design")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Profiles of arbitrary strided kernels validate, and their clones
+    /// have exactly the expected shape: same warp count, same per-warp
+    /// access counts, line-aligned transactions.
+    #[test]
+    fn profile_then_clone_shape(kernel in arb_kernel(), seed in any::<u64>()) {
+        let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        profile.validate().expect("profiler output is consistent");
+        let clone = generate_streams(&profile, seed);
+        prop_assert_eq!(clone.len() as u32, profile.launch.total_warps(32));
+        let per_warp_expected = profile.profiles[0].num_accesses();
+        for s in &clone {
+            prop_assert_eq!(s.num_accesses(), per_warp_expected);
+            for e in &s.events {
+                if let WarpStreamEvent::Access(a) = e {
+                    for l in &a.lines {
+                        prop_assert_eq!(l.0 % 128, 0);
+                    }
+                }
+            }
+        }
+        // Volume identity.
+        prop_assert_eq!(
+            expected_accesses(&profile),
+            clone.iter().map(|s| s.num_accesses() as u64).sum::<u64>()
+        );
+    }
+
+    /// JSON round-trip is the identity for arbitrary profiles.
+    #[test]
+    fn profile_serde_identity(kernel in arb_kernel()) {
+        let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        let mut buf = Vec::new();
+        profile.save(&mut buf).expect("save");
+        let back = gmap_core::GmapProfile::load(&buf[..]).expect("load");
+        prop_assert_eq!(profile, back);
+    }
+
+    /// Miniaturization never breaks profile consistency and shrinks (or
+    /// keeps) the clone volume for factors >= 1.
+    #[test]
+    fn miniaturize_consistency(kernel in arb_kernel(), factor in 1.0f64..20.0) {
+        let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        let mini = miniaturize(&profile, factor).expect("factor > 0");
+        mini.validate().expect("miniaturized profile is consistent");
+        prop_assert!(expected_accesses(&mini) <= expected_accesses(&profile));
+        // Still generates a non-empty clone.
+        let clone = generate_streams(&mini, 1);
+        prop_assert!(clone.iter().map(|s| s.num_accesses()).sum::<usize>() > 0);
+    }
+
+    /// Clone generation is a pure function of (profile, seed).
+    #[test]
+    fn generation_determinism(kernel in arb_kernel(), seed in any::<u64>()) {
+        let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        prop_assert_eq!(generate_streams(&profile, seed), generate_streams(&profile, seed));
+    }
+
+    /// Rebasing by any aligned offset shifts every generated transaction
+    /// by exactly that offset (locality is translation-invariant). Both
+    /// sides get a large positive headroom first: generated addresses
+    /// saturate at zero, so the guarantee holds for the intended use —
+    /// positive obfuscation offsets — not for walks driven into the
+    /// bottom of the address space.
+    #[test]
+    fn rebase_translates_uniformly(kernel in arb_kernel(), delta_lines in 1u32..10_000) {
+        let mut profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        profile.rebase(1 << 30);
+        let delta = delta_lines as i64 * 128;
+        let mut shifted = profile.clone();
+        shifted.rebase(delta);
+        let a = generate_streams(&profile, 7);
+        let b = generate_streams(&shifted, 7);
+        for (sa, sb) in a.iter().zip(&b) {
+            for (ea, eb) in sa.events.iter().zip(&sb.events) {
+                if let (WarpStreamEvent::Access(xa), WarpStreamEvent::Access(xb)) = (ea, eb) {
+                    for (la, lb) in xa.lines.iter().zip(&xb.lines) {
+                        prop_assert_eq!(lb.0 as i64 - la.0 as i64, delta);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of DRAM-model invariants.
+
+use gmap_dram::{
+    AddressMapping, DramConfig, DramGeometry, DramRequest, DramSystem, DramTiming, MemSched,
+};
+use gmap_trace::record::{AccessKind, ByteAddr};
+use proptest::prelude::*;
+
+fn requests(
+    max_lines: u64,
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = Vec<DramRequest>> {
+    proptest::collection::vec((0u64..max_lines, 0u64..50, any::<bool>()), len).prop_map(|v| {
+        let mut cycle = 0;
+        v.into_iter()
+            .map(|(line, gap, w)| {
+                cycle += gap;
+                DramRequest {
+                    cycle,
+                    addr: ByteAddr(line * 128),
+                    kind: if w { AccessKind::Write } else { AccessKind::Read },
+                }
+            })
+            .collect()
+    })
+}
+
+fn any_mapping() -> impl Strategy<Value = AddressMapping> {
+    prop_oneof![Just(AddressMapping::RoBaRaCoCh), Just(AddressMapping::ChRaBaRoCo)]
+}
+
+fn any_sched() -> impl Strategy<Value = MemSched> {
+    prop_oneof![Just(MemSched::FrFcfs), Just(MemSched::Fcfs)]
+}
+
+proptest! {
+    /// Every request is served exactly once; metric identities hold; the
+    /// minimum possible latency is a row hit.
+    #[test]
+    fn conservation_and_bounds(
+        reqs in requests(1 << 14, 1..300),
+        mapping in any_mapping(),
+        sched in any_sched(),
+    ) {
+        let cfg = DramConfig {
+            geometry: DramGeometry::table2_baseline(),
+            mapping,
+            timing: DramTiming::gddr3_table2(),
+            scheduler: sched,
+        };
+        let m = DramSystem::new(cfg).run(&reqs);
+        prop_assert_eq!(m.requests as usize, reqs.len());
+        prop_assert_eq!(m.reads + m.writes, m.requests);
+        prop_assert!(m.row_hits <= m.requests);
+        prop_assert!((0.0..=1.0).contains(&m.rbl));
+        let min_lat = cfg.timing.row_hit_latency() as f64;
+        if m.reads > 0 {
+            prop_assert!(m.avg_read_latency >= min_lat);
+        }
+        if m.writes > 0 {
+            prop_assert!(m.avg_write_latency >= min_lat);
+        }
+        prop_assert!(m.avg_queue_len >= 0.0);
+        // Finish time can never precede the last arrival.
+        let last_arrival = reqs.iter().map(|r| r.cycle).max().unwrap_or(0);
+        prop_assert!(m.finish_cycle >= last_arrival);
+    }
+
+    /// FR-FCFS never yields *fewer* row hits than FCFS on the same stream
+    /// (it only ever reorders toward open rows).
+    #[test]
+    fn frfcfs_dominates_fcfs_on_hits(reqs in requests(1 << 10, 1..200)) {
+        let mut fr = DramConfig::table2_baseline();
+        fr.scheduler = MemSched::FrFcfs;
+        let mut fc = DramConfig::table2_baseline();
+        fc.scheduler = MemSched::Fcfs;
+        let m_fr = DramSystem::new(fr).run(&reqs);
+        let m_fc = DramSystem::new(fc).run(&reqs);
+        prop_assert!(
+            m_fr.row_hits + 2 >= m_fc.row_hits,
+            "FR-FCFS hits {} much lower than FCFS {}",
+            m_fr.row_hits,
+            m_fc.row_hits
+        );
+    }
+
+    /// Determinism: identical inputs, identical metrics.
+    #[test]
+    fn runs_are_deterministic(reqs in requests(1 << 12, 1..150), mapping in any_mapping()) {
+        let mut cfg = DramConfig::table2_baseline();
+        cfg.mapping = mapping;
+        let a = DramSystem::new(cfg).run(&reqs);
+        let b = DramSystem::new(cfg).run(&reqs);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Address decomposition round-trips within field bounds for random
+    /// geometries.
+    #[test]
+    fn decomposition_in_bounds(
+        addr in any::<u64>(),
+        ch_bits in 0u32..4,
+        bank_bits in 0u32..4,
+        mapping in any_mapping(),
+    ) {
+        let geom = DramGeometry {
+            channels: 1 << ch_bits,
+            ranks: 2,
+            banks: 1 << bank_bits,
+            bank_groups: 1,
+            columns: 64,
+            bus_width_bytes: 8,
+        };
+        let loc = gmap_dram::mapping::decompose(addr, &geom, mapping);
+        prop_assert!(loc.channel < geom.channels);
+        prop_assert!(loc.rank < geom.ranks);
+        prop_assert!(loc.bank < geom.banks);
+        prop_assert!(loc.column < geom.columns);
+    }
+}

@@ -1,0 +1,128 @@
+//! Multi-kernel applications.
+//!
+//! "A GPU application is composed of several kernels" (paper §2.2). Each
+//! kernel launches with its own grid/block geometry; kernels execute in
+//! sequence, and the cache hierarchy carries its state from one kernel to
+//! the next (a later kernel can hit on data a previous one left in the
+//! L2). G-MAP profiles each kernel separately and clones them in order.
+
+use crate::kernel::KernelDesc;
+use serde::{Deserialize, Serialize};
+
+/// A sequence of kernels executed back to back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    /// Application name.
+    pub name: String,
+    /// Kernels in launch order.
+    pub kernels: Vec<KernelDesc>,
+}
+
+impl Application {
+    /// Creates an application from its kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn new(name: &str, kernels: Vec<KernelDesc>) -> Self {
+        assert!(!kernels.is_empty(), "an application needs at least one kernel");
+        Application { name: name.to_owned(), kernels }
+    }
+
+    /// A single-kernel application.
+    pub fn single(kernel: KernelDesc) -> Self {
+        Application { name: kernel.name.clone(), kernels: vec![kernel] }
+    }
+
+    /// Total memory footprint across kernels (arrays are per-kernel in
+    /// this model, so footprints add).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.kernels.iter().map(KernelDesc::footprint_bytes).sum()
+    }
+}
+
+/// Composite applications built from the workload models, exercising the
+/// multi-kernel path the way real suites do.
+pub mod apps {
+    use super::Application;
+    use crate::workloads::{self, Scale};
+
+    /// Rodinia srad's actual structure: an extraction kernel, the
+    /// diffusion kernel, and a compression kernel.
+    pub fn srad_pipeline(scale: Scale) -> Application {
+        let mut extract = workloads::nw(scale);
+        extract.name = "srad_extract".into();
+        let mut diffuse = workloads::srad(scale);
+        diffuse.name = "srad_diffuse".into();
+        let mut compress = workloads::blackscholes(scale);
+        compress.name = "srad_compress".into();
+        Application::new("srad_pipeline", vec![extract, diffuse, compress])
+    }
+
+    /// Backprop training: a forward pass followed by the weight-adjust
+    /// pass (both passes re-touch the weight arrays, so the second kernel
+    /// starts with a warm L2).
+    pub fn backprop_training(scale: Scale) -> Application {
+        let mut forward = workloads::backprop(scale);
+        forward.name = "bp_forward".into();
+        let mut adjust = workloads::backprop(scale);
+        adjust.name = "bp_adjust".into();
+        Application::new("backprop_training", vec![forward, adjust])
+    }
+
+    /// Iterative kmeans: two clustering iterations around a membership
+    /// reduction.
+    pub fn kmeans_iterative(scale: Scale) -> Application {
+        let mut iter1 = workloads::kmeans(scale);
+        iter1.name = "kmeans_iter1".into();
+        let mut reduce = workloads::scalarprod(scale);
+        reduce.name = "kmeans_reduce".into();
+        let mut iter2 = workloads::kmeans(scale);
+        iter2.name = "kmeans_iter2".into();
+        Application::new("kmeans_iterative", vec![iter1, reduce, iter2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::apps;
+    use super::*;
+    use crate::workloads::{self, Scale};
+
+    #[test]
+    fn single_wraps_one_kernel() {
+        let app = Application::single(workloads::aes(Scale::Tiny));
+        assert_eq!(app.name, "aes");
+        assert_eq!(app.kernels.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn empty_application_rejected() {
+        Application::new("empty", vec![]);
+    }
+
+    #[test]
+    fn composite_apps_build() {
+        for app in [
+            apps::srad_pipeline(Scale::Tiny),
+            apps::backprop_training(Scale::Tiny),
+            apps::kmeans_iterative(Scale::Tiny),
+        ] {
+            assert!(app.kernels.len() >= 2, "{}", app.name);
+            for k in &app.kernels {
+                k.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            }
+            assert!(app.footprint_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn kernel_names_are_distinct_within_an_app() {
+        let app = apps::kmeans_iterative(Scale::Tiny);
+        let mut names: Vec<&str> = app.kernels.iter().map(|k| k.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), app.kernels.len());
+    }
+}

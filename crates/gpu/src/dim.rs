@@ -1,0 +1,101 @@
+//! Grid and block dimensions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CUDA-style three-dimensional extent.
+///
+/// G-MAP "maintains the same grid and TB dimensions as the original
+/// application" (§4); kernels carry their geometry so that the proxy can
+/// reconstruct the identical thread hierarchy.
+///
+/// ```
+/// use gmap_gpu::Dim3;
+/// assert_eq!(Dim3::new(4, 2, 1).count(), 8);
+/// assert_eq!(Dim3::linear(256).count(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    /// Extent along x.
+    pub x: u32,
+    /// Extent along y.
+    pub y: u32,
+    /// Extent along z.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// Creates a three-dimensional extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is zero.
+    pub fn new(x: u32, y: u32, z: u32) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "dimensions must be positive");
+        Dim3 { x, y, z }
+    }
+
+    /// A one-dimensional extent (`y = z = 1`), the common case for the
+    /// workloads in this crate.
+    pub fn linear(x: u32) -> Self {
+        Dim3::new(x, 1, 1)
+    }
+
+    /// Total number of elements.
+    pub fn count(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Dim3::linear(1)
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Dim3::linear(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Dim3::new(x, y, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(Dim3::new(3, 4, 5).count(), 60);
+        assert_eq!(Dim3::linear(7).count(), 7);
+        assert_eq!(Dim3::default().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        Dim3::new(0, 1, 1);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Dim3::from(16u32), Dim3::linear(16));
+        assert_eq!(Dim3::from((2u32, 3u32)), Dim3::new(2, 3, 1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dim3::new(2, 3, 4).to_string(), "(2,3,4)");
+    }
+}

@@ -1,0 +1,43 @@
+//! Multi-core, multi-level cache hierarchy simulator for G-MAP.
+//!
+//! The paper evaluates proxies on "a validated SIMT-aware multi-core,
+//! multi-level cache and memory simulator ... based on CMP$im" (§5). This
+//! crate is the from-scratch equivalent:
+//!
+//! - [`cache`] — set-associative caches with LRU / FIFO / pseudo-LRU /
+//!   random replacement and explicit prefetch-bit bookkeeping.
+//! - [`mshr`] — miss status holding registers: secondary misses to an
+//!   in-flight line merge instead of re-fetching (Table 2: 64 MSHRs/core).
+//! - [`prefetch`] — a per-PC stride prefetcher for the L1 (after the
+//!   many-thread-aware design of Lee et al. the paper evaluates in Fig. 6c)
+//!   and a stream prefetcher for the L2 (Fig. 6d: window 8/16/32, degree
+//!   1/2/4/8).
+//! - [`hierarchy`] — per-SM private L1s over a shared banked L2 over a flat
+//!   memory latency, implementing [`gmap_gpu::schedule::MemoryModel`] so the
+//!   warp scheduler can drive it directly. Optionally records the
+//!   timestamped memory-request stream that feeds the DRAM simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use gmap_memsim::cache::{Cache, CacheConfig, ReplacementPolicy};
+//!
+//! let cfg = CacheConfig::new(16 * 1024, 4, 128, ReplacementPolicy::Lru)?;
+//! let mut l1 = Cache::new(cfg);
+//! assert!(!l1.access(0x1000 / 128, false).is_hit()); // cold miss
+//! assert!(l1.access(0x1000 / 128, false).is_hit());  // now resident
+//! # Ok::<(), gmap_memsim::cache::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod mshr;
+pub mod prefetch;
+
+pub use cache::{Cache, CacheConfig, CacheStats, ConfigError, ReplacementPolicy};
+pub use hierarchy::{GpuHierarchy, HierarchyConfig, HierarchyStats, MemRequest};
+pub use mshr::Mshr;
+pub use prefetch::{StreamPrefetcher, StreamPrefetcherConfig, StridePrefetcher, StridePrefetcherConfig};

@@ -1,0 +1,176 @@
+//! Miss status holding registers.
+//!
+//! GPUs hide latency by keeping many misses in flight; the MSHR file bounds
+//! that concurrency per core (Table 2: 64 MSHRs per SM). A *secondary* miss
+//! to a line that is already being fetched merges into the existing entry
+//! and waits only for the remaining latency; a miss arriving when the file
+//! is full pays a stall penalty, modeling allocation back-pressure.
+
+use std::collections::HashMap;
+
+/// Outcome of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller pays the full miss latency.
+    Allocated,
+    /// The line was already in flight; the caller waits for the remaining
+    /// cycles only.
+    Merged {
+        /// Cycles until the in-flight fill completes.
+        remaining: u64,
+    },
+    /// The file was full; the caller pays `stall` extra cycles (time until
+    /// the earliest entry retires) plus the full miss latency.
+    Full {
+        /// Cycles until a register frees up.
+        stall: u64,
+    },
+}
+
+/// A per-core MSHR file.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    capacity: usize,
+    /// line -> completion cycle.
+    entries: HashMap<u64, u64>,
+    /// Merged (secondary) misses observed.
+    merges: u64,
+    /// Misses that found the file full.
+    full_stalls: u64,
+}
+
+impl Mshr {
+    /// Creates a file with the given number of registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        Mshr { capacity, entries: HashMap::new(), merges: 0, full_stalls: 0 }
+    }
+
+    /// Presents a miss for `line` at `cycle`; `completion` is the cycle the
+    /// fill would finish if a new entry is allocated. Retired entries are
+    /// reclaimed lazily.
+    pub fn on_miss(&mut self, line: u64, cycle: u64, completion: u64) -> MshrOutcome {
+        // Reclaim finished fills.
+        self.entries.retain(|_, &mut done| done > cycle);
+        if let Some(&done) = self.entries.get(&line) {
+            self.merges += 1;
+            return MshrOutcome::Merged { remaining: done.saturating_sub(cycle) };
+        }
+        if self.entries.len() >= self.capacity {
+            self.full_stalls += 1;
+            let earliest = self.entries.values().copied().min().expect("file is non-empty");
+            let stall = earliest.saturating_sub(cycle);
+            // The stalled miss allocates once the earliest entry retires.
+            self.entries.remove_earliest(earliest);
+            self.entries.insert(line, completion + stall);
+            return MshrOutcome::Full { stall };
+        }
+        self.entries.insert(line, completion);
+        MshrOutcome::Allocated
+    }
+
+    /// If `line` has a fill in flight at `cycle`, returns the remaining
+    /// cycles until it completes. Used for hit-under-miss accounting: a
+    /// tag hit on a line whose data is still being fetched must wait for
+    /// the fill, not the L1 hit latency.
+    pub fn pending_remaining(&mut self, line: u64, cycle: u64) -> Option<u64> {
+        match self.entries.get(&line) {
+            Some(&done) if done > cycle => {
+                self.merges += 1;
+                Some(done - cycle)
+            }
+            _ => None,
+        }
+    }
+
+    /// Updates the completion time of an in-flight entry once the real
+    /// fill latency is known (the hierarchy allocates with a provisional
+    /// completion, then consults the lower levels).
+    pub fn set_completion(&mut self, line: u64, completion: u64) {
+        if let Some(done) = self.entries.get_mut(&line) {
+            *done = completion;
+        }
+    }
+
+    /// Entries currently in flight at `cycle`.
+    pub fn in_flight(&self, cycle: u64) -> usize {
+        self.entries.values().filter(|&&done| done > cycle).count()
+    }
+
+    /// Secondary misses merged so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Misses that found the file full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+}
+
+/// Small extension to drop one entry with a given completion time.
+trait RemoveEarliest {
+    fn remove_earliest(&mut self, completion: u64);
+}
+
+impl RemoveEarliest for HashMap<u64, u64> {
+    fn remove_earliest(&mut self, completion: u64) {
+        if let Some(key) = self.iter().find(|(_, &v)| v == completion).map(|(&k, _)| k) {
+            self.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = Mshr::new(4);
+        assert_eq!(m.on_miss(10, 0, 100), MshrOutcome::Allocated);
+        assert_eq!(m.on_miss(10, 40, 140), MshrOutcome::Merged { remaining: 60 });
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn entries_retire() {
+        let mut m = Mshr::new(2);
+        m.on_miss(1, 0, 50);
+        assert_eq!(m.in_flight(0), 1);
+        assert_eq!(m.in_flight(50), 0);
+        // After retirement the same line allocates anew.
+        assert_eq!(m.on_miss(1, 60, 160), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn full_file_stalls() {
+        let mut m = Mshr::new(2);
+        m.on_miss(1, 0, 100);
+        m.on_miss(2, 0, 80);
+        match m.on_miss(3, 10, 110) {
+            MshrOutcome::Full { stall } => assert_eq!(stall, 70), // entry 2 retires at 80
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(m.full_stalls(), 1);
+    }
+
+    #[test]
+    fn merge_remaining_saturates() {
+        let mut m = Mshr::new(2);
+        m.on_miss(5, 0, 30);
+        // Merge exactly at completion boundary: remaining clamps at 0...
+        // (the retain above removes it at cycle >= 30, so this allocates).
+        assert_eq!(m.on_miss(5, 30, 60), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Mshr::new(0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of cache-model invariants.
+
+use gmap_memsim::cache::{Cache, CacheConfig, ReplacementPolicy};
+use gmap_memsim::hierarchy::{GpuHierarchy, HierarchyConfig};
+use gmap_memsim::mshr::Mshr;
+use gmap_gpu::schedule::MemoryModel;
+use gmap_trace::record::{AccessKind, ByteAddr, CoreId, Pc};
+use proptest::prelude::*;
+
+fn any_policy() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Fifo),
+        Just(ReplacementPolicy::PseudoLru),
+        Just(ReplacementPolicy::Random),
+    ]
+}
+
+proptest! {
+    /// Counters stay consistent for any access stream and any policy:
+    /// hits + misses = accesses, reads + writes = accesses, and the
+    /// number of resident lines never exceeds the capacity.
+    #[test]
+    fn cache_counters_consistent(
+        lines in proptest::collection::vec((0u64..256, any::<bool>()), 1..500),
+        policy in any_policy(),
+    ) {
+        let cfg = CacheConfig::new(2048, 4, 64, policy).expect("valid");
+        let mut c = Cache::new(cfg);
+        for &(l, w) in &lines {
+            c.access(l, w);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.reads + s.writes, s.accesses);
+        let resident = (0u64..256).filter(|&l| c.probe(l)).count() as u64;
+        prop_assert!(resident <= cfg.num_lines());
+        // Evictions can't exceed fills.
+        prop_assert!(s.evictions <= s.misses + s.prefetch_fills);
+        prop_assert!(s.writebacks <= s.evictions);
+    }
+
+    /// Immediately re-accessing a line always hits, under every policy.
+    #[test]
+    fn immediate_reaccess_hits(
+        lines in proptest::collection::vec(0u64..1024, 1..200),
+        policy in any_policy(),
+    ) {
+        let cfg = CacheConfig::new(4096, 4, 64, policy).expect("valid");
+        let mut c = Cache::new(cfg);
+        for &l in &lines {
+            c.access(l, false);
+            prop_assert!(c.access(l, false).is_hit(), "line {l} must hit right after fill");
+        }
+    }
+
+    /// A fully-associative LRU cache of N lines never misses on a cyclic
+    /// working set of at most N lines (after warmup).
+    #[test]
+    fn lru_holds_small_working_set(ws_size in 1usize..16) {
+        let cfg = CacheConfig::new(16 * 64, 16, 64, ReplacementPolicy::Lru).expect("valid");
+        let mut c = Cache::new(cfg);
+        for round in 0..5 {
+            for l in 0..ws_size as u64 {
+                let hit = c.access(l, false).is_hit();
+                if round > 0 {
+                    prop_assert!(hit, "round {round}, line {l} must hit");
+                }
+            }
+        }
+    }
+
+    /// The MSHR file never exceeds its capacity in flight.
+    #[test]
+    fn mshr_capacity_respected(
+        misses in proptest::collection::vec((0u64..64, 0u64..1000), 1..200),
+        cap in 1usize..16,
+    ) {
+        let mut m = Mshr::new(cap);
+        let mut cycle = 0;
+        for &(line, gap) in &misses {
+            cycle += gap;
+            m.on_miss(line, cycle, cycle + 100);
+            prop_assert!(m.in_flight(cycle) <= cap);
+        }
+    }
+
+    /// Hierarchy latencies are bounded by the three-level sum, and the
+    /// stats identity holds across arbitrary streams.
+    #[test]
+    fn hierarchy_latency_bounded(
+        stream in proptest::collection::vec((0u64..(1 << 16), any::<bool>(), 0u16..4), 1..300),
+    ) {
+        let cfg = HierarchyConfig::fermi_baseline();
+        let mut h = GpuHierarchy::new(cfg).expect("valid");
+        let max_lat = cfg.l1_hit_latency + cfg.l2_hit_latency + cfg.mem_latency;
+        let mut cycle = 0u64;
+        for &(addr, is_write, core) in &stream {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let lat = h.access(CoreId(core), Pc(0x10), ByteAddr(addr * 128), kind, cycle);
+            if is_write {
+                prop_assert_eq!(lat, cfg.store_latency);
+            } else {
+                prop_assert!(lat >= cfg.l1_hit_latency);
+                // Reads can exceed the sum only through MSHR interactions
+                // (hit-under-miss waits), never by more than mem latency.
+                prop_assert!(lat <= max_lat + cfg.mem_latency);
+            }
+            cycle += 10;
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1.hits + s.l1.misses, s.l1.accesses);
+        prop_assert_eq!(s.l2.hits + s.l2.misses, s.l2.accesses);
+    }
+}

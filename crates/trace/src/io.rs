@@ -1,0 +1,276 @@
+//! Readers and writers for per-thread memory traces.
+//!
+//! G-MAP can profile traces produced by any front end, not just the
+//! execution substrate in `gmap-gpu`. This module defines two on-disk
+//! formats for interchange:
+//!
+//! - **Text**: one access per line, `tid pc kind addr` with hexadecimal pc
+//!   and address (comment lines start with `#`). Diffable and easy to
+//!   produce from any tracing tool.
+//! - **Binary**: a `GMTR` magic, a little-endian record count, then fixed
+//!   21-byte records. Compact and fast for large traces.
+
+use crate::record::{AccessKind, ByteAddr, MemAccess, Pc, ThreadId};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// One trace entry: which thread performed which access.
+pub type TraceEntry = (ThreadId, MemAccess);
+
+/// Error produced while parsing a trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line or record, with 1-based line/record index and a
+    /// description.
+    Malformed {
+        /// 1-based index of the offending line or record.
+        index: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The binary magic did not match `GMTR`.
+    BadMagic,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            ParseTraceError::Malformed { index, reason } => {
+                write!(f, "malformed trace entry {index}: {reason}")
+            }
+            ParseTraceError::BadMagic => f.write_str("not a gmap binary trace (bad magic)"),
+        }
+    }
+}
+
+impl Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Writes a trace in the text format. The writer can be any `Write`
+/// implementor (pass `&mut file` to keep ownership).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_text<W: Write>(mut w: W, entries: &[TraceEntry]) -> io::Result<()> {
+    writeln!(w, "# gmap trace v1: tid pc kind addr")?;
+    for (tid, acc) in entries {
+        writeln!(w, "{} {:#x} {} {:#x}", tid.0, acc.pc.0, acc.kind, acc.addr.0)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::Malformed`] on any line that does not have
+/// four fields of the expected shape, and propagates I/O errors.
+pub fn read_text<R: BufRead>(r: R) -> Result<Vec<TraceEntry>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let index = i + 1;
+        let mut fields = line.split_whitespace();
+        let mut next = |what: &str| {
+            fields.next().ok_or_else(|| ParseTraceError::Malformed {
+                index,
+                reason: format!("missing {what} field"),
+            })
+        };
+        let tid: u32 = next("tid")?.parse().map_err(|e| ParseTraceError::Malformed {
+            index,
+            reason: format!("bad tid: {e}"),
+        })?;
+        let pc = parse_hex(next("pc")?, index, "pc")?;
+        let kind = match next("kind")? {
+            "R" => AccessKind::Read,
+            "W" => AccessKind::Write,
+            other => {
+                return Err(ParseTraceError::Malformed {
+                    index,
+                    reason: format!("bad kind {other:?} (expected R or W)"),
+                })
+            }
+        };
+        let addr = parse_hex(next("addr")?, index, "addr")?;
+        out.push((
+            ThreadId(tid),
+            MemAccess { pc: Pc(pc), addr: ByteAddr(addr), kind },
+        ));
+    }
+    Ok(out)
+}
+
+fn parse_hex(s: &str, index: usize, what: &str) -> Result<u64, ParseTraceError> {
+    let stripped = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    u64::from_str_radix(stripped, 16).map_err(|e| ParseTraceError::Malformed {
+        index,
+        reason: format!("bad {what}: {e}"),
+    })
+}
+
+const MAGIC: &[u8; 4] = b"GMTR";
+
+/// Writes a trace in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_binary<W: Write>(mut w: W, entries: &[TraceEntry]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(entries.len() as u64).to_le_bytes())?;
+    for (tid, acc) in entries {
+        w.write_all(&tid.0.to_le_bytes())?;
+        w.write_all(&acc.pc.0.to_le_bytes())?;
+        w.write_all(&acc.addr.0.to_le_bytes())?;
+        w.write_all(&[acc.kind.is_write() as u8])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the binary format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::BadMagic`] if the stream does not start with
+/// `GMTR`, [`ParseTraceError::Malformed`] on a truncated record, and
+/// propagates I/O errors.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<TraceEntry>, ParseTraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ParseTraceError::BadMagic);
+    }
+    let mut len = [0u8; 8];
+    r.read_exact(&mut len)?;
+    let count = u64::from_le_bytes(len) as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 24));
+    let mut rec = [0u8; 21];
+    for i in 0..count {
+        r.read_exact(&mut rec).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ParseTraceError::Malformed { index: i + 1, reason: "truncated record".into() }
+            } else {
+                ParseTraceError::Io(e)
+            }
+        })?;
+        let tid = u32::from_le_bytes(rec[0..4].try_into().expect("fixed slice"));
+        let pc = u64::from_le_bytes(rec[4..12].try_into().expect("fixed slice"));
+        let addr = u64::from_le_bytes(rec[12..20].try_into().expect("fixed slice"));
+        let kind = if rec[20] != 0 { AccessKind::Write } else { AccessKind::Read };
+        out.push((ThreadId(tid), MemAccess { pc: Pc(pc), addr: ByteAddr(addr), kind }));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<TraceEntry> {
+        vec![
+            (ThreadId(0), MemAccess::read(Pc(0x900), ByteAddr(0x1000))),
+            (ThreadId(1), MemAccess::write(Pc(0x4a0), ByteAddr(0x1080))),
+            (ThreadId(31), MemAccess::read(Pc(0xe8), ByteAddr(0xFFFF_FFFF_0000))),
+        ]
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let entries = sample_entries();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &entries).expect("write");
+        let back = read_text(&buf[..]).expect("read");
+        assert_eq!(entries, back);
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let src = "# header\n\n0 0x10 R 0x80\n  \n# tail\n";
+        let got = read_text(src.as_bytes()).expect("read");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1.pc, Pc(0x10));
+    }
+
+    #[test]
+    fn text_accepts_bare_hex() {
+        let src = "3 1c85 W ff00\n";
+        let got = read_text(src.as_bytes()).expect("read");
+        assert_eq!(got[0], (ThreadId(3), MemAccess::write(Pc(0x1c85), ByteAddr(0xff00))));
+    }
+
+    #[test]
+    fn text_rejects_missing_field() {
+        let err = read_text("0 0x10 R\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseTraceError::Malformed { index: 1, .. }), "got {err}");
+    }
+
+    #[test]
+    fn text_rejects_bad_kind() {
+        let err = read_text("0 0x10 X 0x80\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad kind"), "got {msg}");
+    }
+
+    #[test]
+    fn text_rejects_bad_number() {
+        let err = read_text("zebra 0x10 R 0x80\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad tid"));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let entries = sample_entries();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &entries).expect("write");
+        let back = read_binary(&buf[..]).expect("read");
+        assert_eq!(entries, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadMagic));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let entries = sample_entries();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &entries).expect("write");
+        buf.truncate(buf.len() - 5);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(err, ParseTraceError::Malformed { .. }), "got {err}");
+    }
+
+    #[test]
+    fn empty_trace_round_trips_both_formats() {
+        let mut t = Vec::new();
+        write_text(&mut t, &[]).expect("write");
+        assert_eq!(read_text(&t[..]).expect("read"), vec![]);
+        let mut b = Vec::new();
+        write_binary(&mut b, &[]).expect("write");
+        assert_eq!(read_binary(&b[..]).expect("read"), vec![]);
+    }
+}

@@ -1,0 +1,401 @@
+//! Exact LRU stack-distance (reuse-distance) computation.
+//!
+//! Reuse distance — the number of *distinct* data elements accessed between
+//! two consecutive accesses to the same element (Mattson et al., 1970) — is
+//! G-MAP's temporal-locality model (§4.3, Fig. 5 of the paper). Distances
+//! are computed at cacheline granularity.
+//!
+//! The classic stack simulation is `O(N·M)`; [`ReuseComputer`] instead keeps
+//! a Fenwick (binary-indexed) tree over access timestamps, marking the most
+//! recent access time of every element, which yields each distance in
+//! `O(log N)`.
+
+use crate::histogram::Histogram;
+use crate::rng::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Fenwick tree over access timestamps supporting point update and prefix
+/// sum. Grows geometrically as the trace lengthens; growth rebuilds the
+/// tree from a flat mirror of the marks, because a Fenwick node added after
+/// the fact would otherwise miss propagations from earlier updates.
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<u64>,
+    flat: Vec<u8>,
+}
+
+impl Fenwick {
+    fn ensure(&mut self, n: usize) {
+        if self.flat.len() < n + 1 {
+            let new_len = (n + 1).next_power_of_two();
+            self.flat.resize(new_len, 0);
+            // Rebuild: O(len) per doubling, amortized O(1) per access.
+            self.tree = vec![0; new_len];
+            for i in 1..new_len {
+                self.tree[i] += self.flat[i] as u64;
+                let parent = i + (i & i.wrapping_neg());
+                if parent < new_len {
+                    let child = self.tree[i];
+                    self.tree[parent] += child;
+                }
+            }
+        }
+    }
+
+    /// Adds `delta` (±1) at 1-based index `i`.
+    fn add(&mut self, i: usize, delta: i64) {
+        self.ensure(i);
+        self.flat[i] = (self.flat[i] as i64 + delta) as u8;
+        let mut i = i;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u64);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of values at 1-based indices `1..=i`.
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i.min(self.tree.len().saturating_sub(1));
+        let mut s = 0u64;
+        while i > 0 {
+            s = s.wrapping_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Streaming reuse-distance computer.
+///
+/// Feed cacheline addresses in access order with [`ReuseComputer::push`];
+/// each call returns the LRU stack distance of that access, or `None` for a
+/// cold (first-ever) access.
+///
+/// # Example
+///
+/// The worked example of Figure 5 of the paper (addresses already reduced to
+/// cachelines):
+///
+/// ```
+/// use gmap_trace::ReuseComputer;
+///
+/// let mut rc = ReuseComputer::new();
+/// assert_eq!(rc.push(0), None);     // X[0] — cold
+/// assert_eq!(rc.push(0), Some(0));  // X[1] — same line, distance 0
+/// assert_eq!(rc.push(1), None);     // X[2] — cold
+/// assert_eq!(rc.push(1), Some(0));  // X[3]
+/// assert_eq!(rc.push(0), Some(1));  // X[1] — one distinct line in between
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseComputer {
+    last_access: HashMap<u64, usize>,
+    marks: Fenwick,
+    time: usize,
+}
+
+impl ReuseComputer {
+    /// Creates a computer with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access to `line` and returns its reuse distance, or
+    /// `None` if this is the first access to the line.
+    pub fn push(&mut self, line: u64) -> Option<u64> {
+        self.time += 1;
+        let t = self.time; // 1-based timestamp
+        let dist = match self.last_access.insert(line, t) {
+            None => None,
+            Some(prev) => {
+                // Distinct lines touched strictly between prev and t =
+                // number of "last access" marks in (prev, t).
+                let d = self.marks.prefix(t - 1) - self.marks.prefix(prev);
+                self.marks.add(prev, -1);
+                Some(d)
+            }
+        };
+        self.marks.add(t, 1);
+        dist
+    }
+
+    /// Number of accesses observed so far.
+    pub fn accesses(&self) -> usize {
+        self.time
+    }
+
+    /// Number of distinct lines observed so far.
+    pub fn distinct_lines(&self) -> usize {
+        self.last_access.len()
+    }
+}
+
+/// Reuse classification used in Table 1 of the paper: the fraction of
+/// accesses that are reuses (finite distance) classifies an instruction
+/// profile as low (<30 %), medium (30–70 %) or high (>70 %) reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReuseClass {
+    /// Less than 30 % of accesses are reuses.
+    Low,
+    /// Between 30 % and 70 %.
+    Medium,
+    /// More than 70 %.
+    High,
+}
+
+impl fmt::Display for ReuseClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReuseClass::Low => f.write_str("Low"),
+            ReuseClass::Medium => f.write_str("Med"),
+            ReuseClass::High => f.write_str("High"),
+        }
+    }
+}
+
+/// Reuse-distance distribution of one access stream: a histogram over the
+/// finite distances plus a count of cold accesses.
+///
+/// This is the `P_R` component of G-MAP's statistical profile (§4.6).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    hist: Histogram<u64>,
+    cold: u64,
+}
+
+impl ReuseHistogram {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the distribution of an entire line-address stream.
+    ///
+    /// ```
+    /// use gmap_trace::ReuseHistogram;
+    /// let rh = ReuseHistogram::from_lines([0u64, 0, 1, 1, 0, 1, 1, 0]);
+    /// assert_eq!(rh.cold(), 2);
+    /// assert_eq!(rh.reuses(), 6);
+    /// ```
+    pub fn from_lines<I: IntoIterator<Item = u64>>(lines: I) -> Self {
+        let mut rc = ReuseComputer::new();
+        let mut rh = ReuseHistogram::new();
+        for line in lines {
+            rh.record(rc.push(line));
+        }
+        rh
+    }
+
+    /// Records one observation (`None` = cold access).
+    pub fn record(&mut self, distance: Option<u64>) {
+        match distance {
+            Some(d) => self.hist.add(d),
+            None => self.cold += 1,
+        }
+    }
+
+    /// The histogram over finite distances.
+    pub fn distances(&self) -> &Histogram<u64> {
+        &self.hist
+    }
+
+    /// Number of cold (first-touch) accesses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Number of reuse (finite-distance) accesses.
+    pub fn reuses(&self) -> u64 {
+        self.hist.total()
+    }
+
+    /// Total accesses observed.
+    pub fn total(&self) -> u64 {
+        self.cold + self.hist.total()
+    }
+
+    /// Fraction of accesses that are reuses, in `[0, 1]` (0 if empty).
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.reuses() as f64 / total as f64
+        }
+    }
+
+    /// Table 1 style classification of this stream's temporal locality.
+    pub fn class(&self) -> ReuseClass {
+        let f = self.reuse_fraction();
+        if f < 0.30 {
+            ReuseClass::Low
+        } else if f <= 0.70 {
+            ReuseClass::Medium
+        } else {
+            ReuseClass::High
+        }
+    }
+
+    /// Samples a finite reuse distance; `None` if no reuse was ever
+    /// observed. Used by Algorithm 1, line 11 of the paper.
+    pub fn sample(&self, rng: &mut Rng) -> Option<u64> {
+        self.hist.sample(rng)
+    }
+
+    /// Merges another distribution into this one.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        self.hist.merge(&other.hist);
+        self.cold += other.cold;
+    }
+
+    /// Scales the finite-distance counts (miniaturization, §4.6). Cold
+    /// counts scale too, flooring at 1 if any cold access existed.
+    pub fn scale_counts(&mut self, factor: f64) {
+        if !self.hist.is_empty() {
+            self.hist.scale_counts(factor);
+        }
+        if self.cold > 0 {
+            self.cold = ((self.cold as f64 * factor).round() as u64).max(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact example of Figure 5 of the paper: accesses
+    /// X[0] X[1] X[2] X[3] X[1] X[2] X[3] X[0], two array elements per
+    /// cacheline, expected distances ∞ 0 ∞ 0 1 1 0 1.
+    #[test]
+    fn paper_figure5_example() {
+        let lines = [0u64, 0, 1, 1, 0, 1, 1, 0];
+        let mut rc = ReuseComputer::new();
+        let got: Vec<Option<u64>> = lines.iter().map(|&l| rc.push(l)).collect();
+        assert_eq!(
+            got,
+            [None, Some(0), None, Some(0), Some(1), Some(1), Some(0), Some(1)]
+        );
+    }
+
+    #[test]
+    fn all_cold_stream() {
+        let mut rc = ReuseComputer::new();
+        for l in 0..100u64 {
+            assert_eq!(rc.push(l), None);
+        }
+        assert_eq!(rc.distinct_lines(), 100);
+        assert_eq!(rc.accesses(), 100);
+    }
+
+    #[test]
+    fn repeated_single_line() {
+        let mut rc = ReuseComputer::new();
+        assert_eq!(rc.push(7), None);
+        for _ in 0..50 {
+            assert_eq!(rc.push(7), Some(0));
+        }
+    }
+
+    #[test]
+    fn cyclic_stream_distance_equals_working_set() {
+        // Accessing 0,1,2,3,0,1,2,3,... each reuse sees 3 distinct lines.
+        let mut rc = ReuseComputer::new();
+        for l in 0..4u64 {
+            rc.push(l);
+        }
+        for _ in 0..3 {
+            for l in 0..4u64 {
+                assert_eq!(rc.push(l), Some(3));
+            }
+        }
+    }
+
+    /// Brute-force oracle: count distinct lines between consecutive
+    /// accesses to the same line.
+    fn naive_reuse(lines: &[u64]) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(lines.len());
+        for (i, &l) in lines.iter().enumerate() {
+            let prev = lines[..i].iter().rposition(|&x| x == l);
+            out.push(prev.map(|p| {
+                let mut set = std::collections::HashSet::new();
+                for &x in &lines[p + 1..i] {
+                    set.insert(x);
+                }
+                set.len() as u64
+            }));
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_random_stream() {
+        let mut rng = Rng::seed_from(1234);
+        let lines: Vec<u64> = (0..2000).map(|_| rng.gen_range(64)).collect();
+        let mut rc = ReuseComputer::new();
+        let fast: Vec<Option<u64>> = lines.iter().map(|&l| rc.push(l)).collect();
+        assert_eq!(fast, naive_reuse(&lines));
+    }
+
+    #[test]
+    fn histogram_from_lines() {
+        let rh = ReuseHistogram::from_lines([0u64, 0, 1, 1, 0, 1, 1, 0]);
+        assert_eq!(rh.cold(), 2);
+        assert_eq!(rh.reuses(), 6);
+        assert_eq!(rh.total(), 8);
+        assert_eq!(rh.distances().count_of(0), 3);
+        assert_eq!(rh.distances().count_of(1), 3);
+        assert!((rh.reuse_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(rh.class(), ReuseClass::High);
+    }
+
+    #[test]
+    fn reuse_classification_bounds() {
+        // 0 % reuse.
+        let low = ReuseHistogram::from_lines(0..10u64);
+        assert_eq!(low.class(), ReuseClass::Low);
+        // 50 % reuse: 5 cold + 5 reuses.
+        let med = ReuseHistogram::from_lines([0u64, 1, 2, 3, 4, 0, 1, 2, 3, 4]);
+        assert_eq!(med.class(), ReuseClass::Medium);
+        // Empty stream defaults to Low.
+        assert_eq!(ReuseHistogram::new().class(), ReuseClass::Low);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = ReuseHistogram::from_lines([0u64, 0, 0, 0]);
+        let b = ReuseHistogram::from_lines([1u64, 2, 1, 2]);
+        a.merge(&b);
+        assert_eq!(a.cold(), 3);
+        assert_eq!(a.reuses(), 5);
+        a.scale_counts(0.5);
+        assert!(a.cold() >= 1);
+        assert!(a.reuses() >= 1);
+    }
+
+    #[test]
+    fn sample_returns_observed_distance() {
+        let rh = ReuseHistogram::from_lines([0u64, 1, 0, 1]);
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..20 {
+            assert_eq!(rh.sample(&mut rng), Some(1));
+        }
+        assert_eq!(ReuseHistogram::new().sample(&mut rng), None);
+    }
+
+    #[test]
+    fn display_of_classes() {
+        assert_eq!(ReuseClass::Low.to_string(), "Low");
+        assert_eq!(ReuseClass::Medium.to_string(), "Med");
+        assert_eq!(ReuseClass::High.to_string(), "High");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let rh = ReuseHistogram::from_lines([0u64, 0, 1, 1, 0]);
+        let json = serde_json::to_string(&rh).expect("serialize");
+        let back: ReuseHistogram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(rh, back);
+    }
+}

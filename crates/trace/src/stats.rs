@@ -1,0 +1,167 @@
+//! Validation statistics.
+//!
+//! The paper validates proxies with two metrics (§5): the *percentage error*
+//! between original and proxy performance numbers, and *Pearson's
+//! correlation coefficient* over a sweep of configurations ("1 = perfect
+//! correlation, 0 = no correlation"). This module implements both, plus the
+//! usual summary helpers.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for slices shorter than 2.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson's correlation coefficient between two equal-length series.
+///
+/// Degenerate cases are resolved the way a design-space-ranking user would
+/// want: if *both* series are constant the proxy tracks the original
+/// perfectly (`1.0`); if only one is constant there is no linear trend to
+/// speak of (`0.0`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// use gmap_trace::stats::pearson;
+/// let xs = [1.0, 2.0, 3.0];
+/// let ys = [2.0, 4.0, 6.0];
+/// assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    const EPS: f64 = 1e-12;
+    match (vx < EPS, vy < EPS) {
+        (true, true) => 1.0,
+        (true, false) | (false, true) => 0.0,
+        (false, false) => (cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0),
+    }
+}
+
+/// Absolute error between a proxy metric and the original, in the same unit
+/// as the inputs. For miss *rates* expressed in percent this is the
+/// "percentage error" the paper's Figure 6 reports (percentage points).
+pub fn abs_error(original: f64, proxy: f64) -> f64 {
+    (original - proxy).abs()
+}
+
+/// Relative error `|orig - proxy| / |orig|`, as a fraction. Falls back to
+/// absolute error when the original is (near) zero, so a zero-valued
+/// original with a zero-valued proxy scores 0 rather than NaN.
+pub fn rel_error(original: f64, proxy: f64) -> f64 {
+    if original.abs() < 1e-12 {
+        abs_error(original, proxy)
+    } else {
+        abs_error(original, proxy) / original.abs()
+    }
+}
+
+/// Mean absolute error between two equal-length series.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_abs_error(original: &[f64], proxy: &[f64]) -> f64 {
+    assert_eq!(original.len(), proxy.len(), "series must have equal length");
+    mean(&original.iter().zip(proxy).map(|(o, p)| abs_error(*o, *p)).collect::<Vec<_>>())
+}
+
+/// Mean relative error between two equal-length series, as a fraction.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_rel_error(original: &[f64], proxy: &[f64]) -> f64 {
+    assert_eq!(original.len(), proxy.len(), "series must have equal length");
+    mean(&original.iter().zip(proxy).map(|(o, p)| rel_error(*o, *p)).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_no_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).abs() < 0.5);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 2.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn error_metrics() {
+        assert_eq!(abs_error(10.0, 7.0), 3.0);
+        assert!((rel_error(10.0, 7.0) - 0.3).abs() < 1e-12);
+        assert_eq!(rel_error(0.0, 0.0), 0.0);
+        assert_eq!(rel_error(0.0, 0.5), 0.5);
+    }
+
+    #[test]
+    fn mean_errors() {
+        let orig = [10.0, 20.0];
+        let proxy = [9.0, 22.0];
+        assert!((mean_abs_error(&orig, &proxy) - 1.5).abs() < 1e-12);
+        assert!((mean_rel_error(&orig, &proxy) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the trace substrate's core invariants.
+
+use gmap_trace::histogram::Histogram;
+use gmap_trace::io;
+use gmap_trace::record::{AccessKind, ByteAddr, MemAccess, Pc, ThreadId};
+use gmap_trace::reuse::{ReuseComputer, ReuseHistogram};
+use gmap_trace::rng::Rng;
+use gmap_trace::stats;
+use proptest::prelude::*;
+
+/// Brute-force reuse-distance oracle.
+fn naive_reuse(lines: &[u64]) -> Vec<Option<u64>> {
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, &l) in lines.iter().enumerate() {
+        let prev = lines[..i].iter().rposition(|&x| x == l);
+        out.push(prev.map(|p| {
+            let set: std::collections::HashSet<u64> = lines[p + 1..i].iter().copied().collect();
+            set.len() as u64
+        }));
+    }
+    out
+}
+
+proptest! {
+    /// The Fenwick-tree reuse computer agrees with the quadratic oracle on
+    /// arbitrary streams (including ones that force several tree resizes).
+    #[test]
+    fn reuse_matches_oracle(lines in proptest::collection::vec(0u64..32, 0..600)) {
+        let mut rc = ReuseComputer::new();
+        let fast: Vec<Option<u64>> = lines.iter().map(|&l| rc.push(l)).collect();
+        prop_assert_eq!(fast, naive_reuse(&lines));
+    }
+
+    /// A reuse distance can never reach the number of distinct lines seen
+    /// so far, and the number of cold misses equals the distinct count.
+    #[test]
+    fn reuse_distance_bounded_by_distinct(lines in proptest::collection::vec(0u64..16, 1..300)) {
+        let mut rc = ReuseComputer::new();
+        let mut cold = 0usize;
+        for &l in &lines {
+            match rc.push(l) {
+                None => cold += 1,
+                Some(d) => prop_assert!((d as usize) < rc.distinct_lines()),
+            }
+        }
+        prop_assert_eq!(cold, rc.distinct_lines());
+    }
+
+    /// Histogram totals and frequencies are consistent.
+    #[test]
+    fn histogram_total_is_sum(values in proptest::collection::vec(-100i64..100, 0..200)) {
+        let h: Histogram<i64> = values.iter().copied().collect();
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let freq_sum: f64 = h.support().map(|v| h.freq_of(v)).sum();
+        if !values.is_empty() {
+            prop_assert!((freq_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Sampling only ever returns values in the support.
+    #[test]
+    fn sampling_stays_in_support(
+        values in proptest::collection::vec(-50i64..50, 1..50),
+        seed in any::<u64>(),
+    ) {
+        let h: Histogram<i64> = values.iter().copied().collect();
+        let sampler = h.sampler();
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..64 {
+            let v = sampler.sample(&mut rng).expect("non-empty");
+            prop_assert!(h.contains(v));
+            let w = h.sample(&mut rng).expect("non-empty");
+            prop_assert!(h.contains(w));
+        }
+    }
+
+    /// Scaling preserves the support exactly.
+    #[test]
+    fn scaling_preserves_support(
+        values in proptest::collection::vec(0i64..20, 1..100),
+        factor in 0.01f64..4.0,
+    ) {
+        let mut h: Histogram<i64> = values.iter().copied().collect();
+        let before: Vec<i64> = h.support().collect();
+        h.scale_counts(factor);
+        let after: Vec<i64> = h.support().collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Reuse histograms accumulate consistently under merge.
+    #[test]
+    fn reuse_histogram_merge_totals(
+        a in proptest::collection::vec(0u64..8, 0..100),
+        b in proptest::collection::vec(0u64..8, 0..100),
+    ) {
+        let ha = ReuseHistogram::from_lines(a.iter().copied());
+        let hb = ReuseHistogram::from_lines(b.iter().copied());
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.total(), ha.total() + hb.total());
+        prop_assert_eq!(merged.cold(), ha.cold() + hb.cold());
+    }
+
+    /// Pearson correlation is symmetric and bounded.
+    #[test]
+    fn pearson_symmetric_and_bounded(
+        pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 2..60),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r1 = stats::pearson(&xs, &ys);
+        let r2 = stats::pearson(&ys, &xs);
+        prop_assert!((-1.0..=1.0).contains(&r1));
+        prop_assert!((r1 - r2).abs() < 1e-9);
+    }
+
+    /// Correlation of a series with a positive affine image of itself is 1.
+    #[test]
+    fn pearson_affine_invariance(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..60),
+        scale in 0.1f64..10.0,
+        shift in -100.0f64..100.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
+        let r = stats::pearson(&xs, &ys);
+        // Constant xs degenerate to the both-constant convention (1.0).
+        prop_assert!(r > 0.999 || stats::stddev(&xs) < 1e-9);
+    }
+
+    /// Text and binary trace formats round-trip arbitrary entries.
+    #[test]
+    fn trace_io_round_trips(
+        raw in proptest::collection::vec((any::<u32>(), any::<u64>(), any::<u64>(), any::<bool>()), 0..100),
+    ) {
+        let entries: Vec<io::TraceEntry> = raw
+            .iter()
+            .map(|&(tid, pc, addr, w)| {
+                let kind = if w { AccessKind::Write } else { AccessKind::Read };
+                (ThreadId(tid), MemAccess { pc: Pc(pc), addr: ByteAddr(addr), kind })
+            })
+            .collect();
+        let mut text = Vec::new();
+        io::write_text(&mut text, &entries).expect("write text");
+        prop_assert_eq!(&io::read_text(&text[..]).expect("read text"), &entries);
+        let mut bin = Vec::new();
+        io::write_binary(&mut bin, &entries).expect("write binary");
+        prop_assert_eq!(&io::read_binary(&bin[..]).expect("read binary"), &entries);
+    }
+
+    /// Uniformity sanity for the PRNG: no value outside the bound, and both
+    /// halves of the range are hit for non-trivial bounds.
+    #[test]
+    fn rng_range_hits_both_halves(seed in any::<u64>(), bound in 2u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..2000 {
+            let v = rng.gen_range(bound);
+            prop_assert!(v < bound);
+            if v < bound / 2 { low = true; } else { high = true; }
+        }
+        prop_assert!(low && high);
+    }
+}

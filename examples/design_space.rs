@@ -1,0 +1,70 @@
+//! Design-space exploration with proxies: sweep L1 cache designs using
+//! only the clone, and check that it ranks the candidates the way the
+//! original application would ("for design space exploration, computer
+//! architects care about relative performance ranking", §5).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use gmap::core::{
+    compare_series, generate::generate_streams, profile_kernel, run_original, simulate_streams,
+    GmapError, ProfilerConfig, SimtConfig,
+};
+use gmap::gpu::workloads::{self, Scale};
+use gmap::memsim::cache::{CacheConfig, ReplacementPolicy};
+
+fn main() -> Result<(), GmapError> {
+    let kernel = workloads::backprop(Scale::Small);
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let clone_streams = generate_streams(&profile, 42);
+
+    // Candidate L1 designs: size x associativity.
+    let sizes_kb = [8u64, 16, 32, 64, 128];
+    let assocs = [2u32, 8];
+    println!("sweeping {} L1 designs for '{}'\n", sizes_kb.len() * assocs.len(), kernel.name);
+    println!("{:<18} {:>12} {:>12}", "L1 design", "orig miss%", "clone miss%");
+
+    let mut orig_series = Vec::new();
+    let mut clone_series = Vec::new();
+    let mut labels = Vec::new();
+    for &kb in &sizes_kb {
+        for &assoc in &assocs {
+            let mut cfg = SimtConfig::default();
+            cfg.hierarchy.l1 =
+                CacheConfig::new(kb * 1024, assoc, 128, ReplacementPolicy::Lru)?;
+            let orig = run_original(&kernel, &cfg)?;
+            let clone = simulate_streams(&clone_streams, &profile.launch, &cfg)?;
+            println!(
+                "{:<18} {:>11.2}% {:>11.2}%",
+                format!("{kb}KB {assoc}-way"),
+                orig.l1_miss_pct(),
+                clone.l1_miss_pct()
+            );
+            labels.push(format!("{kb}KB {assoc}-way"));
+            orig_series.push(orig.l1_miss_pct());
+            clone_series.push(clone.l1_miss_pct());
+        }
+    }
+
+    let cmp = compare_series(&kernel.name, orig_series.clone(), clone_series.clone());
+    println!("\nmean abs error    : {:.2} pp", cmp.mean_abs_err);
+    println!("Pearson correlation: {:.3}", cmp.correlation);
+
+    // Ranking agreement: does the clone pick the same best design?
+    let best = |xs: &[f64]| {
+        xs.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    };
+    let (bo, bc) = (best(&orig_series), best(&clone_series));
+    println!(
+        "best by original  : {}\nbest by clone     : {}{}",
+        labels[bo],
+        labels[bc],
+        if bo == bc { "  (agreement)" } else { "" }
+    );
+    Ok(())
+}

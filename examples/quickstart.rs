@@ -1,0 +1,63 @@
+//! Quickstart: profile one application, clone it, and compare cache
+//! behaviour on the Table 2 baseline configuration.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gmap::core::{
+    generate::expected_accesses, profile_kernel, run_original, run_proxy, GmapError,
+    ProfilerConfig, SimtConfig,
+};
+use gmap::gpu::workloads::{self, Scale};
+
+fn main() -> Result<(), GmapError> {
+    // 1. The "application" — one of the 18 synthetic benchmark models.
+    let kernel = workloads::kmeans(Scale::Small);
+    println!("application      : {}", kernel.name);
+    println!("launch           : {} blocks x {} threads", kernel.launch.num_blocks(), kernel.launch.threads_per_block());
+    println!("footprint        : {} KiB", kernel.footprint_bytes() / 1024);
+
+    // 2. Run the original through the scheduler + cache hierarchy.
+    let cfg = SimtConfig::default();
+    let original = run_original(&kernel, &cfg)?;
+
+    // 3. Profile it: the statistical 5-tuple (Π, Q, B, P_S, P_R).
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    println!("\n--- statistical profile ---");
+    println!("static PCs       : {}", profile.num_slots());
+    println!("pi profiles      : {}", profile.profiles.len());
+    println!("warp accesses    : {}", profile.total_warp_accesses);
+    for (i, pc) in profile.pcs.iter().enumerate() {
+        let freq = profile.slot_frequencies()[i] * 100.0;
+        let inter = profile.inter_stride[i].dominant();
+        let intra = profile.intra_stride[i].dominant();
+        println!(
+            "  {pc}: freq {freq:5.1}%  inter-warp {:>8}  intra-warp {:>8}",
+            inter.map_or("-".to_owned(), |(s, f)| format!("{s}B@{:.0}%", f * 100.0)),
+            intra.map_or("-".to_owned(), |(s, f)| format!("{s}B@{:.0}%", f * 100.0)),
+        );
+    }
+
+    // 4. Regenerate a clone from the profile alone and simulate it.
+    let clone = run_proxy(&profile, &cfg)?;
+    println!("\n--- original vs clone (Table 2 baseline) ---");
+    println!("clone accesses   : {}", expected_accesses(&profile));
+    println!(
+        "L1 miss rate     : {:6.2}%  vs clone {:6.2}%  (error {:.2} pp)",
+        original.l1_miss_pct(),
+        clone.l1_miss_pct(),
+        (original.l1_miss_pct() - clone.l1_miss_pct()).abs()
+    );
+    println!(
+        "L2 miss rate     : {:6.2}%  vs clone {:6.2}%  (error {:.2} pp)",
+        original.l2_miss_pct(),
+        clone.l2_miss_pct(),
+        (original.l2_miss_pct() - clone.l2_miss_pct()).abs()
+    );
+    println!(
+        "memory reads     : {:>8}  vs clone {:>8}",
+        original.stats.mem_reads, clone.stats.mem_reads
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+# Usage: scripts/run_experiments.sh [tiny|small|default]
+set -euo pipefail
+scale="${1:-small}"
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p gmap-bench
+for f in table1 fig5 fig6a fig6b fig6c fig6d fig6e fig7 fig8 ablation; do
+  echo "=== $f (scale: $scale) ==="
+  cargo run --release -q -p gmap-bench --bin "$f" -- --scale "$scale" \
+    --csv "results/$f.csv" | tee "results/$f.txt"
+done
+echo "All experiment outputs in results/"

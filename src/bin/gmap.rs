@@ -1,0 +1,462 @@
+//! `gmap` — command-line front end to the G-MAP pipeline.
+//!
+//! ```text
+//! gmap profile  --workload kmeans [--scale small] [--rebase 0x7f000000] -o profile.json
+//! gmap info     -p profile.json
+//! gmap clone    -p profile.json [--seed 7] [--factor 4] -o trace.bin
+//! gmap simulate (--workload NAME | -p profile.json | --trace trace.bin)
+//!               [--l1 16384:4:128] [--l2 1048576:8:128] [--policy lrr|gto]
+//!               [--seed 7] [--dram]
+//! gmap list
+//! ```
+//!
+//! The binary wraps the library pipeline so a memory-system architect can
+//! work with shipped profiles without writing Rust.
+
+use gmap::core::{
+    generate::generate_streams, miniaturize, profile_kernel, simulate_streams, GmapProfile,
+    ProfilerConfig, SimtConfig,
+};
+use gmap::dram::DramConfig;
+use gmap::gpu::schedule::{Policy, WarpStream, WarpStreamEvent};
+use gmap::gpu::workloads::{self, Scale};
+use gmap::memsim::cache::{CacheConfig, ReplacementPolicy};
+use gmap::trace::record::{ThreadId, WarpId};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `gmap help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("clone") => cmd_clone(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("fidelity") => cmd_fidelity(&args[1..]),
+        Some("list") => {
+            for n in workloads::NAMES {
+                println!("{n}");
+            }
+            Ok(())
+        }
+        Some("help") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn usage() -> String {
+    "gmap — GPU memory access proxies (G-MAP, DAC 2017)
+
+USAGE:
+  gmap list                                     list bundled workload models
+  gmap profile (--workload NAME | --trace FILE --grid B --block T) [OPTS] -o FILE
+  gmap info -p FILE                             summarize a profile
+  gmap clone -p FILE [OPTS] -o FILE             regenerate a clone trace
+  gmap simulate SOURCE [OPTS]                   run the memory hierarchy
+  gmap fidelity (-p FILE | --workload NAME)     predict clone trustworthiness
+
+PROFILE OPTIONS:
+  --scale tiny|small|default    workload size (default: small)
+  --rebase HEX                  shift base addresses (obfuscation)
+
+CLONE OPTIONS:
+  --seed N                      generation seed (default: 42)
+  --factor F                    miniaturization factor (default: 1)
+  --format text|binary          trace output format (default: text)
+
+SIMULATE SOURCE (exactly one):
+  --workload NAME               execute a bundled workload model
+  -p, --profile FILE            clone a shipped profile
+
+SIMULATE OPTIONS:
+  --l1 SIZE:ASSOC:LINE          L1 geometry in bytes (default 16384:4:128)
+  --l2 SIZE:ASSOC:LINE          L2 geometry in bytes (default 1048576:8:128)
+  --policy lrr|gto|self:P       warp scheduler (default lrr)
+  --seed N                      scheduling/generation seed (default 42)
+  --dram                        also replay memory traffic through DRAM
+"
+    .to_owned()
+}
+
+/// Minimal flag parser: `--key value` pairs plus `-o`/`-p` aliases.
+fn flag<'a>(args: &'a [String], names: &[&str]) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| names.contains(&w[0].as_str()))
+        .map(|w| w[1].as_str())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_scale(args: &[String]) -> Scale {
+    match flag(args, &["--scale"]) {
+        Some("tiny") => Scale::Tiny,
+        Some("default") => Scale::Default,
+        _ => Scale::Small,
+    }
+}
+
+fn parse_seed(args: &[String]) -> Result<u64, String> {
+    match flag(args, &["--seed"]) {
+        None => Ok(42),
+        Some(s) => s.parse().map_err(|e| format!("bad --seed {s:?}: {e}")),
+    }
+}
+
+fn parse_cache(spec: &str) -> Result<CacheConfig, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("bad cache spec {spec:?} (expected SIZE:ASSOC:LINE)"));
+    }
+    let size: u64 = parts[0].parse().map_err(|e| format!("bad size: {e}"))?;
+    let assoc: u32 = parts[1].parse().map_err(|e| format!("bad assoc: {e}"))?;
+    let line: u64 = parts[2].parse().map_err(|e| format!("bad line: {e}"))?;
+    CacheConfig::new(size, assoc, line, ReplacementPolicy::Lru).map_err(|e| e.to_string())
+}
+
+fn parse_policy(args: &[String]) -> Result<Policy, String> {
+    match flag(args, &["--policy"]) {
+        None | Some("lrr") => Ok(Policy::Lrr),
+        Some("gto") => Ok(Policy::Gto),
+        Some(s) if s.starts_with("self:") => s[5..]
+            .parse()
+            .map(Policy::SelfProb)
+            .map_err(|e| format!("bad --policy {s:?}: {e}")),
+        Some(other) => Err(format!("unknown policy {other:?}")),
+    }
+}
+
+fn load_profile(path: &str) -> Result<GmapProfile, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let profile =
+        GmapProfile::load(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    profile.validate().map_err(|e| format!("{path} is inconsistent: {e}"))?;
+    Ok(profile)
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let out = flag(args, &["-o", "--output"]).ok_or("missing -o FILE")?;
+    let mut profile = match (flag(args, &["--workload"]), flag(args, &["--trace"])) {
+        (Some(name), None) => {
+            let kernel = workloads::by_name(name, parse_scale(args))
+                .ok_or_else(|| format!("unknown workload {name:?} (see `gmap list`)"))?;
+            profile_kernel(&kernel, &ProfilerConfig::default())
+        }
+        (None, Some(path)) => {
+            // External per-thread trace: needs the launch geometry.
+            let grid: u32 = flag(args, &["--grid"])
+                .ok_or("external traces need --grid BLOCKS")?
+                .parse()
+                .map_err(|e| format!("bad --grid: {e}"))?;
+            let block: u32 = flag(args, &["--block"])
+                .ok_or("external traces need --block THREADS")?
+                .parse()
+                .map_err(|e| format!("bad --block: {e}"))?;
+            let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            // Binary magic first; fall back to the text format.
+            let entries = gmap::trace::io::read_binary(&raw[..])
+                .or_else(|_| gmap::trace::io::read_text(&raw[..]))
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let launch = gmap::gpu::hierarchy::LaunchConfig::new(grid, block);
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map_or("trace", |s| s.to_str().unwrap_or("trace"));
+            gmap::core::ingest::profile_thread_trace(
+                name,
+                &entries,
+                &launch,
+                &ProfilerConfig::default(),
+            )
+            .map_err(|e| e.to_string())?
+        }
+        _ => return Err("pass exactly one of --workload NAME or --trace FILE".into()),
+    };
+    let name = profile.name.clone();
+    if let Some(shift) = flag(args, &["--rebase"]) {
+        let hex = shift.strip_prefix("0x").unwrap_or(shift);
+        let delta = i64::from_str_radix(hex, 16).map_err(|e| format!("bad --rebase: {e}"))?;
+        profile.rebase(delta);
+    }
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    profile.save(BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "profiled {name}: {} PCs, {} pi profiles, {} warp accesses -> {out}",
+        profile.num_slots(),
+        profile.profiles.len(),
+        profile.total_warp_accesses
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = flag(args, &["-p", "--profile"]).ok_or("missing -p FILE")?;
+    let p = load_profile(path)?;
+    println!("name            : {}", p.name);
+    println!(
+        "launch          : {} blocks x {} threads ({} warps)",
+        p.launch.num_blocks(),
+        p.launch.threads_per_block(),
+        p.launch.total_warps(p.warp_size)
+    );
+    println!("warp accesses   : {}", p.total_warp_accesses);
+    println!("pi profiles     : {}", p.profiles.len());
+    println!("static PCs      : {}", p.num_slots());
+    let freqs = p.slot_frequencies();
+    let mut order: Vec<usize> = (0..p.num_slots()).collect();
+    order.sort_by(|&a, &b| freqs[b].partial_cmp(&freqs[a]).expect("finite"));
+    println!("{:<10} {:>8} {:>6} {:>14} {:>14}", "PC", "freq%", "kind", "inter-warp", "intra-warp");
+    for &s in order.iter().take(10) {
+        println!(
+            "{:<10} {:>7.1}% {:>6} {:>14} {:>14}",
+            p.pcs[s].to_string(),
+            freqs[s] * 100.0,
+            format!("{}", p.kinds[s]),
+            p.inter_stride[s]
+                .dominant()
+                .map_or("-".into(), |(v, f)| format!("{v}B@{:.0}%", f * 100.0)),
+            p.intra_stride[s]
+                .dominant()
+                .map_or("-".into(), |(v, f)| format!("{v}B@{:.0}%", f * 100.0)),
+        );
+    }
+    for (i, prof) in p.profiles.iter().enumerate() {
+        println!(
+            "pi[{i}]: weight {:.1}%  {} accesses  reuse {}",
+            p.profile_weights.freq_of(i) * 100.0,
+            prof.num_accesses(),
+            p.reuse[i].class()
+        );
+    }
+    Ok(())
+}
+
+/// Flattens warp streams to thread-trace entries for the trace writers
+/// (each transaction attributed to the warp's lane-0 thread).
+fn streams_to_entries(
+    streams: &[WarpStream],
+    profile: &GmapProfile,
+) -> Vec<(ThreadId, gmap::trace::record::MemAccess)> {
+    let mut out = Vec::new();
+    for s in streams {
+        let tid = profile
+            .launch
+            .thread_of(WarpId(s.warp.0), 0, profile.warp_size)
+            .unwrap_or(ThreadId(s.warp.0 * profile.warp_size));
+        for e in &s.events {
+            if let WarpStreamEvent::Access(a) = e {
+                for l in &a.lines {
+                    out.push((
+                        tid,
+                        gmap::trace::record::MemAccess { pc: a.pc, addr: *l, kind: a.kind },
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn cmd_clone(args: &[String]) -> Result<(), String> {
+    let path = flag(args, &["-p", "--profile"]).ok_or("missing -p FILE")?;
+    let out = flag(args, &["-o", "--output"]).ok_or("missing -o FILE")?;
+    let seed = parse_seed(args)?;
+    let mut profile = load_profile(path)?;
+    if let Some(f) = flag(args, &["--factor"]) {
+        let factor: f64 = f.parse().map_err(|e| format!("bad --factor: {e}"))?;
+        profile = miniaturize(&profile, factor).map_err(|e| e.to_string())?;
+    }
+    let streams = generate_streams(&profile, seed);
+    let entries = streams_to_entries(&streams, &profile);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    match flag(args, &["--format"]) {
+        None | Some("text") => {
+            gmap::trace::io::write_text(&mut w, &entries).map_err(|e| e.to_string())?
+        }
+        Some("binary") => {
+            gmap::trace::io::write_binary(&mut w, &entries).map_err(|e| e.to_string())?
+        }
+        Some(other) => return Err(format!("unknown --format {other:?}")),
+    }
+    println!("clone of '{}': {} transactions -> {out}", profile.name, entries.len());
+    Ok(())
+}
+
+fn cmd_fidelity(args: &[String]) -> Result<(), String> {
+    let profile = match (flag(args, &["-p", "--profile"]), flag(args, &["--workload"])) {
+        (Some(path), None) => load_profile(path)?,
+        (None, Some(name)) => {
+            let kernel = workloads::by_name(name, parse_scale(args))
+                .ok_or_else(|| format!("unknown workload {name:?}"))?;
+            profile_kernel(&kernel, &ProfilerConfig::default())
+        }
+        _ => return Err("pass exactly one of -p FILE or --workload NAME".into()),
+    };
+    let report = gmap::core::fidelity::analyze(&profile);
+    println!("{report}");
+    println!(
+        "\ninterpretation: {} fidelity — {}",
+        report.class,
+        match report.class {
+            gmap::core::FidelityClass::High =>
+                "dominant patterns; expect clone errors of a few percent or less",
+            gmap::core::FidelityClass::Medium =>
+                "mixed regularity; expect single-digit to low-teens errors",
+            gmap::core::FidelityClass::Low =>
+                "no dominant patterns (the hotspot regime); treat clone results as aggregate, not fine-grained",
+        }
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let mut cfg = SimtConfig::default();
+    cfg.seed = parse_seed(args)?;
+    cfg.policy = parse_policy(args)?;
+    if let Some(spec) = flag(args, &["--l1"]) {
+        cfg.hierarchy.l1 = parse_cache(spec)?;
+    }
+    if let Some(spec) = flag(args, &["--l2"]) {
+        cfg.hierarchy.l2 = parse_cache(spec)?;
+    }
+    let with_dram = has_flag(args, "--dram");
+    cfg.hierarchy.record_mem_trace = with_dram;
+
+    let (streams, launch, label) = match (flag(args, &["--workload"]), flag(args, &["-p", "--profile"])) {
+        (Some(name), None) => {
+            let kernel = workloads::by_name(name, parse_scale(args))
+                .ok_or_else(|| format!("unknown workload {name:?}"))?;
+            let streams = gmap::core::model::original_streams(&kernel);
+            (streams, kernel.launch, format!("original {name}"))
+        }
+        (None, Some(path)) => {
+            let profile = load_profile(path)?;
+            let streams = generate_streams(&profile, cfg.seed);
+            (streams, profile.launch, format!("clone of {}", profile.name))
+        }
+        _ => return Err("pass exactly one of --workload NAME or -p FILE".into()),
+    };
+
+    let out = simulate_streams(&streams, &launch, &cfg).map_err(|e| e.to_string())?;
+    println!("simulated {label}");
+    println!("cycles          : {}", out.schedule.cycles);
+    println!("warp accesses   : {}", out.schedule.issued_accesses);
+    println!("transactions    : {}", out.schedule.issued_transactions);
+    println!("SchedP_self     : {:.3}", out.schedule.sched_p_self);
+    println!("L1 miss rate    : {:.2}%", out.l1_miss_pct());
+    println!("L2 miss rate    : {:.2}%", out.l2_miss_pct());
+    println!("memory reads    : {}", out.stats.mem_reads);
+    println!("memory writes   : {}", out.stats.mem_writes);
+    if with_dram {
+        let m = out.dram_metrics(DramConfig::table2_baseline());
+        println!("DRAM RBL        : {:.3}", m.rbl);
+        println!("DRAM queue len  : {:.2}", m.avg_queue_len);
+        println!("DRAM read lat   : {:.1} cycles", m.avg_read_latency);
+        println!("DRAM write lat  : {:.1} cycles", m.avg_write_latency);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["--seed", "7", "-o", "out.json"]);
+        assert_eq!(flag(&args, &["--seed"]), Some("7"));
+        assert_eq!(flag(&args, &["-o", "--output"]), Some("out.json"));
+        assert_eq!(flag(&args, &["--missing"]), None);
+        assert!(!has_flag(&args, "--dram"));
+    }
+
+    #[test]
+    fn cache_spec_parsing() {
+        let c = parse_cache("16384:4:128").expect("valid spec");
+        assert_eq!((c.size_bytes, c.assoc, c.line_size), (16384, 4, 128));
+        assert!(parse_cache("16384:4").is_err());
+        assert!(parse_cache("a:b:c").is_err());
+        assert!(parse_cache("100:3:100").is_err()); // invalid geometry
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy(&s(&["--policy", "lrr"])).expect("valid"), Policy::Lrr);
+        assert_eq!(parse_policy(&s(&["--policy", "gto"])).expect("valid"), Policy::Gto);
+        assert!(matches!(
+            parse_policy(&s(&["--policy", "self:0.7"])).expect("valid"),
+            Policy::SelfProb(p) if (p - 0.7).abs() < 1e-9
+        ));
+        assert!(parse_policy(&s(&["--policy", "bogus"])).is_err());
+        assert_eq!(parse_policy(&[]).expect("default"), Policy::Lrr);
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_and_list_work() {
+        assert!(run(&s(&["help"])).is_ok());
+        assert!(run(&s(&["list"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn profile_info_clone_simulate_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gmap-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pfile = dir.join("p.json").to_string_lossy().into_owned();
+        let tfile = dir.join("t.txt").to_string_lossy().into_owned();
+        run(&s(&["profile", "--workload", "kmeans", "--scale", "tiny", "-o", &pfile]))
+            .expect("profile");
+        run(&s(&["info", "-p", &pfile])).expect("info");
+        run(&s(&["clone", "-p", &pfile, "--factor", "2", "-o", &tfile])).expect("clone");
+        assert!(std::fs::metadata(&tfile).expect("trace written").len() > 0);
+        run(&s(&["simulate", "-p", &pfile, "--l1", "32768:8:128"])).expect("simulate clone");
+        run(&s(&["simulate", "--workload", "kmeans", "--scale", "tiny", "--dram"]))
+            .expect("simulate original");
+        run(&s(&["fidelity", "-p", &pfile])).expect("fidelity from profile");
+        run(&s(&["fidelity", "--workload", "hotspot", "--scale", "tiny"]))
+            .expect("fidelity from workload");
+        // External-trace ingestion: clone the profile to a trace, then
+        // re-profile that trace.
+        let p2 = dir.join("p2.json").to_string_lossy().into_owned();
+        run(&s(&[
+            "profile", "--trace", &tfile, "--grid", "24", "--block", "128", "-o", &p2,
+        ]))
+        .expect("profile external trace");
+        run(&s(&["info", "-p", &p2])).expect("info on ingested profile");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_arguments_error_cleanly() {
+        assert!(cmd_profile(&s(&["--workload", "kmeans"])).is_err()); // no -o
+        assert!(cmd_profile(&s(&["-o", "x.json"])).is_err()); // no workload
+        assert!(cmd_info(&[]).is_err());
+        assert!(cmd_simulate(&s(&["--workload", "kmeans", "-p", "x.json"])).is_err()); // both sources
+        assert!(cmd_simulate(&[]).is_err()); // no source
+    }
+}

@@ -1,0 +1,84 @@
+//! Integration of the full stack down to DRAM (the Fig. 7 path): the
+//! clone's memory-request stream must produce DRAM metrics close to the
+//! original's across configurations.
+
+use gmap::core::{profile_kernel, run_original, run_proxy, ProfilerConfig, SimtConfig};
+use gmap::dram::{AddressMapping, DramConfig};
+use gmap::gpu::workloads::{self, Scale};
+use gmap::trace::stats;
+
+fn traced_cfg() -> SimtConfig {
+    let mut cfg = SimtConfig::default();
+    cfg.hierarchy.record_mem_trace = true;
+    cfg
+}
+
+#[test]
+fn clone_dram_metrics_track_original() {
+    let cfg = traced_cfg();
+    for name in ["srad", "blackscholes", "aes"] {
+        let kernel = workloads::by_name(name, Scale::Tiny).expect("known");
+        let orig = run_original(&kernel, &cfg).expect("valid");
+        let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        let proxy = run_proxy(&profile, &cfg).expect("valid");
+        let dram_cfg = DramConfig::gddr5_baseline();
+        let mo = orig.dram_metrics(dram_cfg);
+        let mp = proxy.dram_metrics(dram_cfg);
+        assert!(mo.requests > 0 && mp.requests > 0, "{name}: no DRAM traffic");
+        let rbl_err = (mo.rbl - mp.rbl).abs();
+        assert!(
+            rbl_err < 0.25,
+            "{name}: RBL {:.3} vs clone {:.3}",
+            mo.rbl,
+            mp.rbl
+        );
+        let lat_err = stats::rel_error(mo.avg_latency(), mp.avg_latency());
+        assert!(
+            lat_err < 0.5,
+            "{name}: latency {:.1} vs clone {:.1} ({:.0}% off)",
+            mo.avg_latency(),
+            mp.avg_latency(),
+            lat_err * 100.0
+        );
+    }
+}
+
+#[test]
+fn mapping_schemes_affect_both_equally() {
+    let cfg = traced_cfg();
+    let kernel = workloads::nw(Scale::Tiny);
+    let orig = run_original(&kernel, &cfg).expect("valid");
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let proxy = run_proxy(&profile, &cfg).expect("valid");
+    // Compare the direction of the mapping effect: if the original's RBL
+    // moves when the mapping changes, the clone's must move the same way.
+    let mut robal = DramConfig::gddr5_baseline();
+    robal.mapping = AddressMapping::RoBaRaCoCh;
+    let mut chraco = DramConfig::gddr5_baseline();
+    chraco.mapping = AddressMapping::ChRaBaRoCo;
+    let d_orig = orig.dram_metrics(chraco).rbl - orig.dram_metrics(robal).rbl;
+    let d_proxy = proxy.dram_metrics(chraco).rbl - proxy.dram_metrics(robal).rbl;
+    if d_orig.abs() > 0.05 {
+        assert_eq!(
+            d_orig.signum(),
+            d_proxy.signum(),
+            "mapping effect direction differs: orig {d_orig:.3}, proxy {d_proxy:.3}"
+        );
+    }
+}
+
+#[test]
+fn memory_traffic_volume_matches() {
+    let cfg = traced_cfg();
+    let kernel = workloads::cp(Scale::Tiny);
+    let orig = run_original(&kernel, &cfg).expect("valid");
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let proxy = run_proxy(&profile, &cfg).expect("valid");
+    let ratio = proxy.mem_trace.len() as f64 / orig.mem_trace.len().max(1) as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "memory request volume ratio {ratio:.2} ({} vs {})",
+        proxy.mem_trace.len(),
+        orig.mem_trace.len()
+    );
+}

@@ -1,0 +1,75 @@
+//! Integration tests of miniaturization (§4.6 / Fig. 8): accuracy is
+//! retained at moderate factors and the simulated volume shrinks.
+
+use gmap::core::{
+    generate::{expected_accesses, generate_streams},
+    miniaturize, profile_kernel, run_original, simulate_streams, ProfilerConfig, SimtConfig,
+};
+use gmap::gpu::workloads::{self, Scale};
+
+#[test]
+fn moderate_factors_keep_accuracy() {
+    let cfg = SimtConfig::default();
+    for name in ["scalarprod", "kmeans", "srad"] {
+        let kernel = workloads::by_name(name, Scale::Small).expect("known");
+        let orig = run_original(&kernel, &cfg).expect("valid");
+        let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        for factor in [2.0, 4.0] {
+            let mini = miniaturize(&profile, factor).expect("valid factor");
+            let streams = generate_streams(&mini, 7);
+            let out = simulate_streams(&streams, &mini.launch, &cfg).expect("valid");
+            let err = (orig.l1_miss_pct() - out.l1_miss_pct()).abs();
+            assert!(
+                err < 25.0,
+                "{name} @ {factor}x: miss {:.2}% vs {:.2}% (err {err:.2}pp)",
+                orig.l1_miss_pct(),
+                out.l1_miss_pct()
+            );
+        }
+    }
+}
+
+#[test]
+fn volume_shrinks_with_factor() {
+    let kernel = workloads::blackscholes(Scale::Small);
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let mut last = expected_accesses(&profile);
+    for factor in [2.0, 4.0, 8.0, 16.0] {
+        let mini = miniaturize(&profile, factor).expect("valid factor");
+        let n = expected_accesses(&mini);
+        assert!(n < last, "factor {factor}: {n} accesses not below {last}");
+        last = n;
+    }
+}
+
+#[test]
+fn miniaturized_clone_simulates_faster_in_accesses() {
+    // The speedup axis of Fig. 8 comes from volume: check the simulated
+    // instruction counts scale accordingly.
+    let kernel = workloads::fwt(Scale::Small);
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let cfg = SimtConfig::default();
+    let full = generate_streams(&profile, 3);
+    let full_out = simulate_streams(&full, &profile.launch, &cfg).expect("valid");
+    let mini = miniaturize(&profile, 8.0).expect("valid factor");
+    let mini_streams = generate_streams(&mini, 3);
+    let mini_out = simulate_streams(&mini_streams, &mini.launch, &cfg).expect("valid");
+    let ratio = full_out.schedule.issued_accesses as f64
+        / mini_out.schedule.issued_accesses.max(1) as f64;
+    assert!(
+        ratio > 3.0,
+        "8x miniaturization only cut issued accesses by {ratio:.2}x"
+    );
+}
+
+#[test]
+fn scale_up_produces_larger_clones() {
+    let kernel = workloads::nw(Scale::Tiny);
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let up = miniaturize(&profile, 0.5).expect("valid factor");
+    let streams = generate_streams(&up, 3);
+    assert!(
+        streams.len() > generate_streams(&profile, 3).len(),
+        "scale-up must add warps"
+    );
+}

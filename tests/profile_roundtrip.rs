@@ -1,0 +1,76 @@
+//! The profile is the shippable artifact: serialization must be lossless
+//! and the deserialized profile must generate the identical clone.
+
+use gmap::core::{
+    generate::generate_streams, profile_kernel, GmapProfile, ProfilerConfig,
+};
+use gmap::gpu::workloads::{self, Scale};
+
+#[test]
+fn json_round_trip_preserves_the_clone() {
+    for name in ["kmeans", "bfs", "matrixmul"] {
+        let kernel = workloads::by_name(name, Scale::Tiny).expect("known");
+        let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        let mut buf = Vec::new();
+        profile.save(&mut buf).expect("save");
+        let restored = GmapProfile::load(&buf[..]).expect("load");
+        assert_eq!(profile, restored, "{name}: profile must round-trip losslessly");
+        assert_eq!(
+            generate_streams(&profile, 99),
+            generate_streams(&restored, 99),
+            "{name}: restored profile must generate the identical clone"
+        );
+    }
+}
+
+#[test]
+fn profiles_are_compact() {
+    // The whole point of shipping a profile instead of a trace: for the
+    // Tiny models the JSON must already be much smaller than the binary
+    // trace, and the gap grows with execution length.
+    for name in ["kmeans", "blackscholes"] {
+        let kernel = workloads::by_name(name, Scale::Tiny).expect("known");
+        let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+        let mut json = Vec::new();
+        profile.save(&mut json).expect("save");
+        let app = gmap::gpu::exec::execute_kernel(&kernel);
+        let mut raw = Vec::new();
+        gmap::trace::io::write_binary(&mut raw, &app.thread_entries()).expect("write");
+        assert!(
+            json.len() * 4 < raw.len(),
+            "{name}: profile {} B not much smaller than trace {} B",
+            json.len(),
+            raw.len()
+        );
+    }
+}
+
+#[test]
+fn rebase_obfuscation_preserves_behaviour() {
+    use gmap::core::{run_proxy, SimtConfig};
+    let kernel = workloads::lib(Scale::Tiny);
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let mut shifted = profile.clone();
+    shifted.rebase(0x4000_0000);
+    let cfg = SimtConfig::default();
+    let a = run_proxy(&profile, &cfg).expect("valid");
+    let b = run_proxy(&shifted, &cfg).expect("valid");
+    // Same locality, same cache behaviour — different addresses.
+    assert!((a.l1_miss_pct() - b.l1_miss_pct()).abs() < 1.0);
+    assert!((a.l2_miss_pct() - b.l2_miss_pct()).abs() < 2.0);
+}
+
+#[test]
+fn tampered_profile_is_rejected() {
+    let kernel = workloads::kmeans(Scale::Tiny);
+    let profile = profile_kernel(&kernel, &ProfilerConfig::default());
+    let mut buf = Vec::new();
+    profile.save(&mut buf).expect("save");
+    // Truncated JSON must fail to load, not panic.
+    let truncated = &buf[..buf.len() / 2];
+    assert!(GmapProfile::load(truncated).is_err());
+    // Structurally broken profiles fail validation.
+    let mut broken = profile.clone();
+    broken.base_addrs.clear();
+    assert!(broken.validate().is_err());
+}
