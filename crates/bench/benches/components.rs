@@ -72,7 +72,11 @@ fn bench_dram(c: &mut Criterion) {
         .map(|i| DramRequest {
             cycle: i * 3,
             addr: ByteAddr((mix64(i) % (1 << 20)) * 128),
-            kind: if i % 4 == 0 { AccessKind::Write } else { AccessKind::Read },
+            kind: if i % 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
         })
         .collect();
     let mut group = c.benchmark_group("dram");

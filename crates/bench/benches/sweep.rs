@@ -1,0 +1,32 @@
+//! Criterion benchmark of the sweep engine's headline trade: direct
+//! per-config full simulation vs one capture run plus a single-pass
+//! stack-distance evaluation (fig6a's 30-config L1 grid).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gmap_bench::{engine, prepare, sweep_benchmark, sweeps, Metric};
+use gmap_gpu::workloads::Scale;
+
+fn bench_sweep(c: &mut Criterion) {
+    let data = prepare("kmeans", Scale::Tiny, 42);
+    let configs = sweeps::l1_sweep();
+    let plan =
+        engine::plan_single_pass(&configs, Metric::L1MissPct).expect("the L1 sweep is single-pass");
+
+    let mut group = c.benchmark_group("l1_sweep_kmeans_tiny");
+    // Original + proxy series: 2 × configs evaluated points per iteration.
+    group.throughput(Throughput::Elements(2 * configs.len() as u64));
+    group.bench_function("direct_full_sim", |b| {
+        b.iter(|| black_box(sweep_benchmark(&data, &configs, Metric::L1MissPct)))
+    });
+    group.bench_function("single_pass_engine", |b| {
+        b.iter(|| black_box(engine::sweep_benchmark_single_pass(&data, &plan, &configs)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sweep
+}
+criterion_main!(benches);

@@ -12,14 +12,17 @@
 //!    the original under both.
 
 use gmap_bench::{prepare, ExperimentOpts};
-use gmap_core::{generate::generate_streams, simulate_streams, ProfilerConfig, SimtConfig};
 use gmap_core::profiler::profile_kernel;
+use gmap_core::{generate::generate_streams, simulate_streams, ProfilerConfig, SimtConfig};
 use gmap_gpu::schedule::Policy;
 use gmap_gpu::workloads::{self};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let cfg = SimtConfig { seed: opts.seed, ..SimtConfig::default() };
+    let cfg = SimtConfig {
+        seed: opts.seed,
+        ..SimtConfig::default()
+    };
 
     // ---- 1. Reuse-aware vs stride-only generation. -----------------------
     // "full" = this reproduction (paper mechanisms + the PC-localized
@@ -36,8 +39,7 @@ fn main() {
             .expect("baseline is valid");
         let err_of = |profile: &gmap_core::GmapProfile| {
             let streams = generate_streams(profile, opts.seed);
-            let out = simulate_streams(&streams, &profile.launch, &cfg)
-                .expect("baseline is valid");
+            let out = simulate_streams(&streams, &profile.launch, &cfg).expect("baseline is valid");
             (orig.l1_miss_pct() - out.l1_miss_pct()).abs()
         };
         let full = err_of(&data.profile);
@@ -75,11 +77,14 @@ fn main() {
     // ---- 2. Clustering threshold sweep. ----------------------------------
     println!("\n=== Ablation 2: pi-profile clustering threshold Th (paper uses 0.9) ===\n");
     println!("{:<8} {:>12} {:>14}", "Th", "pi profiles", "bfs L1 err pp");
-    let kernel = workloads::by_name("bfs", opts.scale, ).expect("bfs exists");
+    let kernel = workloads::by_name("bfs", opts.scale).expect("bfs exists");
     let orig_streams = gmap_core::model::original_streams(&kernel);
     let orig = simulate_streams(&orig_streams, &kernel.launch, &cfg).expect("baseline is valid");
     for th in [0.5, 0.7, 0.9, 0.99, 1.0] {
-        let pcfg = ProfilerConfig { cluster_threshold: th, ..ProfilerConfig::default() };
+        let pcfg = ProfilerConfig {
+            cluster_threshold: th,
+            ..ProfilerConfig::default()
+        };
         let profile = profile_kernel(&kernel, &pcfg);
         let streams = generate_streams(&profile, opts.seed);
         let proxy = simulate_streams(&streams, &profile.launch, &cfg).expect("baseline is valid");
@@ -136,7 +141,10 @@ fn main() {
                 .expect("baseline is valid");
             let proxy = simulate_streams(&data.proxy_streams, &data.profile.launch, &c)
                 .expect("baseline is valid");
-            results.push((orig.l1_miss_pct(), (orig.l1_miss_pct() - proxy.l1_miss_pct()).abs()));
+            results.push((
+                orig.l1_miss_pct(),
+                (orig.l1_miss_pct() - proxy.l1_miss_pct()).abs(),
+            ));
         }
         println!(
             "{:<14} {:>11.2}% {:>11.2}% {:>12.2}pp {:>12.2}pp",

@@ -8,11 +8,16 @@ use gmap_trace::reuse::{ReuseComputer, ReuseHistogram};
 
 fn main() {
     println!("=== Figure 5: reuse distance computation example ===\n");
-    let accesses = ["X[0]", "X[1]", "X[2]", "X[3]", "X[1]", "X[2]", "X[3]", "X[0]"];
+    let accesses = [
+        "X[0]", "X[1]", "X[2]", "X[3]", "X[1]", "X[2]", "X[3]", "X[0]",
+    ];
     // Two 4-byte elements per 8-byte cacheline in the example.
     let lines: Vec<u64> = [0u64, 0, 1, 1, 0, 1, 1, 0].to_vec();
     let mut rc = ReuseComputer::new();
-    println!("{:<10} {:<10} {:<14}", "Access", "Cacheline", "Reuse distance");
+    println!(
+        "{:<10} {:<10} {:<14}",
+        "Access", "Cacheline", "Reuse distance"
+    );
     let mut rh = ReuseHistogram::new();
     for (name, &line) in accesses.iter().zip(&lines) {
         let d = rc.push(line);
@@ -29,6 +34,14 @@ fn main() {
         let pct = 100.0 * c as f64 / rh.total() as f64;
         println!("  distance {d}: {c} accesses ({pct:.0}%)");
     }
-    println!("  cold     : {} accesses ({:.0}%)", rh.cold(), 100.0 * rh.cold() as f64 / rh.total() as f64);
-    println!("\nreuse fraction {:.2} -> class {}", rh.reuse_fraction(), rh.class());
+    println!(
+        "  cold     : {} accesses ({:.0}%)",
+        rh.cold(),
+        100.0 * rh.cold() as f64 / rh.total() as f64
+    );
+    println!(
+        "\nreuse fraction {:.2} -> class {}",
+        rh.reuse_fraction(),
+        rh.class()
+    );
 }

@@ -7,17 +7,26 @@
 //! the same warp consecutively, replayed by the parametric `SelfProb`
 //! policy. LRR is replayed directly.
 //!
+//! The 15-config L1 grid is pure LRU with one line size, so each
+//! (benchmark, policy) pair is evaluated by the single-pass sweep engine:
+//! one capture run of the original under the true policy (which also
+//! measures `SchedP_self`), one of the proxy under the replay policy, and
+//! a stack-distance pass over each — instead of `2 × 15` full
+//! simulations.
+//!
 //! Paper result: average L1 miss-rate error 8 % (5.1 % for LRR, 10.9 %
 //! for GTO).
 
-use gmap_bench::{parallel_map, prepare, print_header, sweeps, ExperimentOpts};
-use gmap_core::{compare_series, simulate_streams, summarize};
+use gmap_bench::{engine, parallel_map, prepare, print_header, sweeps, ExperimentOpts, Metric};
+use gmap_core::{compare_series, summarize};
 use gmap_gpu::schedule::Policy;
 use gmap_gpu::workloads;
 
 fn main() {
     let opts = ExperimentOpts::from_args();
     let configs = sweeps::policy_l1_sweep();
+    let plan = engine::plan_single_pass(&configs, Metric::L1MissPct)
+        .expect("the policy sweep is pure-LRU and single-pass");
     print_header(
         "Figure 6e: scheduling policies (paper: avg err 8%; LRR 5.1%, GTO 10.9%)",
         configs.len() * 2,
@@ -28,26 +37,21 @@ fn main() {
         let names: Vec<&str> = workloads::NAMES.to_vec();
         let comparisons = parallel_map(&names, opts.threads, |name| {
             let data = prepare(name, opts.scale, opts.seed);
-            let mut orig_series = Vec::with_capacity(configs.len());
-            let mut proxy_series = Vec::with_capacity(configs.len());
-            for base in &configs {
-                // Original runs under the true policy; measure SchedP_self.
-                let mut ocfg = *base;
-                ocfg.policy = policy;
-                let orig = simulate_streams(&data.orig_streams, &data.kernel.launch, &ocfg)
-                    .expect("valid sweep config");
-                // The proxy replays: LRR directly, GTO via SchedP_self.
-                let mut pcfg = *base;
-                pcfg.policy = match policy {
-                    Policy::Lrr => Policy::Lrr,
-                    _ => Policy::SelfProb(orig.schedule.sched_p_self),
-                };
-                let proxy = simulate_streams(&data.proxy_streams, &data.profile.launch, &pcfg)
-                    .expect("valid sweep config");
-                orig_series.push(orig.l1_miss_pct());
-                proxy_series.push(proxy.l1_miss_pct());
-            }
-            compare_series(name, orig_series, proxy_series)
+            // Original runs under the true policy; the capture measures
+            // SchedP_self at the reference configuration.
+            let mut ocfg = plan.capture_cfg;
+            ocfg.policy = policy;
+            let orig = engine::capture_stream(&data.orig_streams, &data.kernel.launch, &ocfg);
+            // The proxy replays: LRR directly, GTO via SchedP_self.
+            let mut pcfg = plan.capture_cfg;
+            pcfg.policy = match policy {
+                Policy::Lrr => Policy::Lrr,
+                _ => Policy::SelfProb(orig.schedule.sched_p_self),
+            };
+            let proxy = engine::capture_stream(&data.proxy_streams, &data.profile.launch, &pcfg);
+            let o = engine::eval_captured(&plan, &orig, &configs);
+            let p = engine::eval_captured(&plan, &proxy, &configs);
+            compare_series(name, o.values, p.values)
         });
         let summary = summarize(comparisons);
         println!("--- policy {policy} ---");

@@ -10,13 +10,17 @@ use gmap_bench::{parallel_map, prepare, sweeps, ExperimentOpts};
 use gmap_core::SimtConfig;
 use gmap_dram::{DramMetrics, DramRequest, DramSystem};
 use gmap_gpu::workloads;
-use gmap_memsim::hierarchy::MemRequest;
+use gmap_memsim::hierarchy::{MemRequest, TraceCapture};
 use gmap_trace::stats;
 
 fn replay(trace: &[MemRequest], cfg: &gmap_dram::DramConfig) -> DramMetrics {
     let reqs: Vec<DramRequest> = trace
         .iter()
-        .map(|m| DramRequest { cycle: m.cycle, addr: m.addr, kind: m.kind })
+        .map(|m| DramRequest {
+            cycle: m.cycle,
+            addr: m.addr,
+            kind: m.kind,
+        })
         .collect();
     DramSystem::new(*cfg).run(&reqs)
 }
@@ -24,12 +28,15 @@ fn replay(trace: &[MemRequest], cfg: &gmap_dram::DramConfig) -> DramMetrics {
 fn main() {
     let opts = ExperimentOpts::from_args();
     let dram_cfgs = sweeps::dram_sweep();
-    println!("=== Figure 7: DRAM metrics across {} GDDR5 configs ===", dram_cfgs.len());
+    println!(
+        "=== Figure 7: DRAM metrics across {} GDDR5 configs ===",
+        dram_cfgs.len()
+    );
     println!("(paper: avg err RBL 9.95%, queue 8.64%, latency 12.6%; corr 0.85)\n");
 
     // Capture memory traces on the Table 2 baseline hierarchy.
     let mut sim_cfg = SimtConfig::default();
-    sim_cfg.hierarchy.record_mem_trace = true;
+    sim_cfg.hierarchy.trace_capture = TraceCapture::Full;
     sim_cfg.seed = opts.seed;
 
     let names: Vec<&str> = workloads::NAMES.to_vec();
@@ -49,7 +56,10 @@ fn main() {
     });
 
     // Normalize by ORIGINAL AES per configuration, as the paper does.
-    let aes_idx = names.iter().position(|&n| n == "aes").expect("aes is a benchmark");
+    let aes_idx = names
+        .iter()
+        .position(|&n| n == "aes")
+        .expect("aes is a benchmark");
     let aes_norm: Vec<DramMetrics> = results[aes_idx].iter().map(|(o, _)| *o).collect();
     let norm = |m: &DramMetrics, cfg_i: usize| -> [f64; 3] {
         let a = &aes_norm[cfg_i];
@@ -94,7 +104,10 @@ fn main() {
         let err = 100.0 * stats::mean_rel_error(&all_orig[k], &all_proxy[k]);
         let corr = stats::pearson(&all_orig[k], &all_proxy[k]);
         corr_sum += corr;
-        println!("average {:<20}: err {err:6.2}%  corr {corr:5.2}", metric_names[k]);
+        println!(
+            "average {:<20}: err {err:6.2}%  corr {corr:5.2}",
+            metric_names[k]
+        );
     }
     println!("average correlation over metrics: {:.2}", corr_sum / 3.0);
 }

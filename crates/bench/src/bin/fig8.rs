@@ -17,8 +17,13 @@ use std::time::Instant;
 fn main() {
     let opts = ExperimentOpts::from_args();
     let factors = sweeps::miniaturization_factors();
-    println!("=== Figure 8: trace miniaturization (paper: ~90% accuracy and ~8x speedup at 8x) ===\n");
-    let cfg = SimtConfig { seed: opts.seed, ..SimtConfig::default() };
+    println!(
+        "=== Figure 8: trace miniaturization (paper: ~90% accuracy and ~8x speedup at 8x) ===\n"
+    );
+    let cfg = SimtConfig {
+        seed: opts.seed,
+        ..SimtConfig::default()
+    };
 
     let names: Vec<&str> = workloads::NAMES.to_vec();
     // Per benchmark: (orig miss%, full clone sim time, per-factor results).
@@ -38,10 +43,17 @@ fn main() {
                 let t0 = Instant::now();
                 let out = simulate_streams(&streams, &mini.launch, &cfg)
                     .expect("baseline config is valid");
-                (out.l1_miss_pct(), t0.elapsed().as_secs_f64(), expected_accesses(&mini))
+                (
+                    out.l1_miss_pct(),
+                    t0.elapsed().as_secs_f64(),
+                    expected_accesses(&mini),
+                )
             })
             .collect();
-        Row { orig_miss: orig.l1_miss_pct(), per_factor }
+        Row {
+            orig_miss: orig.l1_miss_pct(),
+            per_factor,
+        }
     });
 
     println!(

@@ -1,0 +1,112 @@
+//! Perf tracking for the sweep engine: measures the direct per-config
+//! full-simulation path against the single-pass stack-distance engine on
+//! the fig6a L1 sweep and emits `BENCH_sweep.json`, so the performance
+//! trajectory is comparable across PRs.
+//!
+//! Defaults to `--scale small`; pass `--scale`/`--seed` to override and
+//! `--out PATH` to move the report.
+
+use gmap_bench::{engine, prepare, sweep_benchmark, sweeps, ExperimentOpts, Metric};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Benchmarks timed by the tracker — a fixed, locality-diverse subset so
+/// the report stays comparable across PRs and runs in seconds.
+const BENCHMARKS: [&str; 5] = ["kmeans", "backprop", "scalarprod", "bfs", "srad"];
+
+#[derive(Debug, Serialize)]
+struct PerBenchmark {
+    name: String,
+    direct_secs: f64,
+    single_pass_secs: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    scale: String,
+    seed: u64,
+    sweep: String,
+    configs: usize,
+    benchmarks: usize,
+    /// (benchmark × config) points, original and proxy series each.
+    validation_points: usize,
+    direct_secs: f64,
+    single_pass_secs: f64,
+    speedup: f64,
+    per_benchmark: Vec<PerBenchmark>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExperimentOpts::parse(&args);
+    if !args.iter().any(|a| a == "--scale") {
+        opts.scale = gmap_gpu::workloads::Scale::Small;
+    }
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let configs = sweeps::l1_sweep();
+    let metric = Metric::L1MissPct;
+    let plan = engine::plan_single_pass(&configs, metric)
+        .expect("the fig6a L1 sweep is pure-LRU and single-pass");
+
+    println!(
+        "=== sweep-engine perf: fig6a L1 sweep, {} configs, scale {:?} ===",
+        configs.len(),
+        opts.scale
+    );
+    let mut rows = Vec::new();
+    let (mut direct_total, mut single_total) = (0.0f64, 0.0f64);
+    for name in BENCHMARKS {
+        let data = prepare(name, opts.scale, opts.seed);
+
+        let t = Instant::now();
+        let direct_cmp = sweep_benchmark(&data, &configs, metric);
+        let direct_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let single_cmp = engine::sweep_benchmark_single_pass(&data, &plan, &configs);
+        let single_pass_secs = t.elapsed().as_secs_f64();
+
+        // Sanity: both paths produce full aligned series.
+        assert_eq!(direct_cmp.original.len(), single_cmp.original.len());
+
+        let speedup = direct_secs / single_pass_secs.max(1e-9);
+        println!(
+            "{name:<14} direct {direct_secs:7.3}s  single-pass {single_pass_secs:7.3}s  speedup {speedup:6.1}x"
+        );
+        direct_total += direct_secs;
+        single_total += single_pass_secs;
+        rows.push(PerBenchmark {
+            name: name.to_string(),
+            direct_secs,
+            single_pass_secs,
+            speedup,
+        });
+    }
+
+    let speedup = direct_total / single_total.max(1e-9);
+    let report = PerfReport {
+        scale: format!("{:?}", opts.scale).to_lowercase(),
+        seed: opts.seed,
+        sweep: "l1_sweep".to_string(),
+        configs: configs.len(),
+        benchmarks: BENCHMARKS.len(),
+        validation_points: BENCHMARKS.len() * configs.len() * 2,
+        direct_secs: direct_total,
+        single_pass_secs: single_total,
+        speedup,
+        per_benchmark: rows,
+    };
+    println!(
+        "\ntotal: direct {direct_total:.3}s  single-pass {single_total:.3}s  speedup {speedup:.1}x"
+    );
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("report file is writable");
+    println!("report written to {out_path}");
+}

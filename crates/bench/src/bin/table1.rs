@@ -14,8 +14,18 @@ fn main() {
         "Application", "Mem PC", "%Mem Freq", "InterW Dom.", "%Stride", "IntraW Dom.", "Reuse"
     );
     println!("{}", "-".repeat(86));
-    let apps =
-        ["heartwall", "backprop", "kmeans", "srad", "scalarprod", "cp", "blackscholes", "lu", "lib", "fwt"];
+    let apps = [
+        "heartwall",
+        "backprop",
+        "kmeans",
+        "srad",
+        "scalarprod",
+        "cp",
+        "blackscholes",
+        "lu",
+        "lib",
+        "fwt",
+    ];
     for name in apps {
         let data = prepare(name, opts.scale, opts.seed);
         let p = &data.profile;
@@ -42,13 +52,20 @@ fn main() {
                 inter_s,
                 inter_f,
                 intra_s,
-                if row == 0 { reuse.to_string() } else { String::new() },
+                if row == 0 {
+                    reuse.to_string()
+                } else {
+                    String::new()
+                },
             );
         }
         // π-profile diversity note (§4.4).
         let paths = p.profiles.len();
-        let accesses: usize =
-            p.profiles[dom_profile].entries.iter().filter(|e| matches!(e, PiEntry::Mem(_))).count();
+        let accesses: usize = p.profiles[dom_profile]
+            .entries
+            .iter()
+            .filter(|e| matches!(e, PiEntry::Mem(_)))
+            .count();
         println!(
             "{:<14} ({} pi profile(s), dominant path has {} accesses)",
             "", paths, accesses

@@ -1,0 +1,647 @@
+//! Single-pass multi-configuration sweep engine.
+//!
+//! `sweep_benchmark` evaluates a figure's configuration grid with `2 × N`
+//! independent full simulations per benchmark — each one re-running the
+//! warp scheduler and the entire hierarchy. But the pure-LRU,
+//! no-prefetcher sweeps (fig6a, fig6b, fig6e) only vary the geometry of
+//! *one* cache level, and for those the Mattson stack-distance result
+//! ([`gmap_memsim::stackdist`]) yields exact hit/miss counts for every
+//! geometry sharing a line size from **one** pass over the access stream.
+//!
+//! The engine therefore works trace-driven, the same methodology as the
+//! CMP$im-based simulator the paper validates against:
+//!
+//! 1. **Capture** — run the full scheduler + hierarchy *once* per
+//!    benchmark at the reference configuration (Table 2 baseline for the
+//!    swept level, the sweep's shared values for everything else) and
+//!    record the per-core L1 demand stream in issue order
+//!    ([`capture_stream`]).
+//! 2. **Plan** — check that every config in the sweep differs from the
+//!    reference only in the swept cache's geometry, is LRU, and has no
+//!    prefetcher in the path; group configs by line size
+//!    ([`plan_single_pass`]).
+//! 3. **Evaluate** — per line-size group, convert the byte-address stream
+//!    to line indices and run the stack-distance evaluator: per-core
+//!    streams against per-core private L1s, or a derived L2 stream
+//!    (replay the fixed L1 once, forward its misses and write-throughs)
+//!    against the banked shared L2 ([`eval_captured`]).
+//!
+//! Anything the plan can't prove sweepable — prefetchers, non-LRU
+//! replacement, configs that vary more than one level — falls back to
+//! the direct path (`sweep_benchmark`), unchanged.
+//!
+//! Capturing at one reference configuration means the warp interleaving
+//! is that of the reference run: the scheduler's feedback loop (latency →
+//! readiness → issue order) is evaluated once, not per config. Within
+//! that captured stream the per-config miss rates are *exact* — equal to
+//! replaying the stream through each configuration's caches — which is
+//! what the engine's tests assert to 1e-9 against an independent
+//! hierarchy-mirroring replay.
+
+use crate::{BenchData, Metric};
+use gmap_core::{compare_series, BenchmarkComparison, SimtConfig};
+use gmap_gpu::hierarchy::LaunchConfig;
+use gmap_gpu::schedule::{run_schedule, MemoryModel, ScheduleOutcome, WarpStream};
+use gmap_memsim::cache::{AccessRequest, Cache, CacheConfig, ReplacementPolicy};
+use gmap_memsim::hierarchy::{GpuHierarchy, HierarchyConfig, L1WritePolicy, TraceCapture};
+use gmap_memsim::stackdist::{evaluate_lru_multi, GeomCounts, LineAccess, WriteMode};
+use gmap_trace::record::{AccessKind, ByteAddr, CoreId, Pc};
+
+/// One captured L1-level demand transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapturedAccess {
+    /// Issuing core, folded onto the hierarchy's core count the same way
+    /// [`GpuHierarchy`] folds it.
+    pub core: u16,
+    /// Byte address of the coalesced transaction.
+    pub addr: u64,
+    /// Store (`true`) or load (`false`).
+    pub is_write: bool,
+}
+
+/// The L1 demand stream of one scheduled run, in global issue order.
+#[derive(Debug, Clone)]
+pub struct CapturedStream {
+    /// Every coalesced transaction the scheduler issued, in order.
+    pub accesses: Vec<CapturedAccess>,
+    /// Number of cores (= number of private L1s).
+    pub cores: usize,
+    /// Scheduling statistics of the capture run (`SchedP_self` feeds the
+    /// fig6e policy replay).
+    pub schedule: ScheduleOutcome,
+}
+
+/// A [`MemoryModel`] that records every transaction while delegating to
+/// the real hierarchy, so the capture run sees exactly the latencies (and
+/// thus the interleaving) of a normal reference simulation.
+struct Recorder {
+    hier: GpuHierarchy,
+    cores: usize,
+    log: Vec<CapturedAccess>,
+}
+
+impl MemoryModel for Recorder {
+    fn access(
+        &mut self,
+        core: CoreId,
+        pc: Pc,
+        addr: ByteAddr,
+        kind: AccessKind,
+        cycle: u64,
+    ) -> u64 {
+        self.log.push(CapturedAccess {
+            core: ((core.0 as usize) % self.cores) as u16,
+            addr: addr.0,
+            is_write: matches!(kind, AccessKind::Write),
+        });
+        self.hier.access(core, pc, addr, kind, cycle)
+    }
+}
+
+/// Runs the scheduler + hierarchy once at `cfg` and captures the L1
+/// demand stream. Trace capture is forced off — the engine records at the
+/// L1 boundary itself and needs no DRAM-level trace.
+pub fn capture_stream(
+    streams: &[WarpStream],
+    launch: &LaunchConfig,
+    cfg: &SimtConfig,
+) -> CapturedStream {
+    let cfg = cfg.with_trace_capture(TraceCapture::Off);
+    let cores = cfg.hierarchy.num_cores as usize;
+    let hier = GpuHierarchy::new(cfg.hierarchy).expect("capture configuration is valid");
+    let mut rec = Recorder {
+        hier,
+        cores,
+        log: Vec::new(),
+    };
+    let schedule = run_schedule(streams, launch, &cfg.gpu, cfg.policy, &mut rec, cfg.seed);
+    CapturedStream {
+        accesses: rec.log,
+        cores,
+        schedule,
+    }
+}
+
+/// Which cache level a planned sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweptLevel {
+    /// Per-core private L1s vary; everything else is fixed.
+    L1,
+    /// The shared banked L2 varies; everything else is fixed.
+    L2,
+}
+
+/// Configs sharing one line size, evaluated together in one pass.
+#[derive(Debug, Clone)]
+pub struct SweepGroup {
+    /// The group's shared line size in bytes.
+    pub line_size: u64,
+    /// Indices into the planned config slice, in input order.
+    pub config_indices: Vec<usize>,
+}
+
+/// A proven-sweepable configuration grid.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    /// The varied cache level.
+    pub level: SweptLevel,
+    /// The reference configuration for the capture run: the sweep's
+    /// shared fields with the swept level pinned to the Table 2 baseline.
+    pub capture_cfg: SimtConfig,
+    /// Line-size groups covering every config index exactly once.
+    pub groups: Vec<SweepGroup>,
+}
+
+impl SweepPlan {
+    /// Total number of planned configurations.
+    pub fn num_configs(&self) -> usize {
+        self.groups.iter().map(|g| g.config_indices.len()).sum()
+    }
+}
+
+/// Decides whether `configs` can be evaluated by the single-pass engine
+/// for `metric`, and if so how. Returns `None` — meaning "use the direct
+/// per-config path" — unless all of the following hold:
+///
+/// - every config is identical except for the metric's cache level
+///   (`hierarchy.l1` for [`Metric::L1MissPct`], `hierarchy.l2` for
+///   [`Metric::L2MissPct`]);
+/// - every swept geometry uses LRU replacement;
+/// - no prefetcher sits in the evaluated path (L1 sweeps: no L1
+///   prefetcher; L2 sweeps: neither, since L1 prefetch fills generate L2
+///   traffic);
+/// - for L2 sweeps, the banked array folds into an equivalent single
+///   cache of the per-bank geometry (power-of-two banks, at least as
+///   many sets per bank as banks — true for every stock sweep).
+pub fn plan_single_pass(configs: &[SimtConfig], metric: Metric) -> Option<SweepPlan> {
+    let first = *configs.first()?;
+    let level = match metric {
+        Metric::L1MissPct => SweptLevel::L1,
+        Metric::L2MissPct => SweptLevel::L2,
+    };
+    let baseline = HierarchyConfig::fermi_baseline();
+    // Mask out the swept level (and the trace knob, which never affects
+    // miss rates): what remains must be bit-identical across the sweep.
+    let mask = |mut c: SimtConfig| -> SimtConfig {
+        c.hierarchy.trace_capture = TraceCapture::Off;
+        match level {
+            SweptLevel::L1 => c.hierarchy.l1 = baseline.l1,
+            SweptLevel::L2 => c.hierarchy.l2 = baseline.l2,
+        }
+        c
+    };
+    let reference = mask(first);
+    if configs.iter().any(|c| mask(*c) != reference) {
+        return None;
+    }
+    match level {
+        SweptLevel::L1 => {
+            if reference.hierarchy.l1_prefetch.is_some() {
+                return None;
+            }
+            if configs
+                .iter()
+                .any(|c| c.hierarchy.l1.policy != ReplacementPolicy::Lru)
+            {
+                return None;
+            }
+        }
+        SweptLevel::L2 => {
+            if reference.hierarchy.l1_prefetch.is_some()
+                || reference.hierarchy.l2_prefetch.is_some()
+            {
+                return None;
+            }
+            let banks = reference.hierarchy.l2_banks as u64;
+            if !banks.is_power_of_two() {
+                return None;
+            }
+            for c in configs {
+                if c.hierarchy.l2.policy != ReplacementPolicy::Lru {
+                    return None;
+                }
+                let Ok(bank) = c.hierarchy.l2_bank_config() else {
+                    return None;
+                };
+                if bank.num_sets() < banks {
+                    return None;
+                }
+            }
+        }
+    }
+    let mut groups: Vec<SweepGroup> = Vec::new();
+    for (i, c) in configs.iter().enumerate() {
+        let line = match level {
+            SweptLevel::L1 => c.hierarchy.l1.line_size,
+            SweptLevel::L2 => c.hierarchy.l2.line_size,
+        };
+        match groups.iter_mut().find(|g| g.line_size == line) {
+            Some(g) => g.config_indices.push(i),
+            None => groups.push(SweepGroup {
+                line_size: line,
+                config_indices: vec![i],
+            }),
+        }
+    }
+    Some(SweepPlan {
+        level,
+        capture_cfg: reference,
+        groups,
+    })
+}
+
+/// Result of evaluating a planned sweep over one captured stream.
+#[derive(Debug, Clone)]
+pub struct EvalSeries {
+    /// Metric value in percent per configuration, aligned with the config
+    /// slice the plan was built from.
+    pub values: Vec<f64>,
+    /// Whether any group hit the stack-distance evaluator's internal
+    /// exact per-config replay (divergent no-allocate store). Counts stay
+    /// exact either way; this only marks the slower path.
+    pub fell_back: bool,
+}
+
+/// Evaluates every planned configuration against one captured stream.
+pub fn eval_captured(
+    plan: &SweepPlan,
+    capture: &CapturedStream,
+    configs: &[SimtConfig],
+) -> EvalSeries {
+    match plan.level {
+        SweptLevel::L1 => eval_l1(plan, capture, configs),
+        SweptLevel::L2 => eval_l2(plan, capture, configs),
+    }
+}
+
+fn eval_l1(plan: &SweepPlan, capture: &CapturedStream, configs: &[SimtConfig]) -> EvalSeries {
+    let mode = match plan.capture_cfg.hierarchy.l1_write_policy {
+        L1WritePolicy::WriteThroughNoAllocate => WriteMode::NoAllocate,
+        L1WritePolicy::WriteBackAllocate => WriteMode::Allocate,
+    };
+    let mut values = vec![0.0; configs.len()];
+    let mut fell_back = false;
+    for group in &plan.groups {
+        let shift = group.line_size.trailing_zeros();
+        let geoms: Vec<CacheConfig> = group
+            .config_indices
+            .iter()
+            .map(|&i| configs[i].hierarchy.l1)
+            .collect();
+        // Private per-core L1s: evaluate each core's stream separately
+        // and sum the counters, exactly as the hierarchy merges per-core
+        // stats.
+        let mut per_core: Vec<Vec<LineAccess>> = vec![Vec::new(); capture.cores];
+        for a in &capture.accesses {
+            per_core[a.core as usize].push(LineAccess::new(a.addr >> shift, a.is_write));
+        }
+        let mut totals = vec![GeomCounts::default(); geoms.len()];
+        for stream in per_core.iter().filter(|s| !s.is_empty()) {
+            let r = evaluate_lru_multi(&geoms, stream, mode)
+                .expect("plan guarantees a uniform LRU line-size group");
+            fell_back |= r.fell_back;
+            for (t, c) in totals.iter_mut().zip(&r.counts) {
+                t.merge(c);
+            }
+        }
+        for (k, &i) in group.config_indices.iter().enumerate() {
+            values[i] = totals[k].miss_rate() * 100.0;
+        }
+    }
+    EvalSeries { values, fell_back }
+}
+
+/// Replays the captured stream through the sweep's *fixed* L1s once and
+/// returns the byte-address stream that reaches the shared L2, in issue
+/// order — demand-read misses, write-throughs (or write-back victims and
+/// write-allocate fetches), exactly mirroring `GpuHierarchy`'s L2 demand
+/// path.
+fn derive_l2_stream(capture: &CapturedStream, hier: &HierarchyConfig) -> Vec<(u64, bool)> {
+    let l1_cfg = hier.l1;
+    let shift = l1_cfg.line_size.trailing_zeros();
+    let mut l1s: Vec<Cache> = (0..capture.cores).map(|_| Cache::new(l1_cfg)).collect();
+    let mut out = Vec::new();
+    for a in &capture.accesses {
+        let line = a.addr >> shift;
+        let l1 = &mut l1s[a.core as usize];
+        if a.is_write {
+            match hier.l1_write_policy {
+                L1WritePolicy::WriteThroughNoAllocate => {
+                    let _ = l1.request(AccessRequest {
+                        line,
+                        is_write: true,
+                        allocate_on_miss: false,
+                        mark_dirty: false,
+                    });
+                    out.push((a.addr, true));
+                }
+                L1WritePolicy::WriteBackAllocate => {
+                    let r = l1.request(AccessRequest {
+                        line,
+                        is_write: true,
+                        allocate_on_miss: true,
+                        mark_dirty: true,
+                    });
+                    if let Some(victim) = r.writeback {
+                        out.push((victim << shift, true));
+                    }
+                    if !r.hit {
+                        out.push((a.addr, false));
+                    }
+                }
+            }
+        } else {
+            let r = l1.request(AccessRequest {
+                line,
+                is_write: false,
+                allocate_on_miss: false,
+                mark_dirty: false,
+            });
+            if !r.hit {
+                out.push((a.addr, false));
+                if let Some(victim) = l1.demand_fill(line) {
+                    out.push((victim << shift, true));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn eval_l2(plan: &SweepPlan, capture: &CapturedStream, configs: &[SimtConfig]) -> EvalSeries {
+    // The L1 is fixed across an L2 sweep, so the stream feeding the L2 is
+    // derived once and shared by every group.
+    let l2_stream = derive_l2_stream(capture, &plan.capture_cfg.hierarchy);
+    let mut values = vec![0.0; configs.len()];
+    let mut fell_back = false;
+    for group in &plan.groups {
+        let shift = group.line_size.trailing_zeros();
+        // Low-bit banking with bank bits inside the set-index bits makes
+        // the banked array behave exactly like one cache of the per-bank
+        // geometry (the plan verified the preconditions).
+        let geoms: Vec<CacheConfig> = group
+            .config_indices
+            .iter()
+            .map(|&i| {
+                configs[i]
+                    .hierarchy
+                    .l2_bank_config()
+                    .expect("plan verified the bank split")
+            })
+            .collect();
+        let stream: Vec<LineAccess> = l2_stream
+            .iter()
+            .map(|&(addr, is_write)| LineAccess::new(addr >> shift, is_write))
+            .collect();
+        // The L2 is write-back write-allocate: stores allocate like loads.
+        let r = evaluate_lru_multi(&geoms, &stream, WriteMode::Allocate)
+            .expect("plan guarantees a uniform LRU line-size group");
+        fell_back |= r.fell_back;
+        for (k, &i) in group.config_indices.iter().enumerate() {
+            values[i] = r.counts[k].miss_rate() * 100.0;
+        }
+    }
+    EvalSeries { values, fell_back }
+}
+
+/// Sweeps one benchmark through the engine: two capture runs (original
+/// and proxy) plus one stack-distance pass per line-size group, instead
+/// of `2 × N` full simulations.
+pub fn sweep_benchmark_single_pass(
+    data: &BenchData,
+    plan: &SweepPlan,
+    configs: &[SimtConfig],
+) -> BenchmarkComparison {
+    let orig = capture_stream(&data.orig_streams, &data.kernel.launch, &plan.capture_cfg);
+    let proxy = capture_stream(&data.proxy_streams, &data.profile.launch, &plan.capture_cfg);
+    let o = eval_captured(plan, &orig, configs);
+    let p = eval_captured(plan, &proxy, configs);
+    compare_series(&data.kernel.name, o.values, p.values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, sweeps};
+    use gmap_gpu::workloads::Scale;
+    use gmap_memsim::prefetch::StridePrefetcherConfig;
+
+    /// Independent per-config trace replay of the captured stream through
+    /// per-core L1 caches, mirroring `GpuHierarchy`'s L1 demand path
+    /// structurally (separate `request` + `demand_fill`, hierarchy write
+    /// flags) rather than going through the stack-distance code.
+    fn direct_l1_series(capture: &CapturedStream, configs: &[SimtConfig]) -> Vec<f64> {
+        configs
+            .iter()
+            .map(|cfg| {
+                let shift = cfg.hierarchy.l1.line_size.trailing_zeros();
+                let mut l1s: Vec<Cache> = (0..capture.cores)
+                    .map(|_| Cache::new(cfg.hierarchy.l1))
+                    .collect();
+                for a in &capture.accesses {
+                    let line = a.addr >> shift;
+                    let c = &mut l1s[a.core as usize];
+                    if a.is_write {
+                        match cfg.hierarchy.l1_write_policy {
+                            L1WritePolicy::WriteThroughNoAllocate => {
+                                let _ = c.request(AccessRequest {
+                                    line,
+                                    is_write: true,
+                                    allocate_on_miss: false,
+                                    mark_dirty: false,
+                                });
+                            }
+                            L1WritePolicy::WriteBackAllocate => {
+                                let _ = c.request(AccessRequest {
+                                    line,
+                                    is_write: true,
+                                    allocate_on_miss: true,
+                                    mark_dirty: true,
+                                });
+                            }
+                        }
+                    } else {
+                        let r = c.request(AccessRequest {
+                            line,
+                            is_write: false,
+                            allocate_on_miss: false,
+                            mark_dirty: false,
+                        });
+                        if !r.hit {
+                            c.demand_fill(line);
+                        }
+                    }
+                }
+                let (acc, miss) = l1s.iter().fold((0u64, 0u64), |(a, m), c| {
+                    (a + c.stats().accesses, m + c.stats().misses)
+                });
+                if acc == 0 {
+                    0.0
+                } else {
+                    miss as f64 / acc as f64 * 100.0
+                }
+            })
+            .collect()
+    }
+
+    /// Independent per-config trace replay through a fixed L1 feeding a
+    /// *banked* L2 array (bank = line mod banks), mirroring
+    /// `GpuHierarchy::l2_demand` — deliberately not using the bank-folding
+    /// equivalence the engine relies on.
+    fn direct_l2_series(capture: &CapturedStream, configs: &[SimtConfig]) -> Vec<f64> {
+        configs
+            .iter()
+            .map(|cfg| {
+                let stream = derive_l2_stream(capture, &cfg.hierarchy);
+                let banks = cfg.hierarchy.l2_banks as u64;
+                let bank_cfg = cfg.hierarchy.l2_bank_config().expect("valid sweep config");
+                let shift = cfg.hierarchy.l2.line_size.trailing_zeros();
+                let mut l2: Vec<Cache> = (0..banks).map(|_| Cache::new(bank_cfg)).collect();
+                for &(addr, is_write) in &stream {
+                    let line = addr >> shift;
+                    let bank = (line % banks) as usize;
+                    let _ = l2[bank].request(AccessRequest {
+                        line,
+                        is_write,
+                        allocate_on_miss: true,
+                        mark_dirty: is_write,
+                    });
+                }
+                let (acc, miss) = l2.iter().fold((0u64, 0u64), |(a, m), c| {
+                    (a + c.stats().accesses, m + c.stats().misses)
+                });
+                if acc == 0 {
+                    0.0
+                } else {
+                    miss as f64 / acc as f64 * 100.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_accepts_the_stock_lru_sweeps() {
+        let l1 = plan_single_pass(&sweeps::l1_sweep(), Metric::L1MissPct).expect("fig6a plans");
+        assert_eq!(l1.level, SweptLevel::L1);
+        assert_eq!(l1.num_configs(), 30);
+        assert_eq!(l1.groups.len(), 2, "two line sizes (32/128)");
+
+        let l2 = plan_single_pass(&sweeps::l2_sweep(), Metric::L2MissPct).expect("fig6b plans");
+        assert_eq!(l2.level, SweptLevel::L2);
+        assert_eq!(l2.num_configs(), 30);
+        assert_eq!(l2.groups.len(), 2, "two line sizes (64/128)");
+
+        let pol =
+            plan_single_pass(&sweeps::policy_l1_sweep(), Metric::L1MissPct).expect("fig6e plans");
+        assert_eq!(pol.groups.len(), 1, "single 128 B line size");
+    }
+
+    #[test]
+    fn plan_rejects_unsweepable_grids() {
+        // Metric on the non-varied level: configs differ outside the mask.
+        assert!(plan_single_pass(&sweeps::l1_sweep(), Metric::L2MissPct).is_none());
+        // Prefetchers in the evaluated path.
+        assert!(plan_single_pass(&sweeps::l1_prefetch_sweep(), Metric::L1MissPct).is_none());
+        assert!(plan_single_pass(&sweeps::l2_prefetch_sweep(), Metric::L2MissPct).is_none());
+        // A prefetcher shared by every config still disqualifies.
+        let mut with_pf = sweeps::l1_sweep();
+        for c in &mut with_pf {
+            c.hierarchy.l1_prefetch = Some(StridePrefetcherConfig::default());
+        }
+        assert!(plan_single_pass(&with_pf, Metric::L1MissPct).is_none());
+        // Non-LRU replacement in the swept level.
+        let mut non_lru = sweeps::l1_sweep();
+        non_lru[3].hierarchy.l1.policy = ReplacementPolicy::Fifo;
+        assert!(plan_single_pass(&non_lru, Metric::L1MissPct).is_none());
+        // Empty grid.
+        assert!(plan_single_pass(&[], Metric::L1MissPct).is_none());
+    }
+
+    #[test]
+    fn capture_is_deterministic_and_nonempty() {
+        let data = prepare("scalarprod", Scale::Tiny, 7);
+        let cfg = SimtConfig::default();
+        let a = capture_stream(&data.orig_streams, &data.kernel.launch, &cfg);
+        let b = capture_stream(&data.orig_streams, &data.kernel.launch, &cfg);
+        assert!(!a.accesses.is_empty());
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(
+            a.accesses.len() as u64,
+            a.schedule.issued_transactions,
+            "every issued transaction is captured exactly once"
+        );
+    }
+
+    #[test]
+    fn fig6a_engine_matches_direct_replay_within_1e9() {
+        let configs = sweeps::l1_sweep();
+        let plan = plan_single_pass(&configs, Metric::L1MissPct).expect("fig6a plans");
+        for name in ["kmeans", "bfs"] {
+            let data = prepare(name, Scale::Tiny, 42);
+            for streams in [
+                (&data.orig_streams, &data.kernel.launch),
+                (&data.proxy_streams, &data.profile.launch),
+            ] {
+                let cap = capture_stream(streams.0, streams.1, &plan.capture_cfg);
+                let engine = eval_captured(&plan, &cap, &configs);
+                let direct = direct_l1_series(&cap, &configs);
+                for (i, (e, d)) in engine.values.iter().zip(&direct).enumerate() {
+                    assert!(
+                        (e - d).abs() < 1e-9,
+                        "{name} config {i}: engine {e} vs direct {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig6b_engine_matches_direct_replay_within_1e9() {
+        let configs = sweeps::l2_sweep();
+        let plan = plan_single_pass(&configs, Metric::L2MissPct).expect("fig6b plans");
+        for name in ["backprop", "srad"] {
+            let data = prepare(name, Scale::Tiny, 42);
+            let cap = capture_stream(&data.orig_streams, &data.kernel.launch, &plan.capture_cfg);
+            let engine = eval_captured(&plan, &cap, &configs);
+            let direct = direct_l2_series(&cap, &configs);
+            for (i, (e, d)) in engine.values.iter().zip(&direct).enumerate() {
+                assert!(
+                    (e - d).abs() < 1e-9,
+                    "{name} config {i}: engine {e} vs direct {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn write_back_l1_sweep_is_also_exact() {
+        let mut configs = sweeps::l1_sweep();
+        for c in &mut configs {
+            c.hierarchy.l1_write_policy = L1WritePolicy::WriteBackAllocate;
+        }
+        let plan = plan_single_pass(&configs, Metric::L1MissPct).expect("WB sweep plans");
+        let data = prepare("pathfinder", Scale::Tiny, 42);
+        let cap = capture_stream(&data.orig_streams, &data.kernel.launch, &plan.capture_cfg);
+        let engine = eval_captured(&plan, &cap, &configs);
+        assert!(!engine.fell_back, "write-allocate stores never diverge");
+        let direct = direct_l1_series(&cap, &configs);
+        for (e, d) in engine.values.iter().zip(&direct) {
+            assert!((e - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_pass_comparison_has_sane_shape() {
+        let configs = sweeps::l1_sweep();
+        let plan = plan_single_pass(&configs, Metric::L1MissPct).expect("fig6a plans");
+        let data = prepare("scalarprod", Scale::Tiny, 42);
+        let cmp = sweep_benchmark_single_pass(&data, &plan, &configs);
+        assert_eq!(cmp.original.len(), configs.len());
+        assert_eq!(cmp.proxy.len(), configs.len());
+        assert!(cmp.original.iter().all(|v| (0.0..=100.0).contains(v)));
+        // Identical geometries at different grid points would be equal;
+        // at minimum the series must not be all-zero for a real workload.
+        assert!(cmp.original.iter().any(|&v| v > 0.0));
+    }
+}

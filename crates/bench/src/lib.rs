@@ -27,7 +27,10 @@ use gmap_core::{
 use gmap_gpu::kernel::KernelDesc;
 use gmap_gpu::schedule::WarpStream;
 use gmap_gpu::workloads::{self, Scale};
+use std::sync::Arc;
+use std::time::Instant;
 
+pub mod engine;
 pub mod sweeps;
 
 /// Options shared by every experiment binary.
@@ -44,38 +47,76 @@ pub struct ExperimentOpts {
 }
 
 impl ExperimentOpts {
-    /// Parses `--scale tiny|small|default` and `--seed N` from the command
-    /// line; anything unrecognized is ignored.
+    /// Usage text printed for `--help`/`-h`.
+    pub const HELP: &'static str = "\
+G-MAP experiment options:
+  --scale tiny|small|default   workload scale (default: default)
+  --seed N                     clone-generation / scheduling seed (default: 42)
+  --threads N                  worker threads (default: available parallelism)
+  --csv PATH                   write the raw per-config series as CSV
+  -h, --help                   print this help and exit
+";
+
+    /// Parses the experiment flags from the command line; `--help`/`-h`
+    /// prints [`Self::HELP`] and exits.
     pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", Self::HELP);
+            std::process::exit(0);
+        }
+        Self::parse(&args)
+    }
+
+    /// Parses an argument list (without the program name). Each flag
+    /// consumes the following token as its value — but never another
+    /// `--flag`, so `--csv --seed 7` leaves `csv` unset (with a warning)
+    /// instead of silently recording `csv = "--seed"`. Unknown tokens are
+    /// ignored.
+    pub fn parse(args: &[String]) -> Self {
         let mut opts = ExperimentOpts {
             scale: Scale::Default,
             seed: 42,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             csv: None,
         };
-        let args: Vec<String> = std::env::args().collect();
-        for w in args.windows(2) {
-            match w[0].as_str() {
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !matches!(flag, "--scale" | "--seed" | "--threads" | "--csv") {
+                i += 1;
+                continue;
+            }
+            let value = match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v,
+                _ => {
+                    eprintln!("warning: {flag} requires a value; ignored");
+                    i += 1;
+                    continue;
+                }
+            };
+            match flag {
                 "--scale" => {
-                    opts.scale = match w[1].as_str() {
+                    opts.scale = match value.as_str() {
                         "tiny" => Scale::Tiny,
                         "small" => Scale::Small,
                         _ => Scale::Default,
                     }
                 }
                 "--seed" => {
-                    if let Ok(s) = w[1].parse() {
+                    if let Ok(s) = value.parse() {
                         opts.seed = s;
                     }
                 }
                 "--threads" => {
-                    if let Ok(t) = w[1].parse() {
+                    if let Ok(t) = value.parse() {
                         opts.threads = t;
                     }
                 }
-                "--csv" => opts.csv = Some(w[1].clone()),
-                _ => {}
+                "--csv" => opts.csv = Some(value.clone()),
+                _ => unreachable!("matched above"),
             }
+            i += 2;
         }
         opts
     }
@@ -101,7 +142,12 @@ pub fn prepare(name: &str, scale: Scale, seed: u64) -> BenchData {
     let orig_streams = gmap_core::model::original_streams(&kernel);
     let profile = profile_kernel(&kernel, &ProfilerConfig::default());
     let proxy_streams = generate_streams(&profile, seed);
-    BenchData { kernel, orig_streams, profile, proxy_streams }
+    BenchData {
+        kernel,
+        orig_streams,
+        profile,
+        proxy_streams,
+    }
 }
 
 /// Metric extracted from a simulation for figure comparison.
@@ -142,8 +188,24 @@ pub fn sweep_benchmark(
     compare_series(&data.kernel.name, orig, proxy)
 }
 
-/// Runs a whole figure: all 18 benchmarks across the sweep, parallelized
-/// one benchmark per thread.
+/// One unit of sweep work: a benchmark and a contiguous config range.
+struct SweepJob {
+    data: Arc<BenchData>,
+    bench: usize,
+    lo: usize,
+    hi: usize,
+}
+
+/// Runs a whole figure: all 18 benchmarks across the sweep.
+///
+/// Preparation (execute → profile → clone) runs once per benchmark in
+/// parallel; the sweep itself is a flat work queue of (benchmark,
+/// config-chunk) jobs over shared [`Arc<BenchData>`], so thread
+/// utilization no longer collapses to one-thread-per-benchmark when a
+/// few benchmarks dominate. Pure-LRU no-prefetcher sweeps are detected
+/// by [`engine::plan_single_pass`] and evaluated in one stack-distance
+/// pass per (benchmark, line size) instead of one full simulation per
+/// config.
 pub fn run_figure(
     title: &str,
     configs: &[SimtConfig],
@@ -151,11 +213,99 @@ pub fn run_figure(
     opts: ExperimentOpts,
 ) -> SweepSummary {
     print_header(title, configs.len(), &opts);
+
+    let t0 = Instant::now();
     let names: Vec<&str> = workloads::NAMES.to_vec();
-    let comparisons = parallel_map(&names, opts.threads, |name| {
-        let data = prepare(name, opts.scale, opts.seed);
-        sweep_benchmark(&data, configs, metric)
+    let data: Vec<Arc<BenchData>> = parallel_map(&names, opts.threads, |name| {
+        Arc::new(prepare(name, opts.scale, opts.seed))
     });
+    let prepare_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let plan = engine::plan_single_pass(configs, metric);
+    let jobs: Vec<SweepJob> = match &plan {
+        // Single-pass: the whole series per benchmark is one cheap job.
+        Some(_) => data
+            .iter()
+            .enumerate()
+            .map(|(b, d)| SweepJob {
+                data: Arc::clone(d),
+                bench: b,
+                lo: 0,
+                hi: configs.len(),
+            })
+            .collect(),
+        // Direct: chunk the config grid so the queue stays deeper than
+        // the thread pool even with few benchmarks in flight.
+        None => {
+            let chunk = configs.len().div_ceil(4).max(1);
+            let mut jobs = Vec::new();
+            for (b, d) in data.iter().enumerate() {
+                let mut lo = 0;
+                while lo < configs.len() {
+                    let hi = (lo + chunk).min(configs.len());
+                    jobs.push(SweepJob {
+                        data: Arc::clone(d),
+                        bench: b,
+                        lo,
+                        hi,
+                    });
+                    lo = hi;
+                }
+            }
+            jobs
+        }
+    };
+    let results: Vec<Vec<(f64, f64)>> = parallel_map(&jobs, opts.threads, |job| match &plan {
+        Some(plan) => {
+            let orig = engine::capture_stream(
+                &job.data.orig_streams,
+                &job.data.kernel.launch,
+                &plan.capture_cfg,
+            );
+            let proxy = engine::capture_stream(
+                &job.data.proxy_streams,
+                &job.data.profile.launch,
+                &plan.capture_cfg,
+            );
+            let o = engine::eval_captured(plan, &orig, configs);
+            let p = engine::eval_captured(plan, &proxy, configs);
+            o.values.into_iter().zip(p.values).collect()
+        }
+        None => configs[job.lo..job.hi]
+            .iter()
+            .map(|cfg| {
+                let o = simulate_streams(&job.data.orig_streams, &job.data.kernel.launch, cfg)
+                    .expect("sweep configurations are valid");
+                let p = simulate_streams(&job.data.proxy_streams, &job.data.profile.launch, cfg)
+                    .expect("sweep configurations are valid");
+                (metric.extract(&o), metric.extract(&p))
+            })
+            .collect(),
+    });
+    // Stitch the chunks back into aligned per-benchmark series.
+    let mut orig = vec![vec![0.0f64; configs.len()]; names.len()];
+    let mut proxy = vec![vec![0.0f64; configs.len()]; names.len()];
+    for (job, values) in jobs.iter().zip(results) {
+        for (k, (o, p)) in values.into_iter().enumerate() {
+            orig[job.bench][job.lo + k] = o;
+            proxy[job.bench][job.lo + k] = p;
+        }
+    }
+    let comparisons: Vec<BenchmarkComparison> = names
+        .iter()
+        .enumerate()
+        .map(|(b, name)| {
+            compare_series(
+                name,
+                std::mem::take(&mut orig[b]),
+                std::mem::take(&mut proxy[b]),
+            )
+        })
+        .collect();
+    let sweep_secs = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
     let summary = summarize(comparisons);
     println!("{summary}");
     if let Some(path) = &opts.csv {
@@ -164,6 +314,21 @@ pub fn run_figure(
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
+    let summarize_secs = t2.elapsed().as_secs_f64();
+
+    let points = names.len() * configs.len();
+    println!(
+        "phase timings: prepare {prepare_secs:.2}s  sweep {sweep_secs:.2}s  summarize {summarize_secs:.2}s"
+    );
+    println!(
+        "throughput: {:.0} configs/s over {points} validation points ({})",
+        points as f64 / sweep_secs.max(1e-9),
+        if plan.is_some() {
+            "single-pass engine"
+        } else {
+            "direct simulation"
+        }
+    );
     summary
 }
 
@@ -209,8 +374,12 @@ where
 {
     let threads = threads.max(1);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots_ref = std::sync::Mutex::new(&mut slots);
+    // One cell per output slot: the atomic counter hands each index to
+    // exactly one worker, so writes land in disjoint slots and there is
+    // no shared result funnel to contend on.
+    let cells: Vec<std::sync::Mutex<Option<R>>> = (0..items.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(items.len()) {
             scope.spawn(|| loop {
@@ -219,12 +388,18 @@ where
                     break;
                 }
                 let r = f(&items[i]);
-                let mut guard = slots_ref.lock().expect("no poisoned workers");
-                guard[i] = Some(r);
+                *cells[i].lock().expect("no poisoned workers") = Some(r);
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    cells
+        .into_iter()
+        .map(|c| {
+            c.into_inner()
+                .expect("no poisoned workers")
+                .expect("every slot filled")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -241,6 +416,43 @@ mod tests {
         }
         let empty: Vec<u64> = vec![];
         assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn arg_parsing_does_not_eat_flags_as_values() {
+        let args: Vec<String> = ["--csv", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = ExperimentOpts::parse(&args);
+        // `--csv` has no value (the next token is a flag): left unset.
+        assert_eq!(opts.csv, None);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn arg_parsing_accepts_the_documented_flags() {
+        let args: Vec<String> = [
+            "--scale",
+            "tiny",
+            "--seed",
+            "9",
+            "--threads",
+            "3",
+            "--csv",
+            "out.csv",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = ExperimentOpts::parse(&args);
+        assert_eq!(opts.scale, Scale::Tiny);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.csv.as_deref(), Some("out.csv"));
+        for flag in ["--scale", "--seed", "--threads", "--csv"] {
+            assert!(ExperimentOpts::HELP.contains(flag), "help must list {flag}");
+        }
     }
 
     #[test]

@@ -80,8 +80,11 @@ pub fn l2_prefetch_sweep() -> Vec<SimtConfig> {
                 for degree in [1u32, 2, 4, 8] {
                     let mut cfg = SimtConfig::default();
                     cfg.hierarchy.l2 = cache(size_kb, 8, line);
-                    cfg.hierarchy.l2_prefetch =
-                        Some(StreamPrefetcherConfig { num_streams: 16, window, degree });
+                    cfg.hierarchy.l2_prefetch = Some(StreamPrefetcherConfig {
+                        num_streams: 16,
+                        window,
+                        degree,
+                    });
                     out.push(cfg);
                 }
             }
@@ -174,8 +177,11 @@ mod tests {
     fn validation_point_totals() {
         // Paper: over 540 + 540 + 1296 + 1728 + 198 ≈ 5000 points.
         let n = 18;
-        let total = n * (l1_sweep().len() + l2_sweep().len() + l1_prefetch_sweep().len()
-            + l2_prefetch_sweep().len())
+        let total = n
+            * (l1_sweep().len()
+                + l2_sweep().len()
+                + l1_prefetch_sweep().len()
+                + l2_prefetch_sweep().len())
             + n * dram_sweep().len();
         assert!(total > 4000, "validation points {total}");
     }

@@ -127,7 +127,11 @@ fn simulate_sequence(
     let schedule = per_kernel.last().expect("sequence is non-empty").clone();
     Ok(AppSimOutcome {
         per_kernel,
-        total: SimOutcome { stats, schedule, mem_trace: hier.into_mem_trace() },
+        total: SimOutcome {
+            stats,
+            schedule,
+            mem_trace: hier.into_mem_trace(),
+        },
     })
 }
 
@@ -141,8 +145,11 @@ pub fn run_application_original(
     app: &Application,
     cfg: &SimtConfig,
 ) -> Result<AppSimOutcome, GmapError> {
-    let sequence: Vec<(Vec<WarpStream>, LaunchConfig)> =
-        app.kernels.iter().map(|k| (original_streams(k), k.launch)).collect();
+    let sequence: Vec<(Vec<WarpStream>, LaunchConfig)> = app
+        .kernels
+        .iter()
+        .map(|k| (original_streams(k), k.launch))
+        .collect();
     simulate_sequence(&sequence, cfg)
 }
 
@@ -162,7 +169,12 @@ pub fn run_application_proxy(
         .kernels
         .iter()
         .enumerate()
-        .map(|(i, p)| (generate_streams(p, cfg.seed.wrapping_add(i as u64)), p.launch))
+        .map(|(i, p)| {
+            (
+                generate_streams(p, cfg.seed.wrapping_add(i as u64)),
+                p.launch,
+            )
+        })
         .collect();
     simulate_sequence(&sequence, cfg)
 }
@@ -172,10 +184,11 @@ mod tests {
     use super::*;
     use gmap_gpu::app::apps;
     use gmap_gpu::workloads::Scale;
+    use gmap_memsim::hierarchy::TraceCapture;
 
     fn cfg() -> SimtConfig {
         let mut cfg = SimtConfig::default();
-        cfg.hierarchy.record_mem_trace = true;
+        cfg.hierarchy.trace_capture = TraceCapture::Full;
         cfg
     }
 
@@ -205,7 +218,10 @@ mod tests {
         let first_k1 = cycles.first().copied().expect("traffic exists");
         let last = cycles.last().copied().expect("traffic exists");
         assert!(last >= first_k1);
-        assert!(last >= out.per_kernel[0].cycles, "later kernels shifted past kernel 0");
+        assert!(
+            last >= out.per_kernel[0].cycles,
+            "later kernels shifted past kernel 0"
+        );
     }
 
     #[test]
@@ -241,7 +257,10 @@ mod tests {
 
     #[test]
     fn empty_app_profile_rejected() {
-        let empty = AppProfile { name: "x".into(), kernels: vec![] };
+        let empty = AppProfile {
+            name: "x".into(),
+            kernels: vec![],
+        };
         assert!(matches!(empty.validate(), Err(GmapError::EmptyProfile)));
         assert!(run_application_proxy(&empty, &cfg()).is_err());
     }

@@ -72,8 +72,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(GmapError::EmptyProfile.to_string().contains("no memory accesses"));
-        assert!(GmapError::BadScaleFactor { factor: -1.0 }.to_string().contains("-1"));
+        assert!(GmapError::EmptyProfile
+            .to_string()
+            .contains("no memory accesses"));
+        assert!(GmapError::BadScaleFactor { factor: -1.0 }
+            .to_string()
+            .contains("-1"));
     }
 
     #[test]

@@ -151,8 +151,8 @@ pub fn analyze(profile: &GmapProfile) -> FidelityReport {
     let path_dominance = profile.profile_weights.dominant().map_or(1.0, |(_, f)| f);
 
     // Equal-weight blend; entropy enters inverted (low entropy = good).
-    let score = (inter + intra + (1.0 - reuse_entropy) + structural_coverage + path_dominance)
-        / 5.0;
+    let score =
+        (inter + intra + (1.0 - reuse_entropy) + structural_coverage + path_dominance) / 5.0;
     let class = if score >= 0.8 {
         FidelityClass::High
     } else if score >= 0.55 {
@@ -243,6 +243,9 @@ mod tests {
     fn serde_round_trip() {
         let r = report("lib");
         let json = serde_json::to_string(&r).expect("serialize");
-        assert_eq!(serde_json::from_str::<FidelityReport>(&json).expect("deserialize"), r);
+        assert_eq!(
+            serde_json::from_str::<FidelityReport>(&json).expect("deserialize"),
+            r
+        );
     }
 }

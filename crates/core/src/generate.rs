@@ -34,16 +34,16 @@ pub fn generate_streams(profile: &GmapProfile, seed: u64) -> Vec<WarpStream> {
     let line = profile.line_size;
     // Samplers are immutable snapshots; build once.
     let q_sampler = profile.profile_weights.sampler();
-    let inter: Vec<HistSampler<i64>> =
-        profile.inter_stride.iter().map(|h| h.sampler()).collect();
-    let intra: Vec<HistSampler<i64>> =
-        profile.intra_stride.iter().map(|h| h.sampler()).collect();
+    let inter: Vec<HistSampler<i64>> = profile.inter_stride.iter().map(|h| h.sampler()).collect();
+    let intra: Vec<HistSampler<i64>> = profile.intra_stride.iter().map(|h| h.sampler()).collect();
     let txn: Vec<HistSampler<u32>> = profile.txn_count.iter().map(|h| h.sampler()).collect();
     let span: Vec<HistSampler<u64>> = profile.txn_span.iter().map(|h| h.sampler()).collect();
-    let reuse: Vec<HistSampler<u64>> =
-        profile.reuse.iter().map(|r| r.distances().sampler()).collect();
-    let pc_reuse: Vec<HistSampler<u32>> =
-        profile.pc_reuse.iter().map(|h| h.sampler()).collect();
+    let reuse: Vec<HistSampler<u64>> = profile
+        .reuse
+        .iter()
+        .map(|r| r.distances().sampler())
+        .collect();
+    let pc_reuse: Vec<HistSampler<u32>> = profile.pc_reuse.iter().map(|h| h.sampler()).collect();
 
     let mut rng = Rng::seed_from(seed ^ 0x6AA9_0000_CAFE);
     let total_warps = profile.launch.total_warps(profile.warp_size);
@@ -161,7 +161,11 @@ pub fn generate_streams(profile: &GmapProfile, seed: u64) -> Vec<WarpStream> {
                 let mut lines = Vec::with_capacity(n_txn as usize);
                 let mut pos = 0u64;
                 for i in 0..n_txn {
-                    let j = if jitter > 0 { rng.gen_range(jitter + 1) } else { 0 };
+                    let j = if jitter > 0 {
+                        rng.gen_range(jitter + 1)
+                    } else {
+                        0
+                    };
                     lines.push(ByteAddr(addr + (pos + j) * line));
                     pos += step.max(1);
                     let _ = i;
@@ -285,10 +289,15 @@ mod tests {
         // A profile whose distributions are all single-valued generates the
         // same clone for ANY seed — that's correct: there is nothing to
         // sample. Seed sensitivity shows on a stochastic profile instead.
-        let stochastic =
-            profile_kernel(&workloads::bfs(Scale::Tiny), &ProfilerConfig::default());
-        assert_eq!(generate_streams(&stochastic, 3), generate_streams(&stochastic, 3));
-        assert_ne!(generate_streams(&stochastic, 3), generate_streams(&stochastic, 4));
+        let stochastic = profile_kernel(&workloads::bfs(Scale::Tiny), &ProfilerConfig::default());
+        assert_eq!(
+            generate_streams(&stochastic, 3),
+            generate_streams(&stochastic, 3)
+        );
+        assert_ne!(
+            generate_streams(&stochastic, 3),
+            generate_streams(&stochastic, 4)
+        );
     }
 
     #[test]
@@ -298,9 +307,7 @@ mod tests {
         let mut merged = ReuseHistogram::new();
         for s in &streams {
             let lines = s.events.iter().flat_map(|e| match e {
-                WarpStreamEvent::Access(a) => {
-                    a.lines.iter().map(|l| l.0 / 128).collect::<Vec<_>>()
-                }
+                WarpStreamEvent::Access(a) => a.lines.iter().map(|l| l.0 / 128).collect::<Vec<_>>(),
                 WarpStreamEvent::Sync => vec![],
             });
             merged.merge(&ReuseHistogram::from_lines(lines));

@@ -91,7 +91,11 @@ pub fn warp_streams_from_entries(
                     lines: coalesce_addrs(&addrs, line_size),
                 }));
             }
-            WarpStream { warp: WarpId(w), block, events }
+            WarpStream {
+                warp: WarpId(w),
+                block,
+                events,
+            }
         })
         .collect()
 }
@@ -148,7 +152,14 @@ mod tests {
     use gmap_trace::record::{AccessKind, MemAccess, ThreadId};
 
     fn entry(tid: u32, pc: u64, addr: u64) -> TraceEntry {
-        (ThreadId(tid), MemAccess { pc: Pc(pc), addr: ByteAddr(addr), kind: AccessKind::Read })
+        (
+            ThreadId(tid),
+            MemAccess {
+                pc: Pc(pc),
+                addr: ByteAddr(addr),
+                kind: AccessKind::Read,
+            },
+        )
     }
 
     /// 2 warps x 32 threads, unit stride, two instructions per thread.
@@ -220,8 +231,13 @@ mod tests {
     #[test]
     fn profile_from_thread_trace() {
         let launch = LaunchConfig::new(1u32, 64u32);
-        let p = profile_thread_trace("ingested", &lockstep_entries(), &launch, &ProfilerConfig::default())
-            .expect("valid trace");
+        let p = profile_thread_trace(
+            "ingested",
+            &lockstep_entries(),
+            &launch,
+            &ProfilerConfig::default(),
+        )
+        .expect("valid trace");
         assert_eq!(p.num_slots(), 2);
         let slot = p.slot_of(Pc(0x10)).expect("profiled");
         assert_eq!(p.inter_stride[slot].dominant().expect("non-empty").0, 128);

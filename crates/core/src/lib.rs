@@ -49,8 +49,8 @@
 pub mod application;
 pub mod error;
 pub mod fidelity;
-pub mod ingest;
 pub mod generate;
+pub mod ingest;
 pub mod miniaturize;
 pub mod model;
 pub mod profile;
@@ -58,8 +58,7 @@ pub mod profiler;
 pub mod validate;
 
 pub use application::{
-    profile_application, run_application_original, run_application_proxy, AppProfile,
-    AppSimOutcome,
+    profile_application, run_application_original, run_application_proxy, AppProfile, AppSimOutcome,
 };
 pub use error::GmapError;
 pub use fidelity::{FidelityClass, FidelityReport};

@@ -53,7 +53,11 @@ pub fn miniaturize(profile: &GmapProfile, factor: f64) -> Result<GmapProfile, Gm
         kept += w * p.num_accesses() as u64;
         orig += w * profile.profiles[i].num_accesses() as u64;
     }
-    let f_intra = if kept == 0 { 1.0 } else { orig as f64 / kept as f64 };
+    let f_intra = if kept == 0 {
+        1.0
+    } else {
+        orig as f64 / kept as f64
+    };
 
     // --- Inter-thread shrinking. ------------------------------------------
     let f_inter = (factor / f_intra).max(1.0);
@@ -79,7 +83,11 @@ pub fn miniaturize(profile: &GmapProfile, factor: f64) -> Result<GmapProfile, Gm
         for h in &mut out.pc_reuse {
             let mut contracted = gmap_trace::Histogram::new();
             for (d, c) in h.iter() {
-                let nd = if d == 0 { 0 } else { (d as u64 / step).max(1) as u32 };
+                let nd = if d == 0 {
+                    0
+                } else {
+                    (d as u64 / step).max(1) as u32
+                };
                 contracted.add_n(nd, c);
             }
             *h = contracted;
@@ -142,7 +150,7 @@ fn thin_profile(p: &PiProfile, step: u64) -> PiProfile {
             PiEntry::Sync => true,
             PiEntry::Mem(slot) => {
                 let c = occ.entry(*slot).or_insert(0);
-                let keep = *c % step == 0;
+                let keep = (*c).is_multiple_of(step);
                 *c += 1;
                 keep
             }
@@ -160,7 +168,10 @@ mod tests {
     use gmap_gpu::workloads::{self, Scale};
 
     fn base_profile() -> GmapProfile {
-        profile_kernel(&workloads::scalarprod(Scale::Small), &ProfilerConfig::default())
+        profile_kernel(
+            &workloads::scalarprod(Scale::Small),
+            &ProfilerConfig::default(),
+        )
     }
 
     #[test]
@@ -214,7 +225,12 @@ mod tests {
         // occurrence and the barrier are kept.
         assert_eq!(
             t.entries,
-            vec![PiEntry::Mem(0), PiEntry::Mem(1), PiEntry::Sync, PiEntry::Mem(0)]
+            vec![
+                PiEntry::Mem(0),
+                PiEntry::Mem(1),
+                PiEntry::Sync,
+                PiEntry::Mem(0)
+            ]
         );
     }
 

@@ -23,7 +23,9 @@ use gmap_gpu::exec::execute_kernel;
 use gmap_gpu::hierarchy::{GpuConfig, LaunchConfig};
 use gmap_gpu::kernel::KernelDesc;
 use gmap_gpu::schedule::{run_schedule, Policy, ScheduleOutcome, WarpStream};
-use gmap_memsim::hierarchy::{GpuHierarchy, HierarchyConfig, HierarchyStats, MemRequest};
+use gmap_memsim::hierarchy::{
+    GpuHierarchy, HierarchyConfig, HierarchyStats, MemRequest, TraceCapture,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one simulation run.
@@ -48,6 +50,16 @@ impl Default for SimtConfig {
             policy: Policy::Lrr,
             seed: 1,
         }
+    }
+}
+
+impl SimtConfig {
+    /// Returns a copy with the given trace-capture mode. Miss-rate sweeps
+    /// run with [`TraceCapture::Off`] so no `mem_trace` is materialized;
+    /// DRAM experiments need [`TraceCapture::Full`].
+    pub fn with_trace_capture(mut self, capture: TraceCapture) -> Self {
+        self.hierarchy.trace_capture = capture;
+        self
     }
 }
 
@@ -79,7 +91,11 @@ impl SimOutcome {
         let reqs: Vec<DramRequest> = self
             .mem_trace
             .iter()
-            .map(|m| DramRequest { cycle: m.cycle, addr: m.addr, kind: m.kind })
+            .map(|m| DramRequest {
+                cycle: m.cycle,
+                addr: m.addr,
+                kind: m.kind,
+            })
             .collect();
         DramSystem::new(cfg).run(&reqs)
     }
@@ -104,7 +120,11 @@ pub fn simulate_streams(
     let mut hier = GpuHierarchy::new(cfg.hierarchy)?;
     let schedule = run_schedule(streams, launch, &cfg.gpu, cfg.policy, &mut hier, cfg.seed);
     let stats = hier.stats();
-    Ok(SimOutcome { stats, schedule, mem_trace: hier.into_mem_trace() })
+    Ok(SimOutcome {
+        stats,
+        schedule,
+        mem_trace: hier.into_mem_trace(),
+    })
 }
 
 /// Runs the original application on a configuration.
@@ -139,7 +159,7 @@ mod tests {
 
     fn quick_cfg() -> SimtConfig {
         let mut cfg = SimtConfig::default();
-        cfg.hierarchy.record_mem_trace = true;
+        cfg.hierarchy.trace_capture = TraceCapture::Full;
         cfg
     }
 
@@ -156,7 +176,10 @@ mod tests {
     #[test]
     fn proxy_tracks_original_l1_miss_rate() {
         // The headline behaviour: clone miss rate close to the original.
-        for k in [workloads::scalarprod(Scale::Tiny), workloads::kmeans(Scale::Tiny)] {
+        for k in [
+            workloads::scalarprod(Scale::Tiny),
+            workloads::kmeans(Scale::Tiny),
+        ] {
             let cfg = quick_cfg();
             let orig = run_original(&k, &cfg).expect("valid config");
             let profile = profile_kernel(&k, &ProfilerConfig::default());
@@ -181,9 +204,14 @@ mod tests {
         let mut big = quick_cfg();
         big.hierarchy.l1 =
             CacheConfig::new(128 * 1024, 4, 128, ReplacementPolicy::Lru).expect("valid");
-        let m_small = run_original(&k, &small).expect("valid config").l1_miss_pct();
+        let m_small = run_original(&k, &small)
+            .expect("valid config")
+            .l1_miss_pct();
         let m_big = run_original(&k, &big).expect("valid config").l1_miss_pct();
-        assert!(m_big <= m_small, "bigger L1 should not miss more: {m_big} vs {m_small}");
+        assert!(
+            m_big <= m_small,
+            "bigger L1 should not miss more: {m_big} vs {m_small}"
+        );
     }
 
     #[test]
@@ -227,8 +255,14 @@ mod tests {
         lrr.policy = Policy::Lrr;
         let mut gto = quick_cfg();
         gto.policy = Policy::Gto;
-        let p_lrr = run_original(&k, &lrr).expect("valid config").schedule.sched_p_self;
-        let p_gto = run_original(&k, &gto).expect("valid config").schedule.sched_p_self;
+        let p_lrr = run_original(&k, &lrr)
+            .expect("valid config")
+            .schedule
+            .sched_p_self;
+        let p_gto = run_original(&k, &gto)
+            .expect("valid config")
+            .schedule
+            .sched_p_self;
         assert!(p_gto > p_lrr, "GTO SchedP_self {p_gto} <= LRR {p_lrr}");
     }
 }

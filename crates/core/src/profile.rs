@@ -38,7 +38,10 @@ pub struct PiProfile {
 impl PiProfile {
     /// Number of memory entries (barriers excluded).
     pub fn num_accesses(&self) -> usize {
-        self.entries.iter().filter(|e| matches!(e, PiEntry::Mem(_))).count()
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, PiEntry::Mem(_)))
+            .count()
     }
 
     /// Positional similarity with another profile: identical entries in
@@ -266,11 +269,16 @@ mod tests {
                 PiProfile {
                     entries: vec![PiEntry::Mem(0), PiEntry::Mem(0), PiEntry::Mem(1)],
                 },
-                PiProfile { entries: vec![PiEntry::Mem(0), PiEntry::Sync, PiEntry::Mem(1)] },
+                PiProfile {
+                    entries: vec![PiEntry::Mem(0), PiEntry::Sync, PiEntry::Mem(1)],
+                },
             ],
             profile_weights: weights,
             base_addrs: vec![ByteAddr(0x1000), ByteAddr(0x8000)],
-            inter_stride: vec![[128i64].into_iter().collect(), [256i64].into_iter().collect()],
+            inter_stride: vec![
+                [128i64].into_iter().collect(),
+                [256i64].into_iter().collect(),
+            ],
             intra_stride: vec![[64i64].into_iter().collect(), Histogram::new()],
             pc_reuse: vec![[0u32].into_iter().collect(), [0u32].into_iter().collect()],
             pc_reuse_schedule: vec![vec![Some(0), Some(0)], vec![Some(0)]],
@@ -286,19 +294,27 @@ mod tests {
 
     #[test]
     fn similarity_matches_paper_definition() {
-        let a = PiProfile { entries: vec![PiEntry::Mem(0), PiEntry::Mem(1), PiEntry::Mem(2)] };
-        let b = PiProfile { entries: vec![PiEntry::Mem(0), PiEntry::Mem(9), PiEntry::Mem(2)] };
+        let a = PiProfile {
+            entries: vec![PiEntry::Mem(0), PiEntry::Mem(1), PiEntry::Mem(2)],
+        };
+        let b = PiProfile {
+            entries: vec![PiEntry::Mem(0), PiEntry::Mem(9), PiEntry::Mem(2)],
+        };
         assert!((a.similarity(&b) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(a.similarity(&a), 1.0);
         // Different lengths: normalized by the longer one.
-        let c = PiProfile { entries: vec![PiEntry::Mem(0)] };
+        let c = PiProfile {
+            entries: vec![PiEntry::Mem(0)],
+        };
         assert!((a.similarity(&c) - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(PiProfile::default().similarity(&PiProfile::default()), 1.0);
     }
 
     #[test]
     fn num_accesses_excludes_sync() {
-        let p = PiProfile { entries: vec![PiEntry::Mem(0), PiEntry::Sync, PiEntry::Mem(1)] };
+        let p = PiProfile {
+            entries: vec![PiEntry::Mem(0), PiEntry::Sync, PiEntry::Mem(1)],
+        };
         assert_eq!(p.num_accesses(), 2);
     }
 

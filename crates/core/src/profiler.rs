@@ -34,7 +34,11 @@ pub struct ProfilerConfig {
 
 impl Default for ProfilerConfig {
     fn default() -> Self {
-        ProfilerConfig { line_size: COALESCE_BYTES, cluster_threshold: 0.9, max_profiles: 32 }
+        ProfilerConfig {
+            line_size: COALESCE_BYTES,
+            cluster_threshold: 0.9,
+            max_profiles: 32,
+        }
     }
 }
 
@@ -254,8 +258,8 @@ pub fn profile_streams(
                     if !a.lines.is_empty() {
                         txn_count[slot].add(a.lines.len() as u32);
                         if a.lines.len() > 1 {
-                            let span = (a.lines[a.lines.len() - 1].0 - a.lines[0].0)
-                                / cfg.line_size;
+                            let span =
+                                (a.lines[a.lines.len() - 1].0 - a.lines[0].0) / cfg.line_size;
                             txn_span[slot].add(span);
                         }
                     }
@@ -419,9 +423,16 @@ mod tests {
         assert_eq!(loose.profiles.len(), 1, "95%-similar paths merge at Th=0.9");
         let strict = profile_kernel(
             &k,
-            &ProfilerConfig { cluster_threshold: 0.99, ..ProfilerConfig::default() },
+            &ProfilerConfig {
+                cluster_threshold: 0.99,
+                ..ProfilerConfig::default()
+            },
         );
-        assert_eq!(strict.profiles.len(), 2, "95%-similar paths split at Th=0.99");
+        assert_eq!(
+            strict.profiles.len(),
+            2,
+            "95%-similar paths split at Th=0.99"
+        );
     }
 
     #[test]
@@ -447,7 +458,10 @@ mod tests {
         let dominant_profile = p.profile_weights.dominant().expect("non-empty").0;
         assert_eq!(p.reuse[dominant_profile].class(), ReuseClass::High);
         // scalarprod is streaming.
-        let p = profile_kernel(&workloads::scalarprod(Scale::Tiny), &ProfilerConfig::default());
+        let p = profile_kernel(
+            &workloads::scalarprod(Scale::Tiny),
+            &ProfilerConfig::default(),
+        );
         let dom = p.profile_weights.dominant().expect("non-empty").0;
         assert_eq!(p.reuse[dom].class(), ReuseClass::Low);
     }

@@ -15,9 +15,17 @@ fn arb_kernel() -> impl Strategy<Value = gmap_gpu::kernel::KernelDesc> {
                 .array("a", 1 << 16)
                 .stmt(dsl::loop_n(
                     trip,
-                    vec![dsl::read(0x10, 0, dsl::affine(0, tid_coef, vec![(0, iter_coef)]))],
+                    vec![dsl::read(
+                        0x10,
+                        0,
+                        dsl::affine(0, tid_coef, vec![(0, iter_coef)]),
+                    )],
                 ))
-                .write(gmap_trace::record::Pc(0x20), 0, gmap_gpu::kernel::IndexExpr::tid_linear(0, 1))
+                .write(
+                    gmap_trace::record::Pc(0x20),
+                    0,
+                    gmap_gpu::kernel::IndexExpr::tid_linear(0, 1),
+                )
                 .build()
                 .expect("construction is valid by design")
         },

@@ -217,11 +217,21 @@ impl DramSystem {
         } else {
             total.row_hits as f64 / total.requests as f64
         };
-        total.avg_read_latency =
-            if total.reads == 0 { 0.0 } else { read_lat_sum as f64 / total.reads as f64 };
-        total.avg_write_latency =
-            if total.writes == 0 { 0.0 } else { write_lat_sum as f64 / total.writes as f64 };
-        total.avg_queue_len = if busy_time == 0 { 0.0 } else { queue_area / busy_time as f64 };
+        total.avg_read_latency = if total.reads == 0 {
+            0.0
+        } else {
+            read_lat_sum as f64 / total.reads as f64
+        };
+        total.avg_write_latency = if total.writes == 0 {
+            0.0
+        } else {
+            write_lat_sum as f64 / total.writes as f64
+        };
+        total.avg_queue_len = if busy_time == 0 {
+            0.0
+        } else {
+            queue_area / busy_time as f64
+        };
         total
     }
 
@@ -244,10 +254,7 @@ impl DramSystem {
             // Admit arrivals, up to the controller buffer capacity —
             // senders stall when the queue is full.
             const QUEUE_CAPACITY: usize = 4096;
-            while next < reqs.len()
-                && reqs[next].arrival <= now
-                && queue.len() < QUEUE_CAPACITY
-            {
+            while next < reqs.len() && reqs[next].arrival <= now && queue.len() < QUEUE_CAPACITY {
                 queue.push_back(reqs[next].clone());
                 next += 1;
             }
@@ -291,7 +298,11 @@ impl DramSystem {
             // separately so commands pipeline under transfers.
             let mut start = now.max(bank.ready_at);
             if let Some((group, at)) = last_col {
-                let gap = if group == p.bank_group { timing.t_ccd_l } else { timing.t_ccd };
+                let gap = if group == p.bank_group {
+                    timing.t_ccd_l
+                } else {
+                    timing.t_ccd
+                };
                 start = start.max(at + gap);
             }
             let (mut data_at, hit) = match bank.open_row {
@@ -424,11 +435,16 @@ mod tests {
         // Burst arrival of interleaved rows: FR-FCFS batches by row and
         // gets more hits than FCFS.
         let row_bytes = 32 * 128u64;
-        let addrs: Vec<u64> =
-            (0..32).map(|i| (i % 2) * row_bytes + (i / 2) * 128).collect();
+        let addrs: Vec<u64> = (0..32)
+            .map(|i| (i % 2) * row_bytes + (i / 2) * 128)
+            .collect();
         let all_at_once: Vec<DramRequest> = addrs
             .iter()
-            .map(|&a| DramRequest { cycle: 0, addr: ByteAddr(a), kind: AccessKind::Read })
+            .map(|&a| DramRequest {
+                cycle: 0,
+                addr: ByteAddr(a),
+                kind: AccessKind::Read,
+            })
             .collect();
         let mut fr = one_bank();
         fr.scheduler = MemSched::FrFcfs;
@@ -450,7 +466,11 @@ mod tests {
         let addrs: Vec<u64> = (0..64).map(|i| i * 128).collect();
         let burst: Vec<DramRequest> = addrs
             .iter()
-            .map(|&a| DramRequest { cycle: 0, addr: ByteAddr(a), kind: AccessKind::Read })
+            .map(|&a| DramRequest {
+                cycle: 0,
+                addr: ByteAddr(a),
+                kind: AccessKind::Read,
+            })
             .collect();
         let spaced = reads(&addrs, 200);
         let m_burst = DramSystem::new(one_bank()).run(&burst);
@@ -469,7 +489,11 @@ mod tests {
         let addrs: Vec<u64> = (0..256).map(|i| i * 128).collect();
         let burst: Vec<DramRequest> = addrs
             .iter()
-            .map(|&a| DramRequest { cycle: 0, addr: ByteAddr(a), kind: AccessKind::Read })
+            .map(|&a| DramRequest {
+                cycle: 0,
+                addr: ByteAddr(a),
+                kind: AccessKind::Read,
+            })
             .collect();
         let mut narrow = DramConfig::table2_baseline();
         narrow.geometry.channels = 1;
@@ -484,9 +508,21 @@ mod tests {
     #[test]
     fn writes_are_tracked_separately() {
         let reqs = vec![
-            DramRequest { cycle: 0, addr: ByteAddr(0), kind: AccessKind::Read },
-            DramRequest { cycle: 10, addr: ByteAddr(128), kind: AccessKind::Write },
-            DramRequest { cycle: 20, addr: ByteAddr(256), kind: AccessKind::Write },
+            DramRequest {
+                cycle: 0,
+                addr: ByteAddr(0),
+                kind: AccessKind::Read,
+            },
+            DramRequest {
+                cycle: 10,
+                addr: ByteAddr(128),
+                kind: AccessKind::Write,
+            },
+            DramRequest {
+                cycle: 20,
+                addr: ByteAddr(256),
+                kind: AccessKind::Write,
+            },
         ];
         let m = DramSystem::new(one_bank()).run(&reqs);
         assert_eq!((m.reads, m.writes), (1, 2));

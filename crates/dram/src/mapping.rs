@@ -76,7 +76,10 @@ impl DramGeometry {
             ("columns", self.columns),
             ("bus_width_bytes", self.bus_width_bytes),
         ] {
-            assert!(v != 0 && v.is_power_of_two(), "{name} = {v} must be a non-zero power of two");
+            assert!(
+                v != 0 && v.is_power_of_two(),
+                "{name} = {v} must be a non-zero power of two"
+            );
         }
         assert!(
             self.bank_groups <= self.banks,
@@ -145,7 +148,13 @@ pub fn decompose(addr: u64, geom: &DramGeometry, mapping: AddressMapping) -> Dra
             let rank = take(&mut bits, geom.ranks) as u32;
             let bank = take(&mut bits, geom.banks) as u32;
             let row = bits;
-            DramLoc { channel, rank, bank, row, column }
+            DramLoc {
+                channel,
+                rank,
+                bank,
+                row,
+                column,
+            }
         }
         AddressMapping::ChRaBaRoCo => {
             let column = take(&mut bits, geom.columns) as u32;
@@ -156,7 +165,13 @@ pub fn decompose(addr: u64, geom: &DramGeometry, mapping: AddressMapping) -> Dra
             let bank = take(&mut bits, geom.banks) as u32;
             let rank = take(&mut bits, geom.ranks) as u32;
             let channel = take(&mut bits, geom.channels) as u32;
-            DramLoc { channel, rank, bank, row, column }
+            DramLoc {
+                channel,
+                rank,
+                bank,
+                row,
+                column,
+            }
         }
     }
 }
@@ -174,8 +189,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        DramGeometry { channels: 3, ranks: 1, banks: 8, bank_groups: 1, columns: 32, bus_width_bytes: 8 }
-            .assert_valid();
+        DramGeometry {
+            channels: 3,
+            ranks: 1,
+            banks: 8,
+            bank_groups: 1,
+            columns: 32,
+            bus_width_bytes: 8,
+        }
+        .assert_valid();
     }
 
     #[test]
@@ -200,7 +222,14 @@ mod tests {
 
     #[test]
     fn decomposition_stays_in_bounds() {
-        let g = DramGeometry { channels: 4, ranks: 2, banks: 8, bank_groups: 2, columns: 64, bus_width_bytes: 8 };
+        let g = DramGeometry {
+            channels: 4,
+            ranks: 2,
+            banks: 8,
+            bank_groups: 2,
+            columns: 64,
+            bus_width_bytes: 8,
+        };
         for mapping in [AddressMapping::RoBaRaCoCh, AddressMapping::ChRaBaRoCo] {
             for i in 0..10_000u64 {
                 let loc = decompose(i * 333 * 128, &g, mapping);

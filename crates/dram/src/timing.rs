@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "positive")]
-    fn gddr5_rejects_zero_width()    {
+    fn gddr5_rejects_zero_width() {
         DramTiming::gddr5(0);
     }
 
@@ -183,6 +183,9 @@ mod tests {
     fn serde_round_trip() {
         let t = DramTiming::gddr5(32);
         let json = serde_json::to_string(&t).expect("serialize");
-        assert_eq!(serde_json::from_str::<DramTiming>(&json).expect("deserialize"), t);
+        assert_eq!(
+            serde_json::from_str::<DramTiming>(&json).expect("deserialize"),
+            t
+        );
     }
 }

@@ -18,7 +18,11 @@ fn requests(
                 DramRequest {
                     cycle,
                     addr: ByteAddr(line * 128),
-                    kind: if w { AccessKind::Write } else { AccessKind::Read },
+                    kind: if w {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
                 }
             })
             .collect()
@@ -26,7 +30,10 @@ fn requests(
 }
 
 fn any_mapping() -> impl Strategy<Value = AddressMapping> {
-    prop_oneof![Just(AddressMapping::RoBaRaCoCh), Just(AddressMapping::ChRaBaRoCo)]
+    prop_oneof![
+        Just(AddressMapping::RoBaRaCoCh),
+        Just(AddressMapping::ChRaBaRoCo)
+    ]
 }
 
 fn any_sched() -> impl Strategy<Value = MemSched> {

@@ -25,13 +25,22 @@ impl Application {
     ///
     /// Panics if `kernels` is empty.
     pub fn new(name: &str, kernels: Vec<KernelDesc>) -> Self {
-        assert!(!kernels.is_empty(), "an application needs at least one kernel");
-        Application { name: name.to_owned(), kernels }
+        assert!(
+            !kernels.is_empty(),
+            "an application needs at least one kernel"
+        );
+        Application {
+            name: name.to_owned(),
+            kernels,
+        }
     }
 
     /// A single-kernel application.
     pub fn single(kernel: KernelDesc) -> Self {
-        Application { name: kernel.name.clone(), kernels: vec![kernel] }
+        Application {
+            name: kernel.name.clone(),
+            kernels: vec![kernel],
+        }
     }
 
     /// Total memory footprint across kernels (arrays are per-kernel in

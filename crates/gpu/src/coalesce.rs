@@ -44,9 +44,12 @@ pub fn coalesce_app(app: &AppTrace, line_size: u64) -> Vec<WarpStream> {
                 .events
                 .iter()
                 .map(|ev| match ev {
-                    WarpEvent::Access { pc, kind, lane_addrs } => {
-                        let addrs: Vec<ByteAddr> =
-                            lane_addrs.iter().map(|&(_, a)| a).collect();
+                    WarpEvent::Access {
+                        pc,
+                        kind,
+                        lane_addrs,
+                    } => {
+                        let addrs: Vec<ByteAddr> = lane_addrs.iter().map(|&(_, a)| a).collect();
                         WarpStreamEvent::Access(CoalescedAccess {
                             pc: *pc,
                             kind: *kind,
@@ -56,7 +59,11 @@ pub fn coalesce_app(app: &AppTrace, line_size: u64) -> Vec<WarpStream> {
                     WarpEvent::Sync => WarpStreamEvent::Sync,
                 })
                 .collect();
-            WarpStream { warp: wt.warp, block: wt.block, events }
+            WarpStream {
+                warp: wt.warp,
+                block: wt.block,
+                events,
+            }
         })
         .collect()
 }
@@ -64,8 +71,8 @@ pub fn coalesce_app(app: &AppTrace, line_size: u64) -> Vec<WarpStream> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::{IndexExpr, KernelBuilder};
     use crate::exec::execute_kernel;
+    use crate::kernel::{IndexExpr, KernelBuilder};
     use gmap_trace::record::Pc;
 
     #[test]
@@ -78,7 +85,10 @@ mod tests {
     fn misaligned_warp_spans_two_lines() {
         // Unit-stride but starting 64 bytes into a line.
         let addrs: Vec<ByteAddr> = (0..32).map(|i| ByteAddr(4096 + 64 + 4 * i)).collect();
-        assert_eq!(coalesce_addrs(&addrs, 128), vec![ByteAddr(4096), ByteAddr(4224)]);
+        assert_eq!(
+            coalesce_addrs(&addrs, 128),
+            vec![ByteAddr(4096), ByteAddr(4224)]
+        );
     }
 
     #[test]

@@ -88,13 +88,25 @@ impl AppTrace {
         let mut out = Vec::new();
         for wt in &self.warps {
             for ev in &wt.events {
-                if let WarpEvent::Access { pc, kind, lane_addrs } = ev {
+                if let WarpEvent::Access {
+                    pc,
+                    kind,
+                    lane_addrs,
+                } = ev
+                {
                     for &(lane, addr) in lane_addrs {
                         let tid = self
                             .launch
                             .thread_of(wt.warp, lane as u32, self.warp_size)
                             .expect("active lane maps to a live thread");
-                        out.push((tid, gmap_trace::record::MemAccess { pc: *pc, addr, kind: *kind }));
+                        out.push((
+                            tid,
+                            gmap_trace::record::MemAccess {
+                                pc: *pc,
+                                addr,
+                                kind: *kind,
+                            },
+                        ));
                     }
                 }
             }
@@ -123,10 +135,15 @@ pub fn execute_kernel_with(kernel: &KernelDesc, warp_size: u32) -> AppTrace {
     for w in 0..total_warps {
         let warp = WarpId(w);
         let block = launch.block_of_warp(warp, warp_size);
-        let lanes: Vec<Option<ThreadId>> =
-            (0..warp_size).map(|lane| launch.thread_of(warp, lane, warp_size)).collect();
-        let initial_mask: u64 =
-            lanes.iter().enumerate().filter(|(_, t)| t.is_some()).map(|(i, _)| 1u64 << i).sum();
+        let lanes: Vec<Option<ThreadId>> = (0..warp_size)
+            .map(|lane| launch.thread_of(warp, lane, warp_size))
+            .collect();
+        let initial_mask: u64 = lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .map(|(i, _)| 1u64 << i)
+            .sum();
         let mut exec = WarpExec {
             kernel,
             warp: w,
@@ -136,9 +153,18 @@ pub fn execute_kernel_with(kernel: &KernelDesc, warp_size: u32) -> AppTrace {
             events: Vec::new(),
         };
         exec.run(&kernel.body, initial_mask);
-        warps.push(WarpTrace { warp, block, events: exec.events });
+        warps.push(WarpTrace {
+            warp,
+            block,
+            events: exec.events,
+        });
     }
-    AppTrace { name: kernel.name.clone(), launch, warp_size, warps }
+    AppTrace {
+        name: kernel.name.clone(),
+        launch,
+        warp_size,
+        warps,
+    }
 }
 
 /// Per-warp execution state.
@@ -213,7 +239,11 @@ impl WarpExec<'_> {
                         self.iters.pop();
                     }
                 }
-                Stmt::If { pred, then_body, else_body } => {
+                Stmt::If {
+                    pred,
+                    then_body,
+                    else_body,
+                } => {
                     let mut then_mask = 0u64;
                     for lane in 0..self.lanes.len() {
                         if mask & (1 << lane) == 0 {
@@ -271,8 +301,10 @@ mod tests {
             panic!("expected access event");
         }
         // Second warp of block 0 starts 32 elements later.
-        if let (WarpEvent::Access { lane_addrs: a0, .. }, WarpEvent::Access { lane_addrs: a1, .. }) =
-            (&app.warps[0].events[0], &app.warps[1].events[0])
+        if let (
+            WarpEvent::Access { lane_addrs: a0, .. },
+            WarpEvent::Access { lane_addrs: a1, .. },
+        ) = (&app.warps[0].events[0], &app.warps[1].events[0])
         {
             assert_eq!(a1[0].1 .0 - a0[0].1 .0, 32 * 4);
         } else {
@@ -315,8 +347,16 @@ mod tests {
         assert_eq!(evs.len(), 2);
         match (&evs[0], &evs[1]) {
             (
-                WarpEvent::Access { pc: p0, lane_addrs: a0, .. },
-                WarpEvent::Access { pc: p1, lane_addrs: a1, .. },
+                WarpEvent::Access {
+                    pc: p0,
+                    lane_addrs: a0,
+                    ..
+                },
+                WarpEvent::Access {
+                    pc: p1,
+                    lane_addrs: a1,
+                    ..
+                },
             ) => {
                 assert_eq!((*p0, a0.len()), (Pc(0x10), 8));
                 assert_eq!((*p1, a1.len()), (Pc(0x20), 24));
@@ -344,7 +384,10 @@ mod tests {
     fn loop_iterates_and_exposes_counter() {
         let k = KernelBuilder::new("loop", 1u32, 32u32)
             .array("a", 1 << 12)
-            .stmt(dsl::loop_n(3, vec![dsl::read(0x10, 0, dsl::affine(0, 1, vec![(0, 32)]))]))
+            .stmt(dsl::loop_n(
+                3,
+                vec![dsl::read(0x10, 0, dsl::affine(0, 1, vec![(0, 32)]))],
+            ))
             .build()
             .expect("valid");
         let app = execute_kernel(&k);
@@ -366,14 +409,21 @@ mod tests {
         let k = KernelBuilder::new("ragged", 1u32, 32u32)
             .array("a", 1 << 12)
             .stmt(Stmt::Loop {
-                trip: Trip::Hashed { seed: 7, base: 1, spread: 4 },
+                trip: Trip::Hashed {
+                    seed: 7,
+                    base: 1,
+                    spread: 4,
+                },
                 body: vec![dsl::read(0x10, 0, IndexExpr::tid_linear(0, 1))],
             })
             .build()
             .expect("valid");
         let app = execute_kernel(&k);
-        let sizes: Vec<usize> =
-            app.warps[0].events.iter().map(WarpEvent::thread_accesses).collect();
+        let sizes: Vec<usize> = app.warps[0]
+            .events
+            .iter()
+            .map(WarpEvent::thread_accesses)
+            .collect();
         // Iteration 0 has all lanes; later iterations shed lanes.
         assert_eq!(sizes[0], 32);
         assert!(sizes.last().copied().expect("at least one event") < 32);

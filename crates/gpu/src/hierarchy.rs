@@ -21,7 +21,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// Creates a launch configuration.
     pub fn new(grid: impl Into<Dim3>, block: impl Into<Dim3>) -> Self {
-        LaunchConfig { grid: grid.into(), block: block.into() }
+        LaunchConfig {
+            grid: grid.into(),
+            block: block.into(),
+        }
     }
 
     /// Threads per block.
@@ -162,16 +165,28 @@ mod tests {
     #[test]
     fn residency_limits() {
         let gpu = GpuConfig::fermi_baseline();
-        assert_eq!(gpu.resident_blocks_per_core(&LaunchConfig::new(100u32, 256u32)), 4);
-        assert_eq!(gpu.resident_blocks_per_core(&LaunchConfig::new(100u32, 64u32)), 8);
+        assert_eq!(
+            gpu.resident_blocks_per_core(&LaunchConfig::new(100u32, 256u32)),
+            4
+        );
+        assert_eq!(
+            gpu.resident_blocks_per_core(&LaunchConfig::new(100u32, 64u32)),
+            8
+        );
         // Oversized blocks still get one slot.
-        assert_eq!(gpu.resident_blocks_per_core(&LaunchConfig::new(100u32, 2048u32)), 1);
+        assert_eq!(
+            gpu.resident_blocks_per_core(&LaunchConfig::new(100u32, 2048u32)),
+            1
+        );
     }
 
     #[test]
     fn serde_round_trip() {
         let gpu = GpuConfig::fermi_baseline();
         let json = serde_json::to_string(&gpu).expect("serialize");
-        assert_eq!(serde_json::from_str::<GpuConfig>(&json).expect("deserialize"), gpu);
+        assert_eq!(
+            serde_json::from_str::<GpuConfig>(&json).expect("deserialize"),
+            gpu
+        );
     }
 }

@@ -111,7 +111,14 @@ impl IndexExpr {
     /// caller).
     pub fn eval(&self, ctx: &EvalCtx<'_>) -> i64 {
         match self {
-            IndexExpr::Affine { base, tid_coef, lane_coef, warp_coef, block_coef, iter_coefs } => {
+            IndexExpr::Affine {
+                base,
+                tid_coef,
+                lane_coef,
+                warp_coef,
+                block_coef,
+                iter_coefs,
+            } => {
                 let mut v = *base
                     + *tid_coef * ctx.tid as i64
                     + *lane_coef * ctx.lane as i64
@@ -176,7 +183,11 @@ impl Trip {
         match *self {
             Trip::Const(n) => n,
             Trip::Hashed { seed, base, spread } => {
-                base + if spread == 0 { 0 } else { (mix64(seed ^ mix64(tid)) % spread as u64) as u32 }
+                base + if spread == 0 {
+                    0
+                } else {
+                    (mix64(seed ^ mix64(tid)) % spread as u64) as u32
+                }
             }
         }
     }
@@ -272,11 +283,7 @@ impl KernelDesc {
     /// Returns a [`ValidateKernelError`] describing the first problem
     /// found.
     pub fn validate(&self) -> Result<(), ValidateKernelError> {
-        fn walk(
-            stmts: &[Stmt],
-            depth: u8,
-            arrays: usize,
-        ) -> Result<(), ValidateKernelError> {
+        fn walk(stmts: &[Stmt], depth: u8, arrays: usize) -> Result<(), ValidateKernelError> {
             for s in stmts {
                 match s {
                     Stmt::Access(a) => {
@@ -299,7 +306,11 @@ impl KernelDesc {
                         }
                     }
                     Stmt::Loop { body, .. } => walk(body, depth + 1, arrays)?,
-                    Stmt::If { pred, then_body, else_body } => {
+                    Stmt::If {
+                        pred,
+                        then_body,
+                        else_body,
+                    } => {
                         if let Pred::TidMod { m: 0, .. } | Pred::BlockMod { m: 0, .. } = pred {
                             return Err(ValidateKernelError::ZeroModulus);
                         }
@@ -329,7 +340,11 @@ impl KernelDesc {
                         }
                     }
                     Stmt::Loop { body, .. } => walk(body, out),
-                    Stmt::If { then_body, else_body, .. } => {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         walk(then_body, out);
                         walk(else_body, out);
                     }
@@ -379,9 +394,16 @@ impl fmt::Display for ValidateKernelError {
         match self {
             ValidateKernelError::NoArrays => f.write_str("kernel declares no arrays"),
             ValidateKernelError::BadArrayRef { pc, array } => {
-                write!(f, "access {pc} references array #{array} which does not exist")
+                write!(
+                    f,
+                    "access {pc} references array #{array} which does not exist"
+                )
             }
-            ValidateKernelError::BadLoopDepth { pc, depth, enclosing } => write!(
+            ValidateKernelError::BadLoopDepth {
+                pc,
+                depth,
+                enclosing,
+            } => write!(
                 f,
                 "access {pc} uses loop depth {depth} but only {enclosing} loops enclose it"
             ),
@@ -441,18 +463,33 @@ impl KernelBuilder {
         let base = ByteAddr(self.next_base);
         let size = elems * elem_size as u64;
         self.next_base = (self.next_base + size + 255) & !255;
-        self.arrays.push(ArrayDesc { name: name.to_owned(), base, elems, elem_size });
+        self.arrays.push(ArrayDesc {
+            name: name.to_owned(),
+            base,
+            elems,
+            elem_size,
+        });
         self
     }
 
     /// Appends a read access to the top level of the body.
     pub fn read(self, pc: Pc, array: usize, index: IndexExpr) -> Self {
-        self.stmt(Stmt::Access(AccessDesc { pc, array, kind: AccessKind::Read, index }))
+        self.stmt(Stmt::Access(AccessDesc {
+            pc,
+            array,
+            kind: AccessKind::Read,
+            index,
+        }))
     }
 
     /// Appends a write access to the top level of the body.
     pub fn write(self, pc: Pc, array: usize, index: IndexExpr) -> Self {
-        self.stmt(Stmt::Access(AccessDesc { pc, array, kind: AccessKind::Write, index }))
+        self.stmt(Stmt::Access(AccessDesc {
+            pc,
+            array,
+            kind: AccessKind::Write,
+            index,
+        }))
     }
 
     /// Appends an arbitrary statement.
@@ -485,27 +522,59 @@ pub mod dsl {
 
     /// A read access statement.
     pub fn read(pc: u64, array: usize, index: IndexExpr) -> Stmt {
-        Stmt::Access(AccessDesc { pc: Pc(pc), array, kind: AccessKind::Read, index })
+        Stmt::Access(AccessDesc {
+            pc: Pc(pc),
+            array,
+            kind: AccessKind::Read,
+            index,
+        })
     }
 
     /// A write access statement.
     pub fn write(pc: u64, array: usize, index: IndexExpr) -> Stmt {
-        Stmt::Access(AccessDesc { pc: Pc(pc), array, kind: AccessKind::Write, index })
+        Stmt::Access(AccessDesc {
+            pc: Pc(pc),
+            array,
+            kind: AccessKind::Write,
+            index,
+        })
     }
 
     /// A constant-trip loop.
     pub fn loop_n(trip: u32, body: Vec<Stmt>) -> Stmt {
-        Stmt::Loop { trip: Trip::Const(trip), body }
+        Stmt::Loop {
+            trip: Trip::Const(trip),
+            body,
+        }
     }
 
     /// An affine index expression with tid and iterator terms only.
     pub fn affine(base: i64, tid_coef: i64, iter_coefs: Vec<(u8, i64)>) -> IndexExpr {
-        IndexExpr::Affine { base, tid_coef, lane_coef: 0, warp_coef: 0, block_coef: 0, iter_coefs }
+        IndexExpr::Affine {
+            base,
+            tid_coef,
+            lane_coef: 0,
+            warp_coef: 0,
+            block_coef: 0,
+            iter_coefs,
+        }
     }
 
     /// An affine index expression decomposed by warp and lane.
-    pub fn warp_lane(base: i64, warp_coef: i64, lane_coef: i64, iter_coefs: Vec<(u8, i64)>) -> IndexExpr {
-        IndexExpr::Affine { base, tid_coef: 0, lane_coef, warp_coef, block_coef: 0, iter_coefs }
+    pub fn warp_lane(
+        base: i64,
+        warp_coef: i64,
+        lane_coef: i64,
+        iter_coefs: Vec<(u8, i64)>,
+    ) -> IndexExpr {
+        IndexExpr::Affine {
+            base,
+            tid_coef: 0,
+            lane_coef,
+            warp_coef,
+            block_coef: 0,
+            iter_coefs,
+        }
     }
 }
 
@@ -514,7 +583,13 @@ mod tests {
     use super::*;
 
     fn ctx<'a>(tid: u64, iters: &'a [u64]) -> EvalCtx<'a> {
-        EvalCtx { tid, lane: (tid % 32) as u32, warp: (tid / 32) as u32, block: 0, iters }
+        EvalCtx {
+            tid,
+            lane: (tid % 32) as u32,
+            warp: (tid / 32) as u32,
+            block: 0,
+            iters,
+        }
     }
 
     #[test]
@@ -553,12 +628,24 @@ mod tests {
     #[test]
     fn trip_counts() {
         assert_eq!(Trip::Const(7).count_for(123), 7);
-        let t = Trip::Hashed { seed: 1, base: 3, spread: 4 };
+        let t = Trip::Hashed {
+            seed: 1,
+            base: 3,
+            spread: 4,
+        };
         for tid in 0..100 {
             let c = t.count_for(tid);
             assert!((3..7).contains(&c));
         }
-        assert_eq!(Trip::Hashed { seed: 1, base: 2, spread: 0 }.count_for(5), 2);
+        assert_eq!(
+            Trip::Hashed {
+                seed: 1,
+                base: 2,
+                spread: 0
+            }
+            .count_for(5),
+            2
+        );
     }
 
     #[test]
@@ -568,9 +655,15 @@ mod tests {
         assert!(Pred::TidMod { m: 2, r: 1 }.eval(&ctx(3, &[])));
         assert!(Pred::LaneLt(16).eval(&ctx(15, &[])));
         assert!(!Pred::LaneLt(16).eval(&ctx(48, &[]))); // lane 16
-        let hashed = Pred::Hashed { seed: 3, percent: 50 };
+        let hashed = Pred::Hashed {
+            seed: 3,
+            percent: 50,
+        };
         let hits = (0..1000).filter(|&t| hashed.eval(&ctx(t, &[]))).count();
-        assert!((350..650).contains(&hits), "hashed predicate hit {hits}/1000");
+        assert!(
+            (350..650).contains(&hits),
+            "hashed predicate hit {hits}/1000"
+        );
     }
 
     #[test]
@@ -595,7 +688,10 @@ mod tests {
             .build();
         assert_eq!(
             k.unwrap_err(),
-            ValidateKernelError::BadArrayRef { pc: Pc(1), array: 3 }
+            ValidateKernelError::BadArrayRef {
+                pc: Pc(1),
+                array: 3
+            }
         );
     }
 
@@ -603,9 +699,15 @@ mod tests {
     fn validate_rejects_bad_loop_depth() {
         let k = KernelBuilder::new("k", 1u32, 32u32)
             .array("a", 16)
-            .stmt(dsl::loop_n(2, vec![dsl::read(1, 0, dsl::affine(0, 1, vec![(1, 4)]))]))
+            .stmt(dsl::loop_n(
+                2,
+                vec![dsl::read(1, 0, dsl::affine(0, 1, vec![(1, 4)]))],
+            ))
             .build();
-        assert!(matches!(k.unwrap_err(), ValidateKernelError::BadLoopDepth { depth: 1, .. }));
+        assert!(matches!(
+            k.unwrap_err(),
+            ValidateKernelError::BadLoopDepth { depth: 1, .. }
+        ));
     }
 
     #[test]
@@ -644,8 +746,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = ValidateKernelError::BadArrayRef { pc: Pc(0x10), array: 9 };
+        let e = ValidateKernelError::BadArrayRef {
+            pc: Pc(0x10),
+            array: 9,
+        };
         assert!(e.to_string().contains("0x10"));
-        assert!(ValidateKernelError::NoArrays.to_string().contains("no arrays"));
+        assert!(ValidateKernelError::NoArrays
+            .to_string()
+            .contains("no arrays"));
     }
 }

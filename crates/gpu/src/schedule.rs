@@ -60,7 +60,10 @@ pub struct WarpStream {
 impl WarpStream {
     /// Number of memory instructions (excluding barriers).
     pub fn num_accesses(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, WarpStreamEvent::Access(_))).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, WarpStreamEvent::Access(_)))
+            .count()
     }
 }
 
@@ -208,13 +211,13 @@ pub fn run_schedule(
     // Initial round-robin placement across cores, one block per core per
     // round, until every core is full or no blocks remain.
     'fill: for _round in 0..block_limit {
-        for c in 0..cores.len() {
+        for core in cores.iter_mut() {
             if pending.is_empty() {
                 break 'fill;
             }
-            if cores[c].resident_blocks < block_limit {
+            if core.resident_blocks < block_limit {
                 let b = pending.pop_front().expect("non-empty");
-                place_block(&mut cores[c], b, &by_block, streams, &mut live_warps_total);
+                place_block(core, b, &by_block, streams, &mut live_warps_total);
             }
         }
     }
@@ -307,7 +310,11 @@ pub fn run_schedule(
         cycles: cycle,
         issued_accesses,
         issued_transactions,
-        sched_p_self: if trans == 0 { 0.0 } else { same as f64 / trans as f64 },
+        sched_p_self: if trans == 0 {
+            0.0
+        } else {
+            same as f64 / trans as f64
+        },
         per_core_issues: per_core,
     }
 }
@@ -337,7 +344,10 @@ fn place_block(
         live += 1;
         *live_warps_total += 1;
     }
-    core.blocks.push(BlockRt { live_warps: live, arrived: 0 });
+    core.blocks.push(BlockRt {
+        live_warps: live,
+        arrived: 0,
+    });
 }
 
 /// Releases a barrier once every live warp of the block has arrived.
@@ -385,12 +395,10 @@ fn select_warp(core: &mut CoreRt, cycle: u64, policy: Policy, rng: &mut Rng) -> 
 
 fn select_rr(core: &CoreRt, cycle: u64) -> Option<usize> {
     let n = core.warps.len();
-    (1..=n)
-        .map(|k| (core.rr_cursor + k) % n)
-        .find(|&i| {
-            let w = &core.warps[i];
-            !w.done && !w.at_barrier && w.ready_at <= cycle
-        })
+    (1..=n).map(|k| (core.rr_cursor + k) % n).find(|&i| {
+        let w = &core.warps[i];
+        !w.done && !w.at_barrier && w.ready_at <= cycle
+    })
 }
 
 #[cfg(test)]
@@ -402,13 +410,21 @@ mod tests {
     use gmap_trace::record::Pc;
 
     fn single_core() -> GpuConfig {
-        GpuConfig { num_cores: 1, warp_size: 32, max_threads_per_core: 1024, max_blocks_per_core: 8 }
+        GpuConfig {
+            num_cores: 1,
+            warp_size: 32,
+            max_threads_per_core: 1024,
+            max_blocks_per_core: 8,
+        }
     }
 
     fn streaming_kernel(blocks: u32, tpb: u32, iters: u32) -> Vec<WarpStream> {
         let k = KernelBuilder::new("stream", blocks, tpb)
             .array("a", 1 << 20)
-            .stmt(dsl::loop_n(iters, vec![dsl::read(0x10, 0, dsl::affine(0, 1, vec![(0, 4096)]))]))
+            .stmt(dsl::loop_n(
+                iters,
+                vec![dsl::read(0x10, 0, dsl::affine(0, 1, vec![(0, 4096)]))],
+            ))
             .build()
             .expect("valid");
         coalesce_app(&execute_kernel(&k), 128)
@@ -447,7 +463,11 @@ mod tests {
             &mut mem,
             1,
         );
-        assert!(out.sched_p_self < 0.05, "LRR SchedP_self = {}", out.sched_p_self);
+        assert!(
+            out.sched_p_self < 0.05,
+            "LRR SchedP_self = {}",
+            out.sched_p_self
+        );
     }
 
     #[test]
@@ -463,7 +483,11 @@ mod tests {
             &mut mem,
             1,
         );
-        assert!(out.sched_p_self > 0.9, "GTO SchedP_self = {}", out.sched_p_self);
+        assert!(
+            out.sched_p_self > 0.9,
+            "GTO SchedP_self = {}",
+            out.sched_p_self
+        );
     }
 
     #[test]
@@ -492,10 +516,8 @@ mod tests {
         let gpu = single_core();
         let mut fast = FixedLatency(1);
         let mut slow = FixedLatency(200);
-        let c_fast =
-            run_schedule(&streams, &launch, &gpu, Policy::Lrr, &mut fast, 1).cycles;
-        let c_slow =
-            run_schedule(&streams, &launch, &gpu, Policy::Lrr, &mut slow, 1).cycles;
+        let c_fast = run_schedule(&streams, &launch, &gpu, Policy::Lrr, &mut fast, 1).cycles;
+        let c_slow = run_schedule(&streams, &launch, &gpu, Policy::Lrr, &mut slow, 1).cycles;
         assert!(c_slow > c_fast, "slow {c_slow} <= fast {c_fast}");
     }
 
@@ -571,7 +593,11 @@ mod tests {
 
     #[test]
     fn empty_streams_complete_immediately() {
-        let streams = vec![WarpStream { warp: WarpId(0), block: 0, events: vec![] }];
+        let streams = vec![WarpStream {
+            warp: WarpId(0),
+            block: 0,
+            events: vec![],
+        }];
         let mut mem = FixedLatency(1);
         let out = run_schedule(
             &streams,

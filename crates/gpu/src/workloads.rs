@@ -67,7 +67,14 @@ fn idx(
     block_coef: i64,
     iter_coefs: Vec<(u8, i64)>,
 ) -> IndexExpr {
-    IndexExpr::Affine { base, tid_coef, lane_coef, warp_coef, block_coef, iter_coefs }
+    IndexExpr::Affine {
+        base,
+        tid_coef,
+        lane_coef,
+        warp_coef,
+        block_coef,
+        iter_coefs,
+    }
 }
 
 /// Rodinia *heartwall* — Table 1: PC 0x900 at 81 % frequency, inter-warp
@@ -96,7 +103,10 @@ pub fn heartwall(scale: Scale) -> KernelDesc {
                 read(0x4a8, 0, idx(0, 0, 1, 32, 136, vec![(0, 256)])),
                 // Dominant PC: inner window scan, 64 B steps, re-read every
                 // outer iteration (no `e` coefficient) -> high reuse.
-                loop_n(16, vec![read(0x900, 0, idx(0, 0, 1, 32, 136, vec![(1, 16)]))]),
+                loop_n(
+                    16,
+                    vec![read(0x900, 0, idx(0, 0, 1, 32, 136, vec![(1, 16)]))],
+                ),
             ],
         ))
         .build()
@@ -182,7 +192,11 @@ pub fn srad(scale: Scale) -> KernelDesc {
                 // iteration; every row is visited exactly once -> low reuse.
                 read(0x230, 0, idx(j_off, 0, 1, 4096, 0, vec![(0, -COLS)])),
                 read(0x250, 1, idx(j_off + COLS, 0, 1, 4096, 0, vec![(0, -COLS)])),
-                read(0x350, 2, idx(j_off + 2 * COLS, 0, 1, 4096, 0, vec![(0, -COLS)])),
+                read(
+                    0x350,
+                    2,
+                    idx(j_off + 2 * COLS, 0, 1, 4096, 0, vec![(0, -COLS)]),
+                ),
                 write(0x360, 0, idx(j_off + COLS, 0, 1, 4096, 0, vec![(0, -COLS)])),
             ],
         ))
@@ -298,12 +312,18 @@ pub fn lu(scale: Scale) -> KernelDesc {
                 // Shared pivot row: every warp reads the same address.
                 read(0x1c60, 0, idx(0, 0, 1, 0, 0, vec![(0, 89)])),
                 Stmt::If {
-                    pred: Pred::Hashed { seed: 0x1b, percent: 70 },
+                    pred: Pred::Hashed {
+                        seed: 0x1b,
+                        percent: 70,
+                    },
                     then_body: vec![row(0x1c85, 0), row(0x1ca8, 4096), row(0x1cc8, 8192)],
                     else_body: vec![],
                 },
                 Stmt::If {
-                    pred: Pred::Hashed { seed: 0x2c, percent: 30 },
+                    pred: Pred::Hashed {
+                        seed: 0x2c,
+                        percent: 30,
+                    },
                     then_body: vec![
                         row(0x1d00, 12288),
                         row(0x1d08, 16384),
@@ -361,8 +381,7 @@ pub fn fwt(scale: Scale) -> KernelDesc {
     const TOTAL: i64 = 4864; // 19 blocks x 256 threads
     let elems = (TOTAL as u64) * (j_trip as u64 + 3) + 3 * 1216 + 64;
     let stride_read = |pc: u64, arr: usize| read(pc, arr, idx(0, 1, 0, 0, 0, vec![(1, TOTAL)]));
-    let shifted_read =
-        |pc: u64, arr: usize| read(pc, arr, idx(2432, 1, 0, 0, 0, vec![(1, TOTAL)]));
+    let shifted_read = |pc: u64, arr: usize| read(pc, arr, idx(2432, 1, 0, 0, 0, vec![(1, TOTAL)]));
     let butterfly =
         |pc: u64, arr: usize| read(pc, arr, idx(0, 1, 0, 0, 0, vec![(0, 1216), (1, TOTAL)]));
     KernelBuilder::new("fwt", 19u32, 256u32)
@@ -488,18 +507,28 @@ pub fn bfs(scale: Scale) -> KernelDesc {
         .stmt(loop_n(
             it_trip,
             vec![Stmt::If {
-                pred: Pred::Hashed { seed: 0xB0, percent: 40 },
+                pred: Pred::Hashed {
+                    seed: 0xB0,
+                    percent: 40,
+                },
                 then_body: vec![
                     read(0x400, 0, idx(0, 1, 0, 0, 0, vec![(0, total)])),
                     Stmt::Loop {
-                        trip: Trip::Hashed { seed: 0xB1, base: 1, spread: 6 },
+                        trip: Trip::Hashed {
+                            seed: 0xB1,
+                            base: 1,
+                            spread: 6,
+                        },
                         body: vec![
                             read(0x408, 1, IndexExpr::Hashed { seed: 0xB2 }),
                             read(0x410, 2, IndexExpr::Hashed { seed: 0xB3 }),
                         ],
                     },
                     Stmt::If {
-                        pred: Pred::Hashed { seed: 0xB4, percent: 30 },
+                        pred: Pred::Hashed {
+                            seed: 0xB4,
+                            percent: 30,
+                        },
                         then_body: vec![write(0x418, 2, IndexExpr::Hashed { seed: 0xB5 })],
                         else_body: vec![],
                     },
@@ -595,7 +624,7 @@ pub fn matrixmul(scale: Scale) -> KernelDesc {
     let grid = scale.grid(8);
     let t_trip = scale.trip(4);
     let blocks = grid as u64;
-    let elems = blocks * 128 + t_trip as u64 * 2048 + blocks as u64 * 8 * 32 + 4 * 128 + 64;
+    let elems = blocks * 128 + t_trip as u64 * 2048 + blocks * 8 * 32 + 4 * 128 + 64;
     KernelBuilder::new("matrixmul", grid, 256u32)
         .array("a", elems)
         .array("b", elems)
@@ -675,15 +704,29 @@ pub fn by_name(name: &str, scale: Scale) -> Option<KernelDesc> {
 
 /// All 18 benchmarks at the given scale.
 pub fn all(scale: Scale) -> Vec<KernelDesc> {
-    NAMES.iter().map(|n| by_name(n, scale).expect("known name")).collect()
+    NAMES
+        .iter()
+        .map(|n| by_name(n, scale).expect("known name"))
+        .collect()
 }
 
 /// The 10 applications listed in Table 1 of the paper, in table order.
 pub fn table1(scale: Scale) -> Vec<KernelDesc> {
-    ["heartwall", "backprop", "kmeans", "srad", "scalarprod", "cp", "blackscholes", "lu", "lib", "fwt"]
-        .iter()
-        .map(|n| by_name(n, scale).expect("known name"))
-        .collect()
+    [
+        "heartwall",
+        "backprop",
+        "kmeans",
+        "srad",
+        "scalarprod",
+        "cp",
+        "blackscholes",
+        "lu",
+        "lib",
+        "fwt",
+    ]
+    .iter()
+    .map(|n| by_name(n, scale).expect("known name"))
+    .collect()
 }
 
 #[cfg(test)]
@@ -702,7 +745,8 @@ mod tests {
             let kernels = all(scale);
             assert_eq!(kernels.len(), 18);
             for k in &kernels {
-                k.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", k.name));
+                k.validate()
+                    .unwrap_or_else(|e| panic!("{} invalid: {e}", k.name));
             }
         }
     }
@@ -787,14 +831,20 @@ mod tests {
     fn lib_inter_warp_stride_matches_table1() {
         let (stride, freq) = dominant_inter_warp_stride("lib", Pc(0x1c68));
         assert_eq!(stride, 128, "lib inter-warp stride");
-        assert!(freq > 0.5 && freq < 0.8, "lib stride frequency {freq} (expect ~2/3)");
+        assert!(
+            freq > 0.5 && freq < 0.8,
+            "lib stride frequency {freq} (expect ~2/3)"
+        );
     }
 
     #[test]
     fn heartwall_inter_warp_stride_is_128_at_half_frequency() {
         let (stride, freq) = dominant_inter_warp_stride("heartwall", Pc(0x900));
         assert_eq!(stride, 128);
-        assert!(freq > 0.35 && freq < 0.65, "heartwall 128B frequency {freq} (expect ~0.5)");
+        assert!(
+            freq > 0.35 && freq < 0.65,
+            "heartwall 128B frequency {freq} (expect ~0.5)"
+        );
     }
 
     fn reuse_class_of(name: &str) -> ReuseClass {
@@ -819,7 +869,11 @@ mod tests {
         assert_eq!(reuse_class_of("lib"), ReuseClass::High, "lib");
         assert_eq!(reuse_class_of("srad"), ReuseClass::Low, "srad");
         assert_eq!(reuse_class_of("scalarprod"), ReuseClass::Low, "scalarprod");
-        assert_eq!(reuse_class_of("blackscholes"), ReuseClass::Low, "blackscholes");
+        assert_eq!(
+            reuse_class_of("blackscholes"),
+            ReuseClass::Low,
+            "blackscholes"
+        );
         assert_eq!(reuse_class_of("hotspot"), ReuseClass::Low, "hotspot");
         assert_eq!(reuse_class_of("cp"), ReuseClass::Medium, "cp");
         assert_eq!(reuse_class_of("lu"), ReuseClass::Low, "lu");
@@ -829,7 +883,10 @@ mod tests {
     #[test]
     fn hotspot_has_no_dominant_stride() {
         let (_, freq) = dominant_inter_warp_stride("hotspot", Pc(0x100));
-        assert!(freq < 0.3, "hotspot should have no dominant stride, got {freq}");
+        assert!(
+            freq < 0.3,
+            "hotspot should have no dominant stride, got {freq}"
+        );
     }
 
     #[test]
@@ -857,14 +914,21 @@ mod tests {
         let mut lens: Vec<usize> = app.warps.iter().map(|w| w.events.len()).collect();
         lens.sort_unstable();
         lens.dedup();
-        assert!(lens.len() > 1, "bfs warps should have diverse dynamic paths");
+        assert!(
+            lens.len() > 1,
+            "bfs warps should have diverse dynamic paths"
+        );
     }
 
     #[test]
     fn matrixmul_emits_barriers() {
         let k = matrixmul(Scale::Tiny);
         let app = execute_kernel(&k);
-        let syncs = app.warps[0].events.iter().filter(|e| matches!(e, WarpEvent::Sync)).count();
+        let syncs = app.warps[0]
+            .events
+            .iter()
+            .filter(|e| matches!(e, WarpEvent::Sync))
+            .count();
         assert!(syncs >= 2, "matrixmul should have barriers, got {syncs}");
     }
 
@@ -891,7 +955,11 @@ mod tests {
         // Every workload should have a non-trivial footprint; streaming
         // workloads should dwarf the 1 MB L2.
         for k in all(Scale::Default) {
-            assert!(k.footprint_bytes() > 64 * 1024, "{} footprint too small", k.name);
+            assert!(
+                k.footprint_bytes() > 64 * 1024,
+                "{} footprint too small",
+                k.name
+            );
         }
         assert!(hotspot(Scale::Default).footprint_bytes() > 4 << 20);
     }

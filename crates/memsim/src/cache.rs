@@ -70,14 +70,23 @@ impl CacheConfig {
             return Err(ConfigError::LineNotPowerOfTwo { line_size });
         }
         let way_bytes = assoc as u64 * line_size;
-        if size_bytes % way_bytes != 0 {
-            return Err(ConfigError::NotSetDivisible { size_bytes, assoc, line_size });
+        if !size_bytes.is_multiple_of(way_bytes) {
+            return Err(ConfigError::NotSetDivisible {
+                size_bytes,
+                assoc,
+                line_size,
+            });
         }
         let sets = size_bytes / way_bytes;
         if !sets.is_power_of_two() {
             return Err(ConfigError::SetsNotPowerOfTwo { sets });
         }
-        Ok(CacheConfig { size_bytes, assoc, line_size, policy })
+        Ok(CacheConfig {
+            size_bytes,
+            assoc,
+            line_size,
+            policy,
+        })
     }
 
     /// Number of sets.
@@ -125,7 +134,11 @@ impl fmt::Display for ConfigError {
             ConfigError::LineNotPowerOfTwo { line_size } => {
                 write!(f, "line size {line_size} is not a power of two")
             }
-            ConfigError::NotSetDivisible { size_bytes, assoc, line_size } => write!(
+            ConfigError::NotSetDivisible {
+                size_bytes,
+                assoc,
+                line_size,
+            } => write!(
                 f,
                 "capacity {size_bytes} not divisible into sets of {assoc} x {line_size} B lines"
             ),
@@ -306,7 +319,9 @@ impl Cache {
         if out.hit {
             AccessOutcome::Hit
         } else {
-            AccessOutcome::Miss { writeback: out.writeback }
+            AccessOutcome::Miss {
+                writeback: out.writeback,
+            }
         }
     }
 
@@ -342,7 +357,10 @@ impl Cache {
                 self.ways[w].dirty = true;
             }
             self.touch(w, req.line);
-            return RequestOutcome { hit: true, writeback: None };
+            return RequestOutcome {
+                hit: true,
+                writeback: None,
+            };
         }
         self.stats.misses += 1;
         let writeback = if req.allocate_on_miss {
@@ -350,14 +368,19 @@ impl Cache {
         } else {
             None
         };
-        RequestOutcome { hit: false, writeback }
+        RequestOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// `true` if the line is resident (no state change, no stats).
     pub fn probe(&self, line: u64) -> bool {
         let set = self.set_of(line);
         let a = self.cfg.assoc as usize;
-        self.ways[set * a..(set + 1) * a].iter().any(|w| w.valid && w.tag == line)
+        self.ways[set * a..(set + 1) * a]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
     }
 
     /// Fills a line from a prefetcher. Counts as a prefetch fill, not a
@@ -601,7 +624,9 @@ mod tests {
         c.access(0, true); // dirty
         c.access(1, false);
         match c.access(2, false) {
-            AccessOutcome::Miss { writeback: Some(line) } => assert_eq!(line, 0),
+            AccessOutcome::Miss {
+                writeback: Some(line),
+            } => assert_eq!(line, 0),
             other => panic!("expected dirty eviction of line 0, got {other:?}"),
         }
         assert_eq!(c.stats().writebacks, 1);
@@ -689,8 +714,18 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = CacheStats { accesses: 10, hits: 6, misses: 4, ..Default::default() };
-        let b = CacheStats { accesses: 10, hits: 10, misses: 0, ..Default::default() };
+        let mut a = CacheStats {
+            accesses: 10,
+            hits: 6,
+            misses: 4,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 10,
+            hits: 10,
+            misses: 0,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.accesses, 20);
         assert!((a.miss_rate() - 0.2).abs() < 1e-12);

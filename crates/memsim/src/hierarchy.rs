@@ -34,6 +34,30 @@ pub struct MemRequest {
     pub kind: AccessKind,
 }
 
+/// Whether the hierarchy materializes the timestamped memory-request
+/// stream that leaves the L2.
+///
+/// Miss-rate sweeps only read counters, so recording (and growing) a
+/// `Vec<MemRequest>` per simulation is pure overhead — [`TraceCapture::Off`]
+/// elides it entirely. The DRAM experiments (Fig. 7) replay the stream
+/// through `gmap-dram` and need [`TraceCapture::Full`]. Statistics are
+/// identical either way; only the trace buffer differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TraceCapture {
+    /// Record every request that leaves the L2 (needed for DRAM replay).
+    Full,
+    /// Record nothing; [`GpuHierarchy::mem_trace`] stays empty.
+    #[default]
+    Off,
+}
+
+impl TraceCapture {
+    /// `true` for [`TraceCapture::Full`].
+    pub fn is_full(self) -> bool {
+        matches!(self, TraceCapture::Full)
+    }
+}
+
 /// L1 write handling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum L1WritePolicy {
@@ -74,8 +98,9 @@ pub struct HierarchyConfig {
     pub l1_prefetch: Option<StridePrefetcherConfig>,
     /// Optional stream prefetcher at the L2.
     pub l2_prefetch: Option<StreamPrefetcherConfig>,
-    /// Record the memory request stream (needed for DRAM replay).
-    pub record_mem_trace: bool,
+    /// Whether to record the memory request stream (needed for DRAM
+    /// replay; elided for miss-rate sweeps).
+    pub trace_capture: TraceCapture,
 }
 
 impl HierarchyConfig {
@@ -97,7 +122,7 @@ impl HierarchyConfig {
             l1_write_policy: L1WritePolicy::WriteThroughNoAllocate,
             l1_prefetch: None,
             l2_prefetch: None,
-            record_mem_trace: false,
+            trace_capture: TraceCapture::Off,
         }
     }
 
@@ -180,8 +205,9 @@ impl GpuHierarchy {
     pub fn new(cfg: HierarchyConfig) -> Result<Self, ConfigError> {
         let bank_cfg = cfg.l2_bank_config()?;
         let l1s = (0..cfg.num_cores).map(|_| Cache::new(cfg.l1)).collect();
-        let mshrs =
-            (0..cfg.num_cores).map(|_| Mshr::new(cfg.mshrs_per_core.max(1) as usize)).collect();
+        let mshrs = (0..cfg.num_cores)
+            .map(|_| Mshr::new(cfg.mshrs_per_core.max(1) as usize))
+            .collect();
         let l2 = (0..cfg.l2_banks).map(|_| Cache::new(bank_cfg)).collect();
         let l1_pf = (0..cfg.num_cores)
             .map(|_| cfg.l1_prefetch.map(StridePrefetcher::new))
@@ -220,7 +246,12 @@ impl GpuHierarchy {
             l2,
             mem_reads: self.mem_reads,
             mem_writes: self.mem_writes,
-            l1_pf_issued: self.l1_pf.iter().flatten().map(StridePrefetcher::issued).sum(),
+            l1_pf_issued: self
+                .l1_pf
+                .iter()
+                .flatten()
+                .map(StridePrefetcher::issued)
+                .sum(),
             l2_pf_issued: self.l2_pf.as_ref().map_or(0, StreamPrefetcher::issued),
             mshr_merges: self.mshrs.iter().map(Mshr::merges).sum(),
             mshr_full_stalls: self.mshrs.iter().map(Mshr::full_stalls).sum(),
@@ -228,7 +259,7 @@ impl GpuHierarchy {
     }
 
     /// The recorded memory request stream (empty unless
-    /// [`HierarchyConfig::record_mem_trace`] was set).
+    /// [`HierarchyConfig::trace_capture`] is [`TraceCapture::Full`]).
     pub fn mem_trace(&self) -> &[MemRequest] {
         &self.mem_trace
     }
@@ -273,7 +304,7 @@ impl GpuHierarchy {
             AccessKind::Read => self.mem_reads += 1,
             AccessKind::Write => self.mem_writes += 1,
         }
-        if self.cfg.record_mem_trace {
+        if self.cfg.trace_capture.is_full() {
             let addr = ByteAddr(l2_line << self.cfg.l2.line_size.trailing_zeros());
             self.mem_trace.push(MemRequest { cycle, addr, kind });
         }
@@ -298,8 +329,11 @@ impl GpuHierarchy {
         } else {
             self.send_mem(l2_line, AccessKind::Read, cycle);
             // Stream prefetcher trains on demand misses.
-            let candidates =
-                self.l2_pf.as_mut().map(|pf| pf.observe(l2_line)).unwrap_or_default();
+            let candidates = self
+                .l2_pf
+                .as_mut()
+                .map(|pf| pf.observe(l2_line))
+                .unwrap_or_default();
             for cand in candidates {
                 let b = self.bank_of(cand);
                 if !self.l2[b].probe(cand) {
@@ -424,8 +458,7 @@ impl MemoryModel for GpuHierarchy {
                         mark_dirty: true,
                     });
                     if let Some(victim) = out.writeback {
-                        let addr =
-                            ByteAddr(victim << self.cfg.l1.line_size.trailing_zeros());
+                        let addr = ByteAddr(victim << self.cfg.l1.line_size.trailing_zeros());
                         let _ = self.l2_demand(addr, true, cycle);
                     }
                     if !out.hit {
@@ -457,12 +490,18 @@ mod tests {
             l1_write_policy: L1WritePolicy::WriteThroughNoAllocate,
             l1_prefetch: None,
             l2_prefetch: None,
-            record_mem_trace: true,
+            trace_capture: TraceCapture::Full,
         }
     }
 
     fn read(h: &mut GpuHierarchy, core: u16, addr: u64, cycle: u64) -> u64 {
-        h.access(CoreId(core), Pc(0x10), ByteAddr(addr), AccessKind::Read, cycle)
+        h.access(
+            CoreId(core),
+            Pc(0x10),
+            ByteAddr(addr),
+            AccessKind::Read,
+            cycle,
+        )
     }
 
     #[test]
@@ -508,8 +547,8 @@ mod tests {
         let mut h = GpuHierarchy::new(tiny_config()).expect("valid");
         let primary = read(&mut h, 0, 0x40000, 0);
         assert_eq!(primary, 111); // fill completes at cycle 111
-        // A second access while the fill is in flight waits for it
-        // (hit-under-miss) and does not re-query the L2 or memory.
+                                  // A second access while the fill is in flight waits for it
+                                  // (hit-under-miss) and does not re-query the L2 or memory.
         let mem_before = h.stats().mem_reads;
         let secondary = read(&mut h, 0, 0x40000, 5);
         assert_eq!(secondary, 1 + (111 - 5));
@@ -523,15 +562,14 @@ mod tests {
     #[test]
     fn writes_are_write_through_no_allocate() {
         let mut h = GpuHierarchy::new(tiny_config()).expect("valid");
-        let lat =
-            h.access(CoreId(0), Pc(0x20), ByteAddr(0x8000), AccessKind::Write, 0);
+        let lat = h.access(CoreId(0), Pc(0x20), ByteAddr(0x8000), AccessKind::Write, 0);
         assert_eq!(lat, 2); // store latency
         let s = h.stats();
         // L1 did not allocate; L2 did (write-allocate).
         assert_eq!(s.l1.misses, 1);
         assert_eq!(s.l2.accesses, 1);
         assert_eq!(s.mem_reads, 1); // write-allocate fetch
-        // A read to the same line now hits L2 (not L1).
+                                    // A read to the same line now hits L2 (not L1).
         let lat = read(&mut h, 0, 0x8000, 100);
         assert_eq!(lat, 11);
     }
@@ -563,7 +601,11 @@ mod tests {
         // Under write-back the store itself never reaches the L2 — only
         // the dirty victim does (plus the write-allocate fetch as a read).
         assert_eq!(s.l2.writes, 1, "victim write at L2");
-        assert!(s.l2.reads >= 3, "allocate fetch + demand reads, got {}", s.l2.reads);
+        assert!(
+            s.l2.reads >= 3,
+            "allocate fetch + demand reads, got {}",
+            s.l2.reads
+        );
     }
 
     #[test]
@@ -580,7 +622,11 @@ mod tests {
             read(&mut h, 0, i * 2 * 128, i * 10);
         }
         let s = h.stats();
-        assert!(s.mem_writes >= 1, "expected at least one write-back, got {}", s.mem_writes);
+        assert!(
+            s.mem_writes >= 1,
+            "expected at least one write-back, got {}",
+            s.mem_writes
+        );
     }
 
     #[test]
@@ -610,6 +656,37 @@ mod tests {
     }
 
     #[test]
+    fn trace_off_matches_full_stats_with_empty_trace() {
+        let full_cfg = tiny_config();
+        let mut off_cfg = full_cfg;
+        off_cfg.trace_capture = TraceCapture::Off;
+        let mut full = GpuHierarchy::new(full_cfg).expect("valid");
+        let mut off = GpuHierarchy::new(off_cfg).expect("valid");
+        let mut state = 1u64;
+        for i in 0..500u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = (state >> 20) % 0x20000;
+            let kind = if state % 5 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let core = (state % 2) as u16;
+            full.access(CoreId(core), Pc(0x10), ByteAddr(addr), kind, i * 3);
+            off.access(CoreId(core), Pc(0x10), ByteAddr(addr), kind, i * 3);
+        }
+        assert_eq!(
+            full.stats(),
+            off.stats(),
+            "capture mode must not affect stats"
+        );
+        assert!(!full.mem_trace().is_empty());
+        assert!(off.mem_trace().is_empty(), "Off must record nothing");
+    }
+
+    #[test]
     fn l1_stride_prefetcher_reduces_misses_on_streams() {
         let mut base = tiny_config();
         base.l1 = CacheConfig::new(4 * 1024, 4, 128, ReplacementPolicy::Lru).expect("valid");
@@ -624,8 +701,20 @@ mod tests {
         let mut h1 = GpuHierarchy::new(with_pf).expect("valid");
         for i in 0..512u64 {
             let addr = i * 128; // unit-stride line stream from one PC
-            h0.access(CoreId(0), Pc(0x10), ByteAddr(addr), AccessKind::Read, i * 10);
-            h1.access(CoreId(0), Pc(0x10), ByteAddr(addr), AccessKind::Read, i * 10);
+            h0.access(
+                CoreId(0),
+                Pc(0x10),
+                ByteAddr(addr),
+                AccessKind::Read,
+                i * 10,
+            );
+            h1.access(
+                CoreId(0),
+                Pc(0x10),
+                ByteAddr(addr),
+                AccessKind::Read,
+                i * 10,
+            );
         }
         let (m0, m1) = (h0.stats().l1.misses, h1.stats().l1.misses);
         assert!(m1 < m0 / 2, "prefetcher should cut misses: {m1} vs {m0}");
@@ -636,16 +725,31 @@ mod tests {
     fn l2_stream_prefetcher_reduces_l2_misses() {
         let mut base = tiny_config();
         let mut with_pf = base;
-        with_pf.l2_prefetch =
-            Some(StreamPrefetcherConfig { num_streams: 8, window: 16, degree: 4 });
-        base.record_mem_trace = false;
-        with_pf.record_mem_trace = false;
+        with_pf.l2_prefetch = Some(StreamPrefetcherConfig {
+            num_streams: 8,
+            window: 16,
+            degree: 4,
+        });
+        base.trace_capture = TraceCapture::Off;
+        with_pf.trace_capture = TraceCapture::Off;
         let mut h0 = GpuHierarchy::new(base).expect("valid");
         let mut h1 = GpuHierarchy::new(with_pf).expect("valid");
         for i in 0..512u64 {
             let addr = i * 128;
-            h0.access(CoreId(0), Pc(0x10), ByteAddr(addr), AccessKind::Read, i * 10);
-            h1.access(CoreId(0), Pc(0x10), ByteAddr(addr), AccessKind::Read, i * 10);
+            h0.access(
+                CoreId(0),
+                Pc(0x10),
+                ByteAddr(addr),
+                AccessKind::Read,
+                i * 10,
+            );
+            h1.access(
+                CoreId(0),
+                Pc(0x10),
+                ByteAddr(addr),
+                AccessKind::Read,
+                i * 10,
+            );
         }
         assert!(
             h1.stats().l2.misses < h0.stats().l2.misses,

@@ -15,7 +15,13 @@
 //! - [`hierarchy`] — per-SM private L1s over a shared banked L2 over a flat
 //!   memory latency, implementing [`gmap_gpu::schedule::MemoryModel`] so the
 //!   warp scheduler can drive it directly. Optionally records the
-//!   timestamped memory-request stream that feeds the DRAM simulator.
+//!   timestamped memory-request stream that feeds the DRAM simulator
+//!   (see [`hierarchy::TraceCapture`]).
+//! - [`stackdist`] — Mattson stack-distance evaluation: exact LRU
+//!   hit/miss counts for an entire grid of (size, associativity)
+//!   geometries sharing a line size, from one pass over the access
+//!   stream. This is what makes the design-space sweeps in `gmap-bench`
+//!   O(line sizes) instead of O(configs).
 //!
 //! # Example
 //!
@@ -36,8 +42,14 @@ pub mod cache;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetch;
+pub mod stackdist;
 
 pub use cache::{Cache, CacheConfig, CacheStats, ConfigError, ReplacementPolicy};
-pub use hierarchy::{GpuHierarchy, HierarchyConfig, HierarchyStats, MemRequest};
+pub use hierarchy::{GpuHierarchy, HierarchyConfig, HierarchyStats, MemRequest, TraceCapture};
 pub use mshr::Mshr;
-pub use prefetch::{StreamPrefetcher, StreamPrefetcherConfig, StridePrefetcher, StridePrefetcherConfig};
+pub use prefetch::{
+    StreamPrefetcher, StreamPrefetcherConfig, StridePrefetcher, StridePrefetcherConfig,
+};
+pub use stackdist::{
+    evaluate_lru_multi, GeomCounts, LineAccess, MultiEvalResult, StackDistError, WriteMode,
+};

@@ -47,7 +47,12 @@ impl Mshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        Mshr { capacity, entries: HashMap::new(), merges: 0, full_stalls: 0 }
+        Mshr {
+            capacity,
+            entries: HashMap::new(),
+            merges: 0,
+            full_stalls: 0,
+        }
     }
 
     /// Presents a miss for `line` at `cycle`; `completion` is the cycle the
@@ -58,11 +63,18 @@ impl Mshr {
         self.entries.retain(|_, &mut done| done > cycle);
         if let Some(&done) = self.entries.get(&line) {
             self.merges += 1;
-            return MshrOutcome::Merged { remaining: done.saturating_sub(cycle) };
+            return MshrOutcome::Merged {
+                remaining: done.saturating_sub(cycle),
+            };
         }
         if self.entries.len() >= self.capacity {
             self.full_stalls += 1;
-            let earliest = self.entries.values().copied().min().expect("file is non-empty");
+            let earliest = self
+                .entries
+                .values()
+                .copied()
+                .min()
+                .expect("file is non-empty");
             let stall = earliest.saturating_sub(cycle);
             // The stalled miss allocates once the earliest entry retires.
             self.entries.remove_earliest(earliest);
@@ -133,7 +145,10 @@ mod tests {
     fn allocate_then_merge() {
         let mut m = Mshr::new(4);
         assert_eq!(m.on_miss(10, 0, 100), MshrOutcome::Allocated);
-        assert_eq!(m.on_miss(10, 40, 140), MshrOutcome::Merged { remaining: 60 });
+        assert_eq!(
+            m.on_miss(10, 40, 140),
+            MshrOutcome::Merged { remaining: 60 }
+        );
         assert_eq!(m.merges(), 1);
     }
 

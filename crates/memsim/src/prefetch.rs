@@ -32,7 +32,12 @@ pub struct StridePrefetcherConfig {
 
 impl Default for StridePrefetcherConfig {
     fn default() -> Self {
-        StridePrefetcherConfig { table_size: 64, degree: 2, distance: 1, min_confidence: 2 }
+        StridePrefetcherConfig {
+            table_size: 64,
+            degree: 2,
+            distance: 1,
+            min_confidence: 2,
+        }
     }
 }
 
@@ -60,7 +65,10 @@ impl StridePrefetcher {
     ///
     /// Panics if `table_size` is not a power of two or `degree` is zero.
     pub fn new(cfg: StridePrefetcherConfig) -> Self {
-        assert!(cfg.table_size.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            cfg.table_size.is_power_of_two(),
+            "table size must be a power of two"
+        );
         assert!(cfg.degree > 0, "degree must be positive");
         StridePrefetcher {
             cfg,
@@ -75,7 +83,13 @@ impl StridePrefetcher {
         let idx = (pc as usize).wrapping_mul(0x9E37_79B9) % self.table.len();
         let e = &mut self.table[idx];
         if !e.valid || e.pc != pc {
-            *e = StrideEntry { pc, valid: true, last_line: line, stride: 0, confidence: 0 };
+            *e = StrideEntry {
+                pc,
+                valid: true,
+                last_line: line,
+                stride: 0,
+                confidence: 0,
+            };
             return Vec::new();
         }
         let delta = line as i64 - e.last_line as i64;
@@ -124,7 +138,11 @@ pub struct StreamPrefetcherConfig {
 
 impl Default for StreamPrefetcherConfig {
     fn default() -> Self {
-        StreamPrefetcherConfig { num_streams: 16, window: 16, degree: 2 }
+        StreamPrefetcherConfig {
+            num_streams: 16,
+            window: 16,
+            degree: 2,
+        }
     }
 }
 
@@ -174,7 +192,10 @@ impl StreamPrefetcher {
                 continue;
             }
             let delta = line as i64 - s.last_line as i64;
-            if delta != 0 && delta.abs() <= window && (s.direction == 0 || delta.signum() == s.direction) {
+            if delta != 0
+                && delta.abs() <= window
+                && (s.direction == 0 || delta.signum() == s.direction)
+            {
                 s.direction = delta.signum();
                 s.last_line = line;
                 s.lru = self.clock;
@@ -202,8 +223,12 @@ impl StreamPrefetcher {
                     .map(|(i, _)| i)
                     .expect("at least one stream")
             });
-        self.streams[slot] =
-            Stream { valid: true, last_line: line, direction: 0, lru: self.clock };
+        self.streams[slot] = Stream {
+            valid: true,
+            last_line: line,
+            direction: 0,
+            lru: self.clock,
+        };
         Vec::new()
     }
 
@@ -288,7 +313,10 @@ mod tests {
         });
         pf.observe(0x10, 0);
         pf.observe(0x20, 50); // evicts 0x10's entry
-        assert!(pf.observe(0x10, 4).is_empty(), "entry for 0x10 was replaced");
+        assert!(
+            pf.observe(0x10, 4).is_empty(),
+            "entry for 0x10 was replaced"
+        );
     }
 
     #[test]
@@ -372,6 +400,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn stream_rejects_zero_degree() {
-        StreamPrefetcher::new(StreamPrefetcherConfig { num_streams: 1, window: 1, degree: 0 });
+        StreamPrefetcher::new(StreamPrefetcherConfig {
+            num_streams: 1,
+            window: 1,
+            degree: 0,
+        });
     }
 }

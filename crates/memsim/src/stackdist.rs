@@ -1,0 +1,522 @@
+//! Single-pass multi-configuration LRU cache evaluation (Mattson stack
+//! distances).
+//!
+//! The classic Mattson inclusion result: under true LRU with bit-selected
+//! set indexing, the content of an `(S sets, a ways)` cache is exactly
+//! the `a` most-recently-used lines of each set of an `(S, A)` cache for
+//! any `A ≥ a`. So per distinct set count `S` the evaluator keeps one
+//! per-set recency list capped at `A_max` (the largest associativity
+//! sharing that set count); an access that hits at way-position `p` hits
+//! every geometry of the class with associativity `> p`. One pass over
+//! the access stream therefore yields exact hit/miss counts for an
+//! arbitrary grid of LRU geometries sharing a line size — turning an
+//! O(configs)-pass sweep into an O(line sizes)-pass sweep, at
+//! O(set-count classes × A_max) work per access.
+//!
+//! Two write models are supported:
+//!
+//! - [`WriteMode::Allocate`] (write-back, write-allocate — the L2 in this
+//!   hierarchy): writes allocate and touch recency exactly like reads, so
+//!   the inclusion property holds unconditionally and the single pass is
+//!   always exact.
+//! - [`WriteMode::NoAllocate`] (write-through, no-allocate — the L1):
+//!   a write's recency side-effect depends on whether it *hit*, which is
+//!   geometry-dependent. Each write is classified per class during the
+//!   pass:
+//!   * absent from the class list → miss in every geometry of the class,
+//!     no recency change (exact);
+//!   * present at a position every associativity of the class covers →
+//!     uniform hit, move to MRU (exact);
+//!   * anything else is *divergent for that class*: inclusion breaks, so
+//!     the class's geometries are transparently re-evaluated by exact
+//!     per-configuration replay through [`crate::cache::Cache`] — the
+//!     returned counts are **always** exact; divergence only costs
+//!     speed, never correctness, and only for the affected class.
+
+use crate::cache::{Cache, CacheConfig, ReplacementPolicy};
+use std::error::Error;
+use std::fmt;
+
+/// One demand access in a post-coalescing **line-index** stream (byte
+/// address divided by the group's shared line size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineAccess {
+    /// Line index (byte address / line size).
+    pub line: u64,
+    /// Store (`true`) or load (`false`).
+    pub is_write: bool,
+}
+
+impl LineAccess {
+    /// Convenience constructor.
+    pub fn new(line: u64, is_write: bool) -> Self {
+        LineAccess { line, is_write }
+    }
+}
+
+/// How the evaluated cache level treats stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Write-back, write-allocate: stores allocate and touch recency like
+    /// loads. Single-pass evaluation is unconditionally exact.
+    Allocate,
+    /// Write-through, no-allocate: stores never allocate; a store that
+    /// hits touches recency. Divergent stores trigger an internal exact
+    /// fallback (see module docs).
+    NoAllocate,
+}
+
+/// Exact demand counters for one evaluated geometry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeomCounts {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Load accesses.
+    pub reads: u64,
+    /// Store accesses.
+    pub writes: u64,
+}
+
+impl GeomCounts {
+    /// Accumulates another counter set (e.g. the same geometry evaluated
+    /// over several per-core streams).
+    pub fn merge(&mut self, other: &GeomCounts) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+
+    /// Demand miss rate in `[0, 1]`; 0 for an untouched geometry.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Result of [`evaluate_lru_multi`].
+#[derive(Debug, Clone)]
+pub struct MultiEvalResult {
+    /// Per-geometry counters, aligned with the input `configs` slice.
+    pub counts: Vec<GeomCounts>,
+    /// `true` if a divergent no-allocate store forced the exact
+    /// per-configuration replay fallback for at least one set-count
+    /// class; unaffected classes keep their single-pass counts.
+    pub fell_back: bool,
+}
+
+/// Error constructing a multi-configuration evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackDistError {
+    /// The config list was empty.
+    NoConfigs,
+    /// A config's replacement policy is not LRU.
+    NotLru {
+        /// Index of the offending config.
+        index: usize,
+    },
+    /// Configs do not share a single line size.
+    MixedLineSizes {
+        /// The first line size seen.
+        expected: u64,
+        /// The conflicting line size.
+        found: u64,
+    },
+}
+
+impl fmt::Display for StackDistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackDistError::NoConfigs => f.write_str("no cache configs to evaluate"),
+            StackDistError::NotLru { index } => {
+                write!(
+                    f,
+                    "config {index} is not LRU; single-pass evaluation requires LRU"
+                )
+            }
+            StackDistError::MixedLineSizes { expected, found } => write!(
+                f,
+                "configs must share one line size (saw {expected} and {found})"
+            ),
+        }
+    }
+}
+
+impl Error for StackDistError {}
+
+/// One distinct set-count class shared by one or more geometries: the
+/// per-set MRU-ordered contents of the widest cache of the class. By LRU
+/// inclusion, the top `a` entries of each set are exactly the contents of
+/// the class's `a`-way geometry.
+struct SetClass {
+    /// `num_sets - 1`, the set-index mask.
+    mask: u64,
+    /// Largest associativity among geometries with this set count.
+    a_max: usize,
+    /// Smallest associativity among geometries with this set count — a
+    /// no-allocate store hitting at or beyond this way-position diverges.
+    a_min: usize,
+    /// Divergence hit this class; its geometries will be replayed.
+    dirty: bool,
+    /// `num_sets × a_max` line slots, MRU-first within each set.
+    lines: Vec<u64>,
+    /// Live entries per set.
+    occ: Vec<u32>,
+}
+
+/// Per-geometry view onto the set classes.
+struct GeomView {
+    /// Index into the set-class table.
+    class: usize,
+    /// Associativity.
+    assoc: usize,
+}
+
+/// Evaluate every LRU geometry in `configs` (which must share one line
+/// size) over `stream` in a single pass. Returns exact per-geometry
+/// demand counters — identical to replaying each config through
+/// [`Cache`] with the matching write policy.
+///
+/// # Errors
+///
+/// Returns [`StackDistError`] if `configs` is empty, mixes line sizes, or
+/// contains a non-LRU policy.
+pub fn evaluate_lru_multi(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    mode: WriteMode,
+) -> Result<MultiEvalResult, StackDistError> {
+    validate_configs(configs)?;
+    let (mut counts, dirty) = single_pass(configs, stream, mode);
+    let fell_back = !dirty.is_empty();
+    if fell_back {
+        // Replay only the geometries whose set-count class diverged; the
+        // rest keep their (exact) single-pass counts.
+        let sub: Vec<CacheConfig> = dirty.iter().map(|&i| configs[i]).collect();
+        for (&i, c) in dirty.iter().zip(replay_per_config(&sub, stream, mode)) {
+            counts[i] = c;
+        }
+    }
+    Ok(MultiEvalResult { counts, fell_back })
+}
+
+fn validate_configs(configs: &[CacheConfig]) -> Result<(), StackDistError> {
+    let first = configs.first().ok_or(StackDistError::NoConfigs)?;
+    for (i, c) in configs.iter().enumerate() {
+        if c.policy != ReplacementPolicy::Lru {
+            return Err(StackDistError::NotLru { index: i });
+        }
+        if c.line_size != first.line_size {
+            return Err(StackDistError::MixedLineSizes {
+                expected: first.line_size,
+                found: c.line_size,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Sentinel way-position for "line absent from this class".
+const ABSENT: usize = usize::MAX;
+
+/// The Mattson pass. Returns per-geometry counts plus the indices of
+/// configs whose set-count class hit a divergent no-allocate store (their
+/// counts are garbage and must be recomputed by replay).
+fn single_pass(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    mode: WriteMode,
+) -> (Vec<GeomCounts>, Vec<usize>) {
+    // Build the distinct set-count classes and per-geometry views.
+    let mut classes: Vec<SetClass> = Vec::new();
+    let mut views: Vec<GeomView> = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        let sets = cfg.num_sets();
+        let assoc = cfg.assoc as usize;
+        let class = match classes.iter().position(|c| c.mask == sets - 1) {
+            Some(i) => {
+                classes[i].a_max = classes[i].a_max.max(assoc);
+                classes[i].a_min = classes[i].a_min.min(assoc);
+                i
+            }
+            None => {
+                classes.push(SetClass {
+                    mask: sets - 1,
+                    a_max: assoc,
+                    a_min: assoc,
+                    dirty: false,
+                    lines: Vec::new(),
+                    occ: Vec::new(),
+                });
+                classes.len() - 1
+            }
+        };
+        views.push(GeomView { class, assoc });
+    }
+    for class in classes.iter_mut() {
+        let sets = (class.mask + 1) as usize;
+        class.lines = vec![0; sets * class.a_max];
+        class.occ = vec![0; sets];
+    }
+
+    let uniform_writes = mode == WriteMode::Allocate;
+    let mut counts = vec![GeomCounts::default(); configs.len()];
+    // Reused per-access scratch: the line's way-position per class.
+    let mut positions = vec![ABSENT; classes.len()];
+
+    for acc in stream {
+        // Phase 1: locate the line in each class's widest cache.
+        for (pos, class) in positions.iter_mut().zip(classes.iter()) {
+            if class.dirty {
+                *pos = ABSENT;
+                continue;
+            }
+            let set = (acc.line & class.mask) as usize;
+            let base = set * class.a_max;
+            let ways = &class.lines[base..base + class.occ[set] as usize];
+            *pos = ways.iter().position(|&l| l == acc.line).unwrap_or(ABSENT);
+        }
+
+        // Phase 2: count. A way-position `p` hits every geometry of the
+        // class with associativity > p. (Dirty-class counts are garbage
+        // and get overwritten by the replay fallback.)
+        for (view, c) in views.iter().zip(counts.iter_mut()) {
+            c.accesses += 1;
+            if acc.is_write {
+                c.writes += 1;
+            } else {
+                c.reads += 1;
+            }
+            if positions[view.class] < view.assoc {
+                c.hits += 1;
+            } else {
+                c.misses += 1;
+            }
+        }
+
+        // Phase 3: update recency per class.
+        for (&pos, class) in positions.iter().zip(classes.iter_mut()) {
+            if class.dirty {
+                continue;
+            }
+            let set = (acc.line & class.mask) as usize;
+            let base = set * class.a_max;
+            if pos != ABSENT {
+                if !acc.is_write || uniform_writes || pos < class.a_min {
+                    // Uniform recency touch: every geometry of the class
+                    // that holds the line moves it to MRU, and (for loads
+                    // and allocating stores) the rest re-allocate it at
+                    // MRU — either way the class list rotates to front.
+                    class.lines[base..=base + pos].rotate_right(1);
+                } else {
+                    // No-allocate store hitting some ways of the class
+                    // but not all: LRU inclusion breaks for this class.
+                    class.dirty = true;
+                }
+            } else if !acc.is_write || uniform_writes {
+                // Cold/evicted load (or allocating store): insert at MRU,
+                // evicting the set's LRU entry if the widest cache is
+                // full. A no-allocate store that misses the whole class
+                // touches nothing — exact.
+                let n = class.occ[set] as usize;
+                if n < class.a_max {
+                    class.occ[set] += 1;
+                }
+                let end = (n + 1).min(class.a_max);
+                class.lines[base..base + end].rotate_right(1);
+                class.lines[base] = acc.line;
+            }
+        }
+    }
+
+    let dirty: Vec<usize> = views
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| classes[v.class].dirty)
+        .map(|(i, _)| i)
+        .collect();
+    (counts, dirty)
+}
+
+/// Exact per-configuration replay through [`Cache`] — the fallback for
+/// divergent no-allocate stores, and the reference the single pass is
+/// tested against.
+pub fn replay_per_config(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    mode: WriteMode,
+) -> Vec<GeomCounts> {
+    configs
+        .iter()
+        .map(|cfg| {
+            let mut cache = Cache::new(*cfg);
+            for acc in stream {
+                match (acc.is_write, mode) {
+                    (true, WriteMode::NoAllocate) => {
+                        cache.access_no_allocate(acc.line, true);
+                    }
+                    (is_write, _) => {
+                        cache.access(acc.line, is_write);
+                    }
+                }
+            }
+            let s = cache.stats();
+            GeomCounts {
+                accesses: s.accesses,
+                hits: s.hits,
+                misses: s.misses,
+                reads: s.reads,
+                writes: s.writes,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru(size: u64, assoc: u32, line: u64) -> CacheConfig {
+        CacheConfig::new(size, assoc, line, ReplacementPolicy::Lru).expect("valid config")
+    }
+
+    /// A small deterministic mixed-locality stream.
+    fn synth_stream(len: usize, span: u64, write_every: usize) -> Vec<LineAccess> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        (0..len)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Mix strided and random reuse.
+                let line = if i % 3 == 0 {
+                    (i as u64 / 3) % span
+                } else {
+                    state % span
+                };
+                LineAccess {
+                    line,
+                    is_write: write_every > 0 && i % write_every == 0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validation_rejects_bad_groups() {
+        assert_eq!(
+            evaluate_lru_multi(&[], &[], WriteMode::Allocate).unwrap_err(),
+            StackDistError::NoConfigs
+        );
+        let a = lru(1024, 2, 64);
+        let b = lru(1024, 2, 128);
+        assert!(matches!(
+            evaluate_lru_multi(&[a, b], &[], WriteMode::Allocate).unwrap_err(),
+            StackDistError::MixedLineSizes { .. }
+        ));
+        let fifo = CacheConfig::new(1024, 2, 64, ReplacementPolicy::Fifo).unwrap();
+        assert!(matches!(
+            evaluate_lru_multi(&[a, fifo], &[], WriteMode::Allocate).unwrap_err(),
+            StackDistError::NotLru { index: 1 }
+        ));
+    }
+
+    #[test]
+    fn read_only_matches_replay_across_grid() {
+        let configs = [
+            lru(512, 1, 64), // direct-mapped
+            lru(512, 8, 64), // fully associative (1 set)
+            lru(1024, 2, 64),
+            lru(4096, 4, 64),
+            lru(8192, 16, 64),
+        ];
+        let stream = synth_stream(4000, 300, 0);
+        let result = evaluate_lru_multi(&configs, &stream, WriteMode::Allocate).unwrap();
+        assert!(!result.fell_back);
+        let reference = replay_per_config(&configs, &stream, WriteMode::Allocate);
+        assert_eq!(result.counts, reference);
+    }
+
+    #[test]
+    fn allocate_mode_with_writes_is_single_pass_and_exact() {
+        let configs = [lru(512, 2, 64), lru(2048, 4, 64), lru(8192, 8, 64)];
+        let stream = synth_stream(4000, 250, 3);
+        let result = evaluate_lru_multi(&configs, &stream, WriteMode::Allocate).unwrap();
+        assert!(!result.fell_back, "write-allocate must never diverge");
+        assert_eq!(
+            result.counts,
+            replay_per_config(&configs, &stream, WriteMode::Allocate)
+        );
+    }
+
+    #[test]
+    fn no_allocate_writes_stay_exact_even_when_divergent() {
+        let configs = [lru(256, 1, 64), lru(512, 2, 64), lru(4096, 4, 64)];
+        let stream = synth_stream(4000, 200, 4);
+        let result = evaluate_lru_multi(&configs, &stream, WriteMode::NoAllocate).unwrap();
+        assert_eq!(
+            result.counts,
+            replay_per_config(&configs, &stream, WriteMode::NoAllocate)
+        );
+    }
+
+    #[test]
+    fn divergent_store_triggers_fallback() {
+        // Two single-set geometries with 1 and 2 ways. Load a then b:
+        // stack is [b, a]. A store to `a` hits the 2-way cache but misses
+        // the 1-way one — divergent by construction.
+        let configs = [lru(64, 1, 64), lru(128, 2, 64)];
+        let stream = vec![
+            LineAccess::new(0, false),
+            LineAccess::new(1, false),
+            LineAccess::new(0, true),
+        ];
+        let result = evaluate_lru_multi(&configs, &stream, WriteMode::NoAllocate).unwrap();
+        assert!(result.fell_back);
+        assert_eq!(
+            result.counts,
+            replay_per_config(&configs, &stream, WriteMode::NoAllocate)
+        );
+    }
+
+    #[test]
+    fn saturated_walk_still_restacks_loads() {
+        // 1-set 1-way cache: a load to a deep line saturates instantly,
+        // but the load must still move the line to MRU.
+        let configs = [lru(64, 1, 64)];
+        let stream = vec![
+            LineAccess::new(0, false),
+            LineAccess::new(1, false),
+            LineAccess::new(0, false), // deep hit walk, saturates, restacks
+            LineAccess::new(0, false), // must now be a hit
+        ];
+        let result = evaluate_lru_multi(&configs, &stream, WriteMode::NoAllocate).unwrap();
+        assert_eq!(
+            result.counts,
+            replay_per_config(&configs, &stream, WriteMode::NoAllocate)
+        );
+        assert_eq!(result.counts[0].hits, 1);
+    }
+
+    #[test]
+    fn counts_track_reads_and_writes() {
+        let configs = [lru(1024, 4, 64)];
+        let stream = synth_stream(1000, 100, 5);
+        let expected_writes = stream.iter().filter(|a| a.is_write).count() as u64;
+        let result = evaluate_lru_multi(&configs, &stream, WriteMode::Allocate).unwrap();
+        let c = &result.counts[0];
+        assert_eq!(c.accesses, 1000);
+        assert_eq!(c.writes, expected_writes);
+        assert_eq!(c.reads, 1000 - expected_writes);
+        assert_eq!(c.hits + c.misses, c.accesses);
+        assert!(c.miss_rate() > 0.0 && c.miss_rate() <= 1.0);
+    }
+}

@@ -1,9 +1,10 @@
 //! Property-based tests of cache-model invariants.
 
+use gmap_gpu::schedule::MemoryModel;
 use gmap_memsim::cache::{Cache, CacheConfig, ReplacementPolicy};
 use gmap_memsim::hierarchy::{GpuHierarchy, HierarchyConfig};
 use gmap_memsim::mshr::Mshr;
-use gmap_gpu::schedule::MemoryModel;
+use gmap_memsim::stackdist::{evaluate_lru_multi, replay_per_config, LineAccess, WriteMode};
 use gmap_trace::record::{AccessKind, ByteAddr, CoreId, Pc};
 use proptest::prelude::*;
 
@@ -111,5 +112,40 @@ proptest! {
         let s = h.stats();
         prop_assert_eq!(s.l1.hits + s.l1.misses, s.l1.accesses);
         prop_assert_eq!(s.l2.hits + s.l2.misses, s.l2.accesses);
+    }
+
+    /// The single-pass stack-distance evaluator's counts exactly equal
+    /// direct per-config `Cache` simulation for random line streams, over
+    /// a geometry grid spanning direct-mapped (assoc = 1) through fully
+    /// associative (one set), under both write models.
+    #[test]
+    fn stackdist_matches_direct_cache_simulation(
+        stream in proptest::collection::vec((0u64..512, any::<bool>()), 1..400),
+        allocate in any::<bool>(),
+    ) {
+        let grid = [
+            (64u64 * 64, 1u32), // 64 sets, direct-mapped
+            (64 * 64, 64),      // 1 set, fully associative
+            (8 * 64, 1),        // tiny direct-mapped
+            (8 * 64, 8),        // tiny fully associative
+            (32 * 64, 4),
+            (256 * 64, 16),
+        ];
+        let configs: Vec<CacheConfig> = grid
+            .iter()
+            .map(|&(size, assoc)| {
+                CacheConfig::new(size, assoc, 64, ReplacementPolicy::Lru).expect("valid")
+            })
+            .collect();
+        let accesses: Vec<LineAccess> =
+            stream.iter().map(|&(l, w)| LineAccess::new(l, w)).collect();
+        let mode = if allocate { WriteMode::Allocate } else { WriteMode::NoAllocate };
+        let result = evaluate_lru_multi(&configs, &accesses, mode).expect("uniform LRU group");
+        let reference = replay_per_config(&configs, &accesses, mode);
+        prop_assert_eq!(&result.counts, &reference);
+        if allocate {
+            // Write-allocate streams never diverge, so the fast path ran.
+            prop_assert!(!result.fell_back);
+        }
     }
 }

@@ -1,0 +1,94 @@
+//! Minimal, deterministic, offline subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so this crate vendors just
+//! the surface the workspace's property tests use: `proptest!`, `any`,
+//! integer/float range strategies, `Just`, tuples, `prop_map`,
+//! `prop_oneof!`, `collection::vec`, `prop_assert!`/`prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking. Inputs are drawn from a deterministic per-test RNG (seeded
+//! from the test's module path and case index), so failures reproduce
+//! exactly across runs and machines.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+pub use test_runner::{Config as ProptestConfig, TestRng};
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a regular test that draws `cases` deterministic inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$m:meta])*
+      fn $name:ident($($p:pat_param in $s:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$m])*
+        fn $name() {
+            let __cfg = $cfg;
+            let __cases = __cfg.resolved_cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Choose between several strategies producing the same value type.
+/// Supports both `prop_oneof![a, b, c]` and weighted
+/// `prop_oneof![2 => a, 1 => b]` forms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Union::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Union::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body (no shrinking, so this is `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}

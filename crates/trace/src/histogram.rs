@@ -38,7 +38,10 @@ pub struct Histogram<T: Ord> {
 
 impl<T: Ord> Default for Histogram<T> {
     fn default() -> Self {
-        Histogram { counts: BTreeMap::new(), total: 0 }
+        Histogram {
+            counts: BTreeMap::new(),
+            total: 0,
+        }
     }
 }
 
@@ -339,7 +342,10 @@ mod tests {
         let n = 10_000;
         let ones: u64 = (0..n).map(|_| h.sample(&mut rng).unwrap()).sum();
         let frac = ones as f64 / n as f64;
-        assert!((frac - 0.1).abs() < 0.02, "sampled frequency {frac} too far from 0.1");
+        assert!(
+            (frac - 0.1).abs() < 0.02,
+            "sampled frequency {frac} too far from 0.1"
+        );
     }
 
     #[test]
@@ -358,7 +364,10 @@ mod tests {
         for v in 0..10u64 {
             let expect = (v + 1) as f64 / 55.0;
             let got = observed.freq_of(v);
-            assert!((got - expect).abs() < 0.01, "value {v}: got {got}, expect {expect}");
+            assert!(
+                (got - expect).abs() < 0.01,
+                "value {v}: got {got}, expect {expect}"
+            );
         }
     }
 

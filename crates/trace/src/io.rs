@@ -71,7 +71,11 @@ impl From<io::Error> for ParseTraceError {
 pub fn write_text<W: Write>(mut w: W, entries: &[TraceEntry]) -> io::Result<()> {
     writeln!(w, "# gmap trace v1: tid pc kind addr")?;
     for (tid, acc) in entries {
-        writeln!(w, "{} {:#x} {} {:#x}", tid.0, acc.pc.0, acc.kind, acc.addr.0)?;
+        writeln!(
+            w,
+            "{} {:#x} {} {:#x}",
+            tid.0, acc.pc.0, acc.kind, acc.addr.0
+        )?;
     }
     Ok(())
 }
@@ -98,10 +102,12 @@ pub fn read_text<R: BufRead>(r: R) -> Result<Vec<TraceEntry>, ParseTraceError> {
                 reason: format!("missing {what} field"),
             })
         };
-        let tid: u32 = next("tid")?.parse().map_err(|e| ParseTraceError::Malformed {
-            index,
-            reason: format!("bad tid: {e}"),
-        })?;
+        let tid: u32 = next("tid")?
+            .parse()
+            .map_err(|e| ParseTraceError::Malformed {
+                index,
+                reason: format!("bad tid: {e}"),
+            })?;
         let pc = parse_hex(next("pc")?, index, "pc")?;
         let kind = match next("kind")? {
             "R" => AccessKind::Read,
@@ -116,14 +122,21 @@ pub fn read_text<R: BufRead>(r: R) -> Result<Vec<TraceEntry>, ParseTraceError> {
         let addr = parse_hex(next("addr")?, index, "addr")?;
         out.push((
             ThreadId(tid),
-            MemAccess { pc: Pc(pc), addr: ByteAddr(addr), kind },
+            MemAccess {
+                pc: Pc(pc),
+                addr: ByteAddr(addr),
+                kind,
+            },
         ));
     }
     Ok(out)
 }
 
 fn parse_hex(s: &str, index: usize, what: &str) -> Result<u64, ParseTraceError> {
-    let stripped = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    let stripped = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
     u64::from_str_radix(stripped, 16).map_err(|e| ParseTraceError::Malformed {
         index,
         reason: format!("bad {what}: {e}"),
@@ -170,7 +183,10 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<TraceEntry>, ParseTraceError
     for i in 0..count {
         r.read_exact(&mut rec).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
-                ParseTraceError::Malformed { index: i + 1, reason: "truncated record".into() }
+                ParseTraceError::Malformed {
+                    index: i + 1,
+                    reason: "truncated record".into(),
+                }
             } else {
                 ParseTraceError::Io(e)
             }
@@ -178,8 +194,19 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<TraceEntry>, ParseTraceError
         let tid = u32::from_le_bytes(rec[0..4].try_into().expect("fixed slice"));
         let pc = u64::from_le_bytes(rec[4..12].try_into().expect("fixed slice"));
         let addr = u64::from_le_bytes(rec[12..20].try_into().expect("fixed slice"));
-        let kind = if rec[20] != 0 { AccessKind::Write } else { AccessKind::Read };
-        out.push((ThreadId(tid), MemAccess { pc: Pc(pc), addr: ByteAddr(addr), kind }));
+        let kind = if rec[20] != 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        out.push((
+            ThreadId(tid),
+            MemAccess {
+                pc: Pc(pc),
+                addr: ByteAddr(addr),
+                kind,
+            },
+        ));
     }
     Ok(out)
 }
@@ -192,7 +219,10 @@ mod tests {
         vec![
             (ThreadId(0), MemAccess::read(Pc(0x900), ByteAddr(0x1000))),
             (ThreadId(1), MemAccess::write(Pc(0x4a0), ByteAddr(0x1080))),
-            (ThreadId(31), MemAccess::read(Pc(0xe8), ByteAddr(0xFFFF_FFFF_0000))),
+            (
+                ThreadId(31),
+                MemAccess::read(Pc(0xe8), ByteAddr(0xFFFF_FFFF_0000)),
+            ),
         ]
     }
 
@@ -217,13 +247,19 @@ mod tests {
     fn text_accepts_bare_hex() {
         let src = "3 1c85 W ff00\n";
         let got = read_text(src.as_bytes()).expect("read");
-        assert_eq!(got[0], (ThreadId(3), MemAccess::write(Pc(0x1c85), ByteAddr(0xff00))));
+        assert_eq!(
+            got[0],
+            (ThreadId(3), MemAccess::write(Pc(0x1c85), ByteAddr(0xff00)))
+        );
     }
 
     #[test]
     fn text_rejects_missing_field() {
         let err = read_text("0 0x10 R\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, ParseTraceError::Malformed { index: 1, .. }), "got {err}");
+        assert!(
+            matches!(err, ParseTraceError::Malformed { index: 1, .. }),
+            "got {err}"
+        );
     }
 
     #[test]
@@ -261,7 +297,10 @@ mod tests {
         write_binary(&mut buf, &entries).expect("write");
         buf.truncate(buf.len() - 5);
         let err = read_binary(&buf[..]).unwrap_err();
-        assert!(matches!(err, ParseTraceError::Malformed { .. }), "got {err}");
+        assert!(
+            matches!(err, ParseTraceError::Malformed { .. }),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -91,14 +91,20 @@ impl ByteAddr {
     /// ```
     #[inline]
     pub fn line(self, line_size: u64) -> LineAddr {
-        debug_assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        debug_assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(self.0 >> line_size.trailing_zeros())
     }
 
     /// The line-aligned byte address (address of the first byte in the line).
     #[inline]
     pub fn line_base(self, line_size: u64) -> ByteAddr {
-        debug_assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        debug_assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         ByteAddr(self.0 & !(line_size - 1))
     }
 
@@ -141,7 +147,10 @@ impl LineAddr {
     /// The first byte address of this line for a given line size.
     #[inline]
     pub fn to_byte_addr(self, line_size: u64) -> ByteAddr {
-        debug_assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        debug_assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         ByteAddr(self.0 << line_size.trailing_zeros())
     }
 }
@@ -195,12 +204,20 @@ pub struct MemAccess {
 impl MemAccess {
     /// Convenience constructor for a read access.
     pub fn read(pc: Pc, addr: ByteAddr) -> Self {
-        MemAccess { pc, addr, kind: AccessKind::Read }
+        MemAccess {
+            pc,
+            addr,
+            kind: AccessKind::Read,
+        }
     }
 
     /// Convenience constructor for a write access.
     pub fn write(pc: Pc, addr: ByteAddr) -> Self {
-        MemAccess { pc, addr, kind: AccessKind::Write }
+        MemAccess {
+            pc,
+            addr,
+            kind: AccessKind::Write,
+        }
     }
 }
 

@@ -275,7 +275,16 @@ mod tests {
         let got: Vec<Option<u64>> = lines.iter().map(|&l| rc.push(l)).collect();
         assert_eq!(
             got,
-            [None, Some(0), None, Some(0), Some(1), Some(1), Some(0), Some(1)]
+            [
+                None,
+                Some(0),
+                None,
+                Some(0),
+                Some(1),
+                Some(1),
+                Some(0),
+                Some(1)
+            ]
         );
     }
 

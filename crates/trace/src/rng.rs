@@ -175,7 +175,10 @@ mod tests {
         }
         for &c in &counts {
             let frac = c as f64 / n as f64;
-            assert!((frac - 0.1).abs() < 0.01, "bucket frequency {frac} too far from 0.1");
+            assert!(
+                (frac - 0.1).abs() < 0.01,
+                "bucket frequency {frac} too far from 0.1"
+            );
         }
     }
 

@@ -89,7 +89,13 @@ pub fn rel_error(original: f64, proxy: f64) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn mean_abs_error(original: &[f64], proxy: &[f64]) -> f64 {
     assert_eq!(original.len(), proxy.len(), "series must have equal length");
-    mean(&original.iter().zip(proxy).map(|(o, p)| abs_error(*o, *p)).collect::<Vec<_>>())
+    mean(
+        &original
+            .iter()
+            .zip(proxy)
+            .map(|(o, p)| abs_error(*o, *p))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Mean relative error between two equal-length series, as a fraction.
@@ -99,7 +105,13 @@ pub fn mean_abs_error(original: &[f64], proxy: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn mean_rel_error(original: &[f64], proxy: &[f64]) -> f64 {
     assert_eq!(original.len(), proxy.len(), "series must have equal length");
-    mean(&original.iter().zip(proxy).map(|(o, p)| rel_error(*o, *p)).collect::<Vec<_>>())
+    mean(
+        &original
+            .iter()
+            .zip(proxy)
+            .map(|(o, p)| rel_error(*o, *p))
+            .collect::<Vec<_>>(),
+    )
 }
 
 #[cfg(test)]

@@ -22,8 +22,15 @@ fn main() -> Result<(), GmapError> {
     // Candidate L1 designs: size x associativity.
     let sizes_kb = [8u64, 16, 32, 64, 128];
     let assocs = [2u32, 8];
-    println!("sweeping {} L1 designs for '{}'\n", sizes_kb.len() * assocs.len(), kernel.name);
-    println!("{:<18} {:>12} {:>12}", "L1 design", "orig miss%", "clone miss%");
+    println!(
+        "sweeping {} L1 designs for '{}'\n",
+        sizes_kb.len() * assocs.len(),
+        kernel.name
+    );
+    println!(
+        "{:<18} {:>12} {:>12}",
+        "L1 design", "orig miss%", "clone miss%"
+    );
 
     let mut orig_series = Vec::new();
     let mut clone_series = Vec::new();
@@ -31,8 +38,7 @@ fn main() -> Result<(), GmapError> {
     for &kb in &sizes_kb {
         for &assoc in &assocs {
             let mut cfg = SimtConfig::default();
-            cfg.hierarchy.l1 =
-                CacheConfig::new(kb * 1024, assoc, 128, ReplacementPolicy::Lru)?;
+            cfg.hierarchy.l1 = CacheConfig::new(kb * 1024, assoc, 128, ReplacementPolicy::Lru)?;
             let orig = run_original(&kernel, &cfg)?;
             let clone = simulate_streams(&clone_streams, &profile.launch, &cfg)?;
             println!(

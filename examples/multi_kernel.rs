@@ -11,6 +11,7 @@ use gmap::core::{
 };
 use gmap::gpu::app::apps;
 use gmap::gpu::workloads::Scale;
+use gmap::memsim::hierarchy::TraceCapture;
 
 fn main() -> Result<(), GmapError> {
     let app = apps::kmeans_iterative(Scale::Small);
@@ -25,7 +26,7 @@ fn main() -> Result<(), GmapError> {
     }
 
     let mut cfg = SimtConfig::default();
-    cfg.hierarchy.record_mem_trace = true;
+    cfg.hierarchy.trace_capture = TraceCapture::Full;
 
     // Original: kernels share one hierarchy, so kernel 3 (kmeans again)
     // starts with whatever kernel 1 left in the L2.
@@ -35,7 +36,11 @@ fn main() -> Result<(), GmapError> {
     let profile = profile_application(&app, &ProfilerConfig::default());
     let mut shipped = Vec::new();
     profile.save(&mut shipped)?;
-    println!("\nshipped app profile: {} bytes for {} kernels", shipped.len(), profile.kernels.len());
+    println!(
+        "\nshipped app profile: {} bytes for {} kernels",
+        shipped.len(),
+        profile.kernels.len()
+    );
     let proxy = run_application_proxy(&profile, &cfg)?;
 
     println!("\n--- per-kernel cycles (original vs clone) ---");

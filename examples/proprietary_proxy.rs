@@ -33,7 +33,11 @@ fn main() -> Result<(), GmapError> {
     // What is shipped WITH G-MAP: the JSON profile.
     let mut shipped = Vec::new();
     profile.save(&mut shipped)?;
-    println!("raw trace size    : {:>10} bytes ({} accesses)", raw_trace.len(), entries.len());
+    println!(
+        "raw trace size    : {:>10} bytes ({} accesses)",
+        raw_trace.len(),
+        entries.len()
+    );
     println!("shipped profile   : {:>10} bytes", shipped.len());
     println!(
         "reduction         : {:.0}x smaller\n",
@@ -43,7 +47,12 @@ fn main() -> Result<(), GmapError> {
     // ---------------- Site B: the memory-system architect ----------------
     let received = GmapProfile::load(&shipped[..])?;
     received.validate()?;
-    println!("received profile  : '{}', {} PCs, {} pi profiles", received.name, received.num_slots(), received.profiles.len());
+    println!(
+        "received profile  : '{}', {} PCs, {} pi profiles",
+        received.name,
+        received.num_slots(),
+        received.profiles.len()
+    );
 
     // The architect evaluates THE CLONE on candidate designs. For
     // validation we also run the original here — in the real scenario only

@@ -15,7 +15,11 @@ fn main() -> Result<(), GmapError> {
     // 1. The "application" — one of the 18 synthetic benchmark models.
     let kernel = workloads::kmeans(Scale::Small);
     println!("application      : {}", kernel.name);
-    println!("launch           : {} blocks x {} threads", kernel.launch.num_blocks(), kernel.launch.threads_per_block());
+    println!(
+        "launch           : {} blocks x {} threads",
+        kernel.launch.num_blocks(),
+        kernel.launch.threads_per_block()
+    );
     println!("footprint        : {} KiB", kernel.footprint_bytes() / 1024);
 
     // 2. Run the original through the scheduler + cache hierarchy.

@@ -21,6 +21,7 @@ use gmap::dram::DramConfig;
 use gmap::gpu::schedule::{Policy, WarpStream, WarpStreamEvent};
 use gmap::gpu::workloads::{self, Scale};
 use gmap::memsim::cache::{CacheConfig, ReplacementPolicy};
+use gmap::memsim::hierarchy::TraceCapture;
 use gmap::trace::record::{ThreadId, WarpId};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -122,7 +123,9 @@ fn parse_seed(args: &[String]) -> Result<u64, String> {
 fn parse_cache(spec: &str) -> Result<CacheConfig, String> {
     let parts: Vec<&str> = spec.split(':').collect();
     if parts.len() != 3 {
-        return Err(format!("bad cache spec {spec:?} (expected SIZE:ASSOC:LINE)"));
+        return Err(format!(
+            "bad cache spec {spec:?} (expected SIZE:ASSOC:LINE)"
+        ));
     }
     let size: u64 = parts[0].parse().map_err(|e| format!("bad size: {e}"))?;
     let assoc: u32 = parts[1].parse().map_err(|e| format!("bad assoc: {e}"))?;
@@ -146,7 +149,9 @@ fn load_profile(path: &str) -> Result<GmapProfile, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let profile =
         GmapProfile::load(BufReader::new(file)).map_err(|e| format!("cannot parse {path}: {e}"))?;
-    profile.validate().map_err(|e| format!("{path} is inconsistent: {e}"))?;
+    profile
+        .validate()
+        .map_err(|e| format!("{path} is inconsistent: {e}"))?;
     Ok(profile)
 }
 
@@ -194,7 +199,9 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         profile.rebase(delta);
     }
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    profile.save(BufWriter::new(file)).map_err(|e| e.to_string())?;
+    profile
+        .save(BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
     println!(
         "profiled {name}: {} PCs, {} pi profiles, {} warp accesses -> {out}",
         profile.num_slots(),
@@ -220,7 +227,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     let freqs = p.slot_frequencies();
     let mut order: Vec<usize> = (0..p.num_slots()).collect();
     order.sort_by(|&a, &b| freqs[b].partial_cmp(&freqs[a]).expect("finite"));
-    println!("{:<10} {:>8} {:>6} {:>14} {:>14}", "PC", "freq%", "kind", "inter-warp", "intra-warp");
+    println!(
+        "{:<10} {:>8} {:>6} {:>14} {:>14}",
+        "PC", "freq%", "kind", "inter-warp", "intra-warp"
+    );
     for &s in order.iter().take(10) {
         println!(
             "{:<10} {:>7.1}% {:>6} {:>14} {:>14}",
@@ -263,7 +273,11 @@ fn streams_to_entries(
                 for l in &a.lines {
                     out.push((
                         tid,
-                        gmap::trace::record::MemAccess { pc: a.pc, addr: *l, kind: a.kind },
+                        gmap::trace::record::MemAccess {
+                            pc: a.pc,
+                            addr: *l,
+                            kind: a.kind,
+                        },
                     ));
                 }
             }
@@ -294,12 +308,19 @@ fn cmd_clone(args: &[String]) -> Result<(), String> {
         }
         Some(other) => return Err(format!("unknown --format {other:?}")),
     }
-    println!("clone of '{}': {} transactions -> {out}", profile.name, entries.len());
+    println!(
+        "clone of '{}': {} transactions -> {out}",
+        profile.name,
+        entries.len()
+    );
     Ok(())
 }
 
 fn cmd_fidelity(args: &[String]) -> Result<(), String> {
-    let profile = match (flag(args, &["-p", "--profile"]), flag(args, &["--workload"])) {
+    let profile = match (
+        flag(args, &["-p", "--profile"]),
+        flag(args, &["--workload"]),
+    ) {
         (Some(path), None) => load_profile(path)?,
         (None, Some(name)) => {
             let kernel = workloads::by_name(name, parse_scale(args))
@@ -326,9 +347,11 @@ fn cmd_fidelity(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let mut cfg = SimtConfig::default();
-    cfg.seed = parse_seed(args)?;
-    cfg.policy = parse_policy(args)?;
+    let mut cfg = SimtConfig {
+        seed: parse_seed(args)?,
+        policy: parse_policy(args)?,
+        ..SimtConfig::default()
+    };
     if let Some(spec) = flag(args, &["--l1"]) {
         cfg.hierarchy.l1 = parse_cache(spec)?;
     }
@@ -336,9 +359,16 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         cfg.hierarchy.l2 = parse_cache(spec)?;
     }
     let with_dram = has_flag(args, "--dram");
-    cfg.hierarchy.record_mem_trace = with_dram;
+    cfg.hierarchy.trace_capture = if with_dram {
+        TraceCapture::Full
+    } else {
+        TraceCapture::Off
+    };
 
-    let (streams, launch, label) = match (flag(args, &["--workload"]), flag(args, &["-p", "--profile"])) {
+    let (streams, launch, label) = match (
+        flag(args, &["--workload"]),
+        flag(args, &["-p", "--profile"]),
+    ) {
         (Some(name), None) => {
             let kernel = workloads::by_name(name, parse_scale(args))
                 .ok_or_else(|| format!("unknown workload {name:?}"))?;
@@ -348,7 +378,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         (None, Some(path)) => {
             let profile = load_profile(path)?;
             let streams = generate_streams(&profile, cfg.seed);
-            (streams, profile.launch, format!("clone of {}", profile.name))
+            (
+                streams,
+                profile.launch,
+                format!("clone of {}", profile.name),
+            )
         }
         _ => return Err("pass exactly one of --workload NAME or -p FILE".into()),
     };
@@ -401,8 +435,14 @@ mod tests {
 
     #[test]
     fn policy_parsing() {
-        assert_eq!(parse_policy(&s(&["--policy", "lrr"])).expect("valid"), Policy::Lrr);
-        assert_eq!(parse_policy(&s(&["--policy", "gto"])).expect("valid"), Policy::Gto);
+        assert_eq!(
+            parse_policy(&s(&["--policy", "lrr"])).expect("valid"),
+            Policy::Lrr
+        );
+        assert_eq!(
+            parse_policy(&s(&["--policy", "gto"])).expect("valid"),
+            Policy::Gto
+        );
         assert!(matches!(
             parse_policy(&s(&["--policy", "self:0.7"])).expect("valid"),
             Policy::SelfProb(p) if (p - 0.7).abs() < 1e-9
@@ -429,17 +469,38 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("mkdir");
         let pfile = dir.join("p.json").to_string_lossy().into_owned();
         let tfile = dir.join("t.txt").to_string_lossy().into_owned();
-        run(&s(&["profile", "--workload", "kmeans", "--scale", "tiny", "-o", &pfile]))
-            .expect("profile");
+        run(&s(&[
+            "profile",
+            "--workload",
+            "kmeans",
+            "--scale",
+            "tiny",
+            "-o",
+            &pfile,
+        ]))
+        .expect("profile");
         run(&s(&["info", "-p", &pfile])).expect("info");
         run(&s(&["clone", "-p", &pfile, "--factor", "2", "-o", &tfile])).expect("clone");
         assert!(std::fs::metadata(&tfile).expect("trace written").len() > 0);
         run(&s(&["simulate", "-p", &pfile, "--l1", "32768:8:128"])).expect("simulate clone");
-        run(&s(&["simulate", "--workload", "kmeans", "--scale", "tiny", "--dram"]))
-            .expect("simulate original");
+        run(&s(&[
+            "simulate",
+            "--workload",
+            "kmeans",
+            "--scale",
+            "tiny",
+            "--dram",
+        ]))
+        .expect("simulate original");
         run(&s(&["fidelity", "-p", &pfile])).expect("fidelity from profile");
-        run(&s(&["fidelity", "--workload", "hotspot", "--scale", "tiny"]))
-            .expect("fidelity from workload");
+        run(&s(&[
+            "fidelity",
+            "--workload",
+            "hotspot",
+            "--scale",
+            "tiny",
+        ]))
+        .expect("fidelity from workload");
         // External-trace ingestion: clone the profile to a trace, then
         // re-profile that trace.
         let p2 = dir.join("p2.json").to_string_lossy().into_owned();

@@ -5,11 +5,12 @@
 use gmap::core::{profile_kernel, run_original, run_proxy, ProfilerConfig, SimtConfig};
 use gmap::dram::{AddressMapping, DramConfig};
 use gmap::gpu::workloads::{self, Scale};
+use gmap::memsim::hierarchy::TraceCapture;
 use gmap::trace::stats;
 
 fn traced_cfg() -> SimtConfig {
     let mut cfg = SimtConfig::default();
-    cfg.hierarchy.record_mem_trace = true;
+    cfg.hierarchy.trace_capture = TraceCapture::Full;
     cfg
 }
 
@@ -24,7 +25,10 @@ fn clone_dram_metrics_track_original() {
         let dram_cfg = DramConfig::gddr5_baseline();
         let mo = orig.dram_metrics(dram_cfg);
         let mp = proxy.dram_metrics(dram_cfg);
-        assert!(mo.requests > 0 && mp.requests > 0, "{name}: no DRAM traffic");
+        assert!(
+            mo.requests > 0 && mp.requests > 0,
+            "{name}: no DRAM traffic"
+        );
         let rbl_err = (mo.rbl - mp.rbl).abs();
         assert!(
             rbl_err < 0.25,

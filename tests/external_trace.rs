@@ -33,7 +33,11 @@ fn handmade_streams() -> (Vec<WarpStream>, LaunchConfig) {
                     ]
                 })
                 .collect();
-            WarpStream { warp: WarpId(w), block: w / 4, events }
+            WarpStream {
+                warp: WarpId(w),
+                block: w / 4,
+                events,
+            }
         })
         .collect();
     (streams, launch)
@@ -42,15 +46,30 @@ fn handmade_streams() -> (Vec<WarpStream>, LaunchConfig) {
 #[test]
 fn external_streams_profile_and_clone() {
     let (streams, launch) = handmade_streams();
-    let profile = profile_streams("handmade", &streams, &launch, 32, &ProfilerConfig::default())
-        .expect("valid streams");
+    let profile = profile_streams(
+        "handmade",
+        &streams,
+        &launch,
+        32,
+        &ProfilerConfig::default(),
+    )
+    .expect("valid streams");
     assert_eq!(profile.num_slots(), 2);
     // The captured statistics match construction.
     let a = profile.slot_of(Pc(0xA0)).expect("profiled");
     let b = profile.slot_of(Pc(0xB0)).expect("profiled");
-    assert_eq!(profile.inter_stride[a].dominant().expect("non-empty").0, 128);
-    assert_eq!(profile.intra_stride[a].dominant().expect("non-empty").0, 2048);
-    assert_eq!(profile.intra_stride[b].dominant().expect("non-empty").0, 4096);
+    assert_eq!(
+        profile.inter_stride[a].dominant().expect("non-empty").0,
+        128
+    );
+    assert_eq!(
+        profile.intra_stride[a].dominant().expect("non-empty").0,
+        2048
+    );
+    assert_eq!(
+        profile.intra_stride[b].dominant().expect("non-empty").0,
+        4096
+    );
     assert_eq!(profile.kinds[b], AccessKind::Write);
 
     // Clone and simulate both against the same configuration.
@@ -101,5 +120,8 @@ fn text_trace_round_trip_through_profiling() {
     let launch = LaunchConfig::new(1u32, 256u32);
     let profile = profile_streams("text", &streams, &launch, 32, &ProfilerConfig::default())
         .expect("valid streams");
-    assert_eq!(profile.inter_stride[0].dominant().expect("non-empty").0, 128);
+    assert_eq!(
+        profile.inter_stride[0].dominant().expect("non-empty").0,
+        128
+    );
 }

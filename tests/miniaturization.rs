@@ -54,8 +54,8 @@ fn miniaturized_clone_simulates_faster_in_accesses() {
     let mini = miniaturize(&profile, 8.0).expect("valid factor");
     let mini_streams = generate_streams(&mini, 3);
     let mini_out = simulate_streams(&mini_streams, &mini.launch, &cfg).expect("valid");
-    let ratio = full_out.schedule.issued_accesses as f64
-        / mini_out.schedule.issued_accesses.max(1) as f64;
+    let ratio =
+        full_out.schedule.issued_accesses as f64 / mini_out.schedule.issued_accesses.max(1) as f64;
     assert!(
         ratio > 3.0,
         "8x miniaturization only cut issued accesses by {ratio:.2}x"

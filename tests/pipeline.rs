@@ -84,7 +84,10 @@ fn clone_preserves_config_ranking() {
         proxy_series.push(run_proxy(&profile, &cfg).expect("valid").l1_miss_pct());
     }
     let corr = gmap::trace::stats::pearson(&orig_series, &proxy_series);
-    assert!(corr > 0.8, "ranking correlation {corr:.3} over {orig_series:?} vs {proxy_series:?}");
+    assert!(
+        corr > 0.8,
+        "ranking correlation {corr:.3} over {orig_series:?} vs {proxy_series:?}"
+    );
 }
 
 /// Scheduling statistics survive the round trip: a GTO original replayed

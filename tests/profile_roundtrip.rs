@@ -1,9 +1,7 @@
 //! The profile is the shippable artifact: serialization must be lossless
 //! and the deserialized profile must generate the identical clone.
 
-use gmap::core::{
-    generate::generate_streams, profile_kernel, GmapProfile, ProfilerConfig,
-};
+use gmap::core::{generate::generate_streams, profile_kernel, GmapProfile, ProfilerConfig};
 use gmap::gpu::workloads::{self, Scale};
 
 #[test]
@@ -14,7 +12,10 @@ fn json_round_trip_preserves_the_clone() {
         let mut buf = Vec::new();
         profile.save(&mut buf).expect("save");
         let restored = GmapProfile::load(&buf[..]).expect("load");
-        assert_eq!(profile, restored, "{name}: profile must round-trip losslessly");
+        assert_eq!(
+            profile, restored,
+            "{name}: profile must round-trip losslessly"
+        );
         assert_eq!(
             generate_streams(&profile, 99),
             generate_streams(&restored, 99),
