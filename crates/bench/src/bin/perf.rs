@@ -7,6 +7,7 @@
 //! `--out PATH` to move the report.
 
 use gmap_bench::{engine, prepare, sweep_benchmark, sweeps, ExperimentOpts, Metric};
+use gmap_trace::LatencyHistogram;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -22,6 +23,27 @@ struct PerBenchmark {
     speedup: f64,
 }
 
+/// Distribution of one phase's per-benchmark wall times, summarized from
+/// the shared log-bucketed [`LatencyHistogram`].
+#[derive(Debug, Serialize)]
+struct PhaseLatency {
+    phase: String,
+    p50_secs: f64,
+    p95_secs: f64,
+    max_secs: f64,
+}
+
+impl PhaseLatency {
+    fn summarize(phase: &str, hist: &LatencyHistogram) -> Self {
+        PhaseLatency {
+            phase: phase.to_string(),
+            p50_secs: hist.p50().as_secs_f64(),
+            p95_secs: hist.p95().as_secs_f64(),
+            max_secs: hist.max().as_secs_f64(),
+        }
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct PerfReport {
     scale: String,
@@ -34,6 +56,7 @@ struct PerfReport {
     direct_secs: f64,
     single_pass_secs: f64,
     speedup: f64,
+    latency: Vec<PhaseLatency>,
     per_benchmark: Vec<PerBenchmark>,
 }
 
@@ -62,16 +85,22 @@ fn main() {
     );
     let mut rows = Vec::new();
     let (mut direct_total, mut single_total) = (0.0f64, 0.0f64);
+    let mut direct_hist = LatencyHistogram::new();
+    let mut single_hist = LatencyHistogram::new();
     for name in BENCHMARKS {
         let data = prepare(name, opts.scale, opts.seed);
 
         let t = Instant::now();
         let direct_cmp = sweep_benchmark(&data, &configs, metric);
-        let direct_secs = t.elapsed().as_secs_f64();
+        let direct_elapsed = t.elapsed();
+        direct_hist.record(direct_elapsed);
+        let direct_secs = direct_elapsed.as_secs_f64();
 
         let t = Instant::now();
         let single_cmp = engine::sweep_benchmark_single_pass(&data, &plan, &configs);
-        let single_pass_secs = t.elapsed().as_secs_f64();
+        let single_elapsed = t.elapsed();
+        single_hist.record(single_elapsed);
+        let single_pass_secs = single_elapsed.as_secs_f64();
 
         // Sanity: both paths produce full aligned series.
         assert_eq!(direct_cmp.original.len(), single_cmp.original.len());
@@ -101,11 +130,21 @@ fn main() {
         direct_secs: direct_total,
         single_pass_secs: single_total,
         speedup,
+        latency: vec![
+            PhaseLatency::summarize("direct", &direct_hist),
+            PhaseLatency::summarize("single_pass", &single_hist),
+        ],
         per_benchmark: rows,
     };
     println!(
         "\ntotal: direct {direct_total:.3}s  single-pass {single_total:.3}s  speedup {speedup:.1}x"
     );
+    for p in &report.latency {
+        println!(
+            "{:<12} per-benchmark p50 {:.3}s  p95 {:.3}s  max {:.3}s",
+            p.phase, p.p50_secs, p.p95_secs, p.max_secs
+        );
+    }
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, json + "\n").expect("report file is writable");
     println!("report written to {out_path}");

@@ -49,7 +49,22 @@ impl AppProfile {
     pub fn load<R: Read>(mut reader: R) -> Result<Self, GmapError> {
         let mut buf = String::new();
         reader.read_to_string(&mut buf)?;
-        Ok(serde_json::from_str(&buf)?)
+        Self::from_json(&buf)
+    }
+
+    /// Renders the application model as compact canonical JSON (see
+    /// [`GmapProfile::to_json`]).
+    pub fn to_json(&self) -> String {
+        crate::cachekey::canonical_json(self)
+    }
+
+    /// Parses an application model from a JSON string (compact or pretty).
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization errors as [`GmapError::Serde`].
+    pub fn from_json(json: &str) -> Result<Self, GmapError> {
+        Ok(serde_json::from_str(json)?)
     }
 
     /// Validates every kernel profile.

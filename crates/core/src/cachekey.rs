@@ -1,0 +1,105 @@
+//! Canonical JSON and content-addressed cache keys.
+//!
+//! The `gmap serve` model cache (and anything else that wants to reuse a
+//! profile computed for an identical input) needs a stable identity for
+//! "the same request": two workload specs that serialize to the same
+//! canonical JSON must map to the same key, and any difference in the
+//! spec must change it. The vendored serde data model makes canonical
+//! form easy — struct fields serialize in declaration order, `BTreeMap`
+//! entries as ordered pairs, and [`serde_json::to_string`] emits no
+//! insignificant whitespace — so the compact rendering *is* the
+//! canonical form.
+//!
+//! Keys are 128-bit FNV-1a digests rendered as 32 hex characters. FNV is
+//! not collision-resistant against adversaries, but the cache is a
+//! performance optimization keyed by trusted request bodies, not a
+//! security boundary; 128 bits makes accidental collisions negligible.
+
+use serde::Serialize;
+
+/// The canonical (compact, field-ordered) JSON rendering of a value.
+///
+/// Struct fields appear in declaration order and `BTreeMap` entries in
+/// ascending key order, so equal values always produce byte-identical
+/// JSON.
+pub fn canonical_json<T: Serialize + ?Sized>(value: &T) -> String {
+    serde_json::to_string(value).expect("canonical rendering cannot fail")
+}
+
+/// 64-bit FNV-1a over a byte slice with a caller-chosen offset basis.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Content key of a canonical byte string: a 128-bit digest as 32 lower
+/// hex characters, stable across runs and platforms.
+pub fn content_key(canonical: &str) -> String {
+    // Two independent 64-bit FNV-1a passes (standard offset basis, and
+    // the same basis with the length folded in) give 128 key bits.
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    let bytes = canonical.as_bytes();
+    let lo = fnv1a64(bytes, BASIS);
+    let hi = fnv1a64(bytes, BASIS ^ (bytes.len() as u64).wrapping_mul(PRIME_MIX));
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// Mix constant separating the two FNV passes of [`content_key`].
+const PRIME_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Convenience: the content key of a value's canonical JSON.
+pub fn key_of<T: Serialize + ?Sized>(value: &T) -> String {
+    content_key(&canonical_json(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn canonical_json_is_compact_and_ordered() {
+        // The vendored serde renders maps as ordered key/value pairs;
+        // what matters for cache keys is that the rendering is compact
+        // and independent of insertion order.
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let json = canonical_json(&m);
+        assert_eq!(json, "[[\"a\",1],[\"b\",2]]");
+        let mut swapped = BTreeMap::new();
+        swapped.insert("a".to_string(), 1u64);
+        swapped.insert("b".to_string(), 2u64);
+        assert_eq!(json, canonical_json(&swapped));
+    }
+
+    #[test]
+    fn key_is_stable_and_hex() {
+        let k = content_key("hello");
+        assert_eq!(k.len(), 32);
+        assert!(k.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(k, content_key("hello"));
+    }
+
+    #[test]
+    fn different_content_changes_key() {
+        assert_ne!(content_key("a"), content_key("b"));
+        assert_ne!(content_key(""), content_key("\0"));
+        // Same FNV64 inputs of different length must still separate.
+        assert_ne!(content_key("ab"), content_key("ab\0"));
+    }
+
+    #[test]
+    fn key_of_tracks_value_identity() {
+        let a: Vec<u64> = vec![1, 2, 3];
+        let b: Vec<u64> = vec![1, 2, 3];
+        let c: Vec<u64> = vec![3, 2, 1];
+        assert_eq!(key_of(&a), key_of(&b));
+        assert_ne!(key_of(&a), key_of(&c));
+    }
+}

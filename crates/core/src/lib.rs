@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod application;
+pub mod cachekey;
 pub mod error;
 pub mod fidelity;
 pub mod generate;

@@ -209,7 +209,23 @@ impl GmapProfile {
     pub fn load<R: Read>(mut reader: R) -> Result<Self, GmapError> {
         let mut buf = String::new();
         reader.read_to_string(&mut buf)?;
-        Ok(serde_json::from_str(&buf)?)
+        Self::from_json(&buf)
+    }
+
+    /// Renders the profile as compact canonical JSON — the wire format of
+    /// the `gmap serve` model store, and the byte string its
+    /// content-addressed cache keys hash ([`crate::cachekey`]).
+    pub fn to_json(&self) -> String {
+        crate::cachekey::canonical_json(self)
+    }
+
+    /// Parses a profile from a JSON string (compact or pretty).
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserialization errors as [`GmapError::Serde`].
+    pub fn from_json(json: &str) -> Result<Self, GmapError> {
+        Ok(serde_json::from_str(json)?)
     }
 
     /// Sanity-checks internal consistency (all slot references in range,

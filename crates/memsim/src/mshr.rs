@@ -6,7 +6,7 @@
 //! and waits only for the remaining latency; a miss arriving when the file
 //! is full pays a stall penalty, modeling allocation back-pressure.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Outcome of presenting a miss to the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,8 +31,11 @@ pub enum MshrOutcome {
 #[derive(Debug, Clone)]
 pub struct Mshr {
     capacity: usize,
-    /// line -> completion cycle.
-    entries: HashMap<u64, u64>,
+    /// line -> completion cycle. Ordered so that completion-time ties in
+    /// [`RemoveEarliest`] resolve identically on every thread — HashMap's
+    /// per-instance hash seeds would make simulation results depend on
+    /// which thread runs them.
+    entries: BTreeMap<u64, u64>,
     /// Merged (secondary) misses observed.
     merges: u64,
     /// Misses that found the file full.
@@ -49,7 +52,7 @@ impl Mshr {
         assert!(capacity > 0, "MSHR capacity must be positive");
         Mshr {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             merges: 0,
             full_stalls: 0,
         }
@@ -129,7 +132,7 @@ trait RemoveEarliest {
     fn remove_earliest(&mut self, completion: u64);
 }
 
-impl RemoveEarliest for HashMap<u64, u64> {
+impl RemoveEarliest for BTreeMap<u64, u64> {
     fn remove_earliest(&mut self, completion: u64) {
         if let Some(key) = self.iter().find(|(_, &v)| v == completion).map(|(&k, _)| k) {
             self.remove(&key);
@@ -187,5 +190,29 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         Mshr::new(0);
+    }
+
+    #[test]
+    fn completion_ties_resolve_deterministically() {
+        // Two entries retire at the same cycle; the full-file path must
+        // evict the same one on every run (lowest line address), keeping
+        // simulations bit-reproducible across threads.
+        let runs: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                let mut m = Mshr::new(2);
+                m.on_miss(7, 0, 100);
+                m.on_miss(3, 0, 100);
+                m.on_miss(9, 10, 110);
+                let mut pending: Vec<u64> = Vec::new();
+                for line in [3u64, 7, 9] {
+                    if m.pending_remaining(line, 20).is_some() {
+                        pending.push(line);
+                    }
+                }
+                pending
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], vec![7, 9], "line 3 (lowest) was evicted");
     }
 }

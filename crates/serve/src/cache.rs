@@ -1,0 +1,181 @@
+//! Content-addressed model store: in-memory map with an optional
+//! write-through on-disk tier.
+//!
+//! Models are keyed by the content hash of the *workload spec* that
+//! produced them (see [`crate::handlers`]), so a repeated `/v1/profile`
+//! request is answered from the cache without re-profiling. Entries are
+//! immutable once inserted — a key fully determines its model — which is
+//! what makes the lock-then-compute-then-insert race benign: two racing
+//! writers insert byte-identical values.
+
+use gmap_core::application::AppProfile;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// An immutable cached model plus its canonical JSON rendering.
+#[derive(Debug)]
+pub struct StoredModel {
+    /// The profiled application model.
+    pub model: AppProfile,
+    /// Canonical compact JSON of `model` (what the disk tier holds).
+    pub json: String,
+}
+
+/// The content-addressed model cache.
+pub struct ModelStore {
+    mem: Mutex<HashMap<String, Arc<StoredModel>>>,
+    disk_dir: Option<PathBuf>,
+}
+
+impl ModelStore {
+    /// Creates a store; with `Some(dir)`, entries are persisted as
+    /// `<dir>/<key>.json` and survive restarts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the disk directory cannot be created.
+    pub fn new(disk_dir: Option<PathBuf>) -> io::Result<Self> {
+        if let Some(dir) = &disk_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ModelStore {
+            mem: Mutex::new(HashMap::new()),
+            disk_dir,
+        })
+    }
+
+    /// Number of models resident in memory.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("store lock poisoned").len()
+    }
+
+    /// Whether the in-memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn disk_path(&self, key: &str) -> Option<PathBuf> {
+        // Keys are hex strings we minted ourselves, but never trust a
+        // client-supplied id as a path component.
+        if !key.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// Looks a model up by key: memory first, then the disk tier (a disk
+    /// hit is promoted into memory).
+    pub fn get(&self, key: &str) -> Option<Arc<StoredModel>> {
+        if let Some(hit) = self
+            .mem
+            .lock()
+            .expect("store lock poisoned")
+            .get(key)
+            .cloned()
+        {
+            return Some(hit);
+        }
+        let path = self.disk_path(key)?;
+        let json = std::fs::read_to_string(path).ok()?;
+        let model = AppProfile::from_json(&json).ok()?;
+        let entry = Arc::new(StoredModel { model, json });
+        self.mem
+            .lock()
+            .expect("store lock poisoned")
+            .entry(key.to_string())
+            .or_insert_with(|| Arc::clone(&entry));
+        Some(entry)
+    }
+
+    /// Inserts a model under `key`, writing through to disk when
+    /// configured. Returns the stored entry (an existing entry wins, so
+    /// concurrent racing inserts converge on one `Arc`).
+    pub fn insert(&self, key: &str, model: AppProfile) -> Arc<StoredModel> {
+        let json = model.to_json();
+        let entry = Arc::new(StoredModel { model, json });
+        let stored = Arc::clone(
+            self.mem
+                .lock()
+                .expect("store lock poisoned")
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::clone(&entry)),
+        );
+        if let Some(path) = self.disk_path(key) {
+            if !path.exists() {
+                // Atomic publish: write a temp file, then rename.
+                let tmp = path.with_extension("json.tmp");
+                if std::fs::write(&tmp, &stored.json).is_ok() {
+                    let _ = std::fs::rename(&tmp, &path);
+                }
+            }
+        }
+        stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmap_core::profiler::ProfilerConfig;
+    use gmap_gpu::app::Application;
+    use gmap_gpu::workloads::{self, Scale};
+
+    fn model(name: &str) -> AppProfile {
+        let kernel = workloads::by_name(name, Scale::Tiny).expect("known workload");
+        gmap_core::profile_application(&Application::single(kernel), &ProfilerConfig::default())
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gmap-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_tier_round_trips() {
+        let store = ModelStore::new(None).expect("no disk tier to create");
+        assert!(store.is_empty());
+        assert!(store.get("00ff").is_none());
+        let m = model("kmeans");
+        let stored = store.insert("00ff", m.clone());
+        assert_eq!(stored.model, m);
+        assert_eq!(store.len(), 1);
+        let hit = store.get("00ff").expect("present after insert");
+        assert!(Arc::ptr_eq(
+            &hit,
+            &store.get("00ff").expect("still present")
+        ));
+        assert_eq!(hit.json, m.to_json());
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_store() {
+        let dir = temp_dir("persist");
+        let m = model("bfs");
+        {
+            let store = ModelStore::new(Some(dir.clone())).expect("create dir");
+            store.insert("abc123", m.clone());
+        }
+        let fresh = ModelStore::new(Some(dir.clone())).expect("reopen dir");
+        assert!(fresh.is_empty(), "memory tier starts cold");
+        let hit = fresh.get("abc123").expect("disk tier hit");
+        assert_eq!(hit.model, m);
+        assert_eq!(fresh.len(), 1, "disk hit promoted to memory");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_keys_never_touch_the_filesystem() {
+        let dir = temp_dir("hostile");
+        let store = ModelStore::new(Some(dir.clone())).expect("create dir");
+        assert!(store.get("../../etc/passwd").is_none());
+        store.insert("../escape", model("kmeans"));
+        assert!(!dir.join("../escape.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal blocking HTTP/1.1 client for `gmap client` and the tests.
+//!
+//! Each call opens one connection, writes one request, and reads the
+//! `Connection: close` response to EOF — exactly matching the server's
+//! one-request-per-connection model.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (UTF-8; the service only emits JSON and text).
+    pub body: String,
+}
+
+impl Response {
+    /// Whether the status is a 2xx.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Performs one request against `addr` (e.g. `"127.0.0.1:8080"`).
+///
+/// # Errors
+///
+/// Transport failures and unparseable responses surface as `io::Error`.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let payload = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Convenience `GET`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: &str, path: &str) -> std::io::Result<Response> {
+    request(addr, "GET", path, None)
+}
+
+/// Convenience `POST` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post_json(addr: &str, path: &str, json: &str) -> std::io::Result<Response> {
+    request(addr, "POST", path, Some(json))
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .or_else(|| text.split_once("\n\n"))
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let status_line = head.lines().next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    Ok(Response {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let r = parse_response(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}",
+        )
+        .expect("parses");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{}");
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\nx").is_err());
+    }
+}

@@ -1,0 +1,492 @@
+//! Endpoint handlers: pure functions from a parsed request (plus server
+//! state) to a canonical JSON response body.
+//!
+//! Handlers run on queue workers, never on connection threads. Each takes
+//! a cooperative cancellation token — set when the requester's deadline
+//! expires — and checks it between coarse units of work so an abandoned
+//! request stops burning a worker.
+
+use crate::api::{
+    self, ApiError, CloneRequest, CloneResponse, EvaluateRequest, EvaluateResponse, GridPoint,
+    KernelCloneStats, ProfileRequest, ProfileResponse, ProfileStats,
+};
+use crate::cache::{ModelStore, StoredModel};
+use crate::metrics::Metrics;
+use gmap_core::cachekey;
+use gmap_core::generate::generate_streams;
+use gmap_core::profiler::ProfilerConfig;
+use gmap_core::{fidelity, miniaturize, GmapProfile, SimtConfig};
+use gmap_gpu::app::Application;
+use gmap_gpu::schedule::{WarpStream, WarpStreamEvent};
+use gmap_gpu::workloads;
+use gmap_memsim::CacheConfig;
+use gmap_trace::AccessKind;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The canonical workload spec whose content hash is the model id.
+#[derive(Serialize)]
+struct CanonicalSpec {
+    workload: String,
+    scale: String,
+}
+
+/// The model id for a (workload, scale) spec: the content hash of its
+/// canonical JSON.
+pub fn model_id_for(workload: &str, scale: &str) -> String {
+    cachekey::key_of(&CanonicalSpec {
+        workload: workload.to_string(),
+        scale: scale.to_string(),
+    })
+}
+
+fn check_cancel(cancel: &AtomicBool) -> Result<(), ApiError> {
+    if cancel.load(Ordering::Relaxed) {
+        Err(ApiError::new(504, "request cancelled by deadline"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Builds the deterministic statistics block for a profiled model.
+pub fn profile_stats(model: &gmap_core::application::AppProfile) -> ProfileStats {
+    ProfileStats {
+        name: model.name.clone(),
+        kernels: model.kernels.len(),
+        slots: model.kernels.iter().map(GmapProfile::num_slots).collect(),
+        fidelity: model
+            .kernels
+            .iter()
+            .map(|k| fidelity::analyze(k).class)
+            .collect(),
+        content_key: cachekey::key_of(model),
+    }
+}
+
+/// `POST /v1/profile`: profile a workload (or serve it from the cache).
+///
+/// # Errors
+///
+/// 400 for unknown workloads or scales, 504 on cancellation.
+pub fn profile(
+    store: &ModelStore,
+    metrics: &Metrics,
+    req: &ProfileRequest,
+    cancel: &AtomicBool,
+) -> Result<ProfileResponse, ApiError> {
+    let scale = api::parse_scale(req.scale.as_deref())?;
+    let scale_name = api::scale_name(scale);
+    let Some(kernel) = workloads::by_name(&req.workload, scale) else {
+        return Err(ApiError::bad_request(format!(
+            "unknown workload {:?} (known: {})",
+            req.workload,
+            workloads::NAMES.join(", ")
+        )));
+    };
+    let model_id = model_id_for(&req.workload, scale_name);
+    if let Some(hit) = store.get(&model_id) {
+        metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(ProfileResponse {
+            model_id,
+            cached: true,
+            stats: profile_stats(&hit.model),
+        });
+    }
+    check_cancel(cancel)?;
+    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let app = Application::new(&req.workload, vec![kernel]);
+    let model = gmap_core::profile_application(&app, &ProfilerConfig::default());
+    check_cancel(cancel)?;
+    let stored = store.insert(&model_id, model);
+    Ok(ProfileResponse {
+        model_id,
+        cached: false,
+        stats: profile_stats(&stored.model),
+    })
+}
+
+fn lookup(store: &ModelStore, model_id: &str) -> Result<Arc<StoredModel>, ApiError> {
+    store.get(model_id).ok_or_else(|| {
+        ApiError::new(
+            404,
+            format!("unknown model id {model_id:?} (profile a workload first)"),
+        )
+    })
+}
+
+/// Statistics of one kernel's generated streams.
+fn stream_stats(kernel: &str, streams: &[WarpStream]) -> KernelCloneStats {
+    let mut stats = KernelCloneStats {
+        kernel: kernel.to_string(),
+        warps: streams.len(),
+        accesses: 0,
+        reads: 0,
+        writes: 0,
+        lines: 0,
+        syncs: 0,
+    };
+    for stream in streams {
+        for event in &stream.events {
+            match event {
+                WarpStreamEvent::Access(a) => {
+                    stats.accesses += 1;
+                    stats.lines += a.lines.len() as u64;
+                    match a.kind {
+                        AccessKind::Read => stats.reads += 1,
+                        AccessKind::Write => stats.writes += 1,
+                    }
+                }
+                WarpStreamEvent::Sync => stats.syncs += 1,
+            }
+        }
+    }
+    stats
+}
+
+/// `POST /v1/clone`: generate proxy streams (optionally miniaturized) and
+/// report their statistics.
+///
+/// # Errors
+///
+/// 404 for unknown model ids, 400 for invalid factors, 504 on
+/// cancellation.
+pub fn clone_model(
+    store: &ModelStore,
+    req: &CloneRequest,
+    cancel: &AtomicBool,
+) -> Result<CloneResponse, ApiError> {
+    let stored = lookup(store, &req.model_id)?;
+    let factor = req.factor.unwrap_or(1.0);
+    let seed = req.seed.unwrap_or(api::DEFAULT_SEED);
+    let mut kernels = Vec::with_capacity(stored.model.kernels.len());
+    for profile in &stored.model.kernels {
+        check_cancel(cancel)?;
+        let mini = miniaturize(profile, factor)
+            .map_err(|e| ApiError::bad_request(format!("bad miniaturization factor: {e}")))?;
+        let streams = generate_streams(&mini, seed);
+        kernels.push(stream_stats(&profile.name, &streams));
+    }
+    Ok(CloneResponse {
+        model_id: req.model_id.clone(),
+        factor,
+        seed,
+        kernels,
+    })
+}
+
+/// Translates one grid point into a full simulation configuration over
+/// the Fermi baseline.
+///
+/// # Errors
+///
+/// 400 for invalid cache geometry or unknown policy/level names.
+pub fn grid_config(point: &GridPoint, seed: u64) -> Result<SimtConfig, ApiError> {
+    let policy = api::parse_policy(point.policy.as_deref())?;
+    let line = point.line.unwrap_or(128);
+    let cache = CacheConfig::new(point.size_kb * 1024, point.assoc, line, policy)
+        .map_err(|e| ApiError::bad_request(format!("invalid cache config: {e}")))?;
+    let mut cfg = SimtConfig {
+        seed,
+        ..SimtConfig::default()
+    };
+    match point.level.as_deref() {
+        None | Some("l1") => cfg.hierarchy.l1 = cache,
+        Some("l2") => cfg.hierarchy.l2 = cache,
+        Some(other) => {
+            return Err(ApiError::bad_request(format!(
+                "unknown level {other:?} (expected l1 or l2)"
+            )))
+        }
+    }
+    Ok(cfg)
+}
+
+/// `POST /v1/evaluate`: run a hierarchy grid against one kernel of a
+/// cached model, through the single-pass sweep engine when eligible.
+///
+/// # Errors
+///
+/// 404 for unknown model ids, 400 for empty grids / bad indices / bad
+/// configs, 504 on cancellation.
+pub fn evaluate(
+    store: &ModelStore,
+    req: &EvaluateRequest,
+    cancel: &AtomicBool,
+) -> Result<EvaluateResponse, ApiError> {
+    let stored = lookup(store, &req.model_id)?;
+    if req.grid.is_empty() {
+        return Err(ApiError::bad_request("grid must not be empty"));
+    }
+    let kernel = req.kernel.unwrap_or(0);
+    let profile = stored.model.kernels.get(kernel).ok_or_else(|| {
+        ApiError::bad_request(format!(
+            "kernel index {kernel} out of range (model has {} kernels)",
+            stored.model.kernels.len()
+        ))
+    })?;
+    let metric = api::parse_metric(req.metric.as_deref())?;
+    let seed = req.seed.unwrap_or(api::DEFAULT_SEED);
+    let configs = req
+        .grid
+        .iter()
+        .map(|p| grid_config(p, seed))
+        .collect::<Result<Vec<_>, _>>()?;
+    let eval = gmap_bench::evaluate_profile(profile, &configs, metric, seed, Some(cancel))
+        .ok_or_else(|| ApiError::new(504, "request cancelled by deadline"))?;
+    Ok(EvaluateResponse {
+        model_id: req.model_id.clone(),
+        kernel,
+        metric: req.metric.clone().unwrap_or_else(|| "l1_miss_pct".into()),
+        single_pass: eval.single_pass,
+        values: eval.values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmap_bench::Metric;
+    use gmap_core::simulate_streams;
+
+    fn state() -> (ModelStore, Metrics) {
+        (
+            ModelStore::new(None).expect("memory-only store"),
+            Metrics::new(),
+        )
+    }
+
+    fn fresh_cancel() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+
+    #[test]
+    fn profile_then_cache_hit() {
+        let (store, metrics) = state();
+        let req = ProfileRequest {
+            workload: "kmeans".into(),
+            scale: Some("tiny".into()),
+        };
+        let first = profile(&store, &metrics, &req, &fresh_cancel()).expect("profiles");
+        assert!(!first.cached);
+        assert_eq!(first.stats.kernels, 1);
+        let second = profile(&store, &metrics, &req, &fresh_cancel()).expect("cache hit");
+        assert!(second.cached);
+        assert_eq!(first.model_id, second.model_id);
+        assert_eq!(first.stats, second.stats);
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn model_ids_are_spec_addressed() {
+        assert_eq!(
+            model_id_for("kmeans", "tiny"),
+            model_id_for("kmeans", "tiny")
+        );
+        assert_ne!(
+            model_id_for("kmeans", "tiny"),
+            model_id_for("kmeans", "small")
+        );
+        assert_ne!(model_id_for("kmeans", "tiny"), model_id_for("bfs", "tiny"));
+    }
+
+    #[test]
+    fn unknown_workload_is_a_400() {
+        let (store, metrics) = state();
+        let req = ProfileRequest {
+            workload: "not-a-workload".into(),
+            scale: None,
+        };
+        let err = profile(&store, &metrics, &req, &fresh_cancel()).expect_err("rejected");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("kmeans"), "lists known workloads");
+    }
+
+    #[test]
+    fn clone_stats_match_direct_generation() {
+        let (store, metrics) = state();
+        let req = ProfileRequest {
+            workload: "hotspot".into(),
+            scale: Some("tiny".into()),
+        };
+        let prof = profile(&store, &metrics, &req, &fresh_cancel()).expect("profiles");
+        let resp = clone_model(
+            &store,
+            &CloneRequest {
+                model_id: prof.model_id.clone(),
+                factor: None,
+                seed: None,
+            },
+            &fresh_cancel(),
+        )
+        .expect("clones");
+        assert_eq!(resp.factor, 1.0);
+        let stored = store.get(&prof.model_id).expect("cached");
+        let direct = generate_streams(&stored.model.kernels[0], api::DEFAULT_SEED);
+        assert_eq!(resp.kernels[0], stream_stats("hotspot", &direct));
+        assert!(resp.kernels[0].accesses > 0);
+        assert_eq!(
+            resp.kernels[0].reads + resp.kernels[0].writes,
+            resp.kernels[0].accesses
+        );
+
+        let err = clone_model(
+            &store,
+            &CloneRequest {
+                model_id: prof.model_id,
+                factor: Some(-2.0),
+                seed: None,
+            },
+            &fresh_cancel(),
+        )
+        .expect_err("bad factor");
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn evaluate_matches_direct_simulation() {
+        let (store, metrics) = state();
+        let prof = profile(
+            &store,
+            &metrics,
+            &ProfileRequest {
+                workload: "kmeans".into(),
+                scale: Some("tiny".into()),
+            },
+            &fresh_cancel(),
+        )
+        .expect("profiles");
+        let grid = vec![
+            GridPoint {
+                level: None,
+                size_kb: 16,
+                assoc: 4,
+                line: None,
+                policy: None,
+            },
+            GridPoint {
+                level: None,
+                size_kb: 64,
+                assoc: 8,
+                line: None,
+                policy: None,
+            },
+        ];
+        let resp = evaluate(
+            &store,
+            &EvaluateRequest {
+                model_id: prof.model_id.clone(),
+                kernel: None,
+                metric: None,
+                seed: None,
+                grid: grid.clone(),
+            },
+            &fresh_cancel(),
+        )
+        .expect("evaluates");
+        assert!(resp.single_pass, "pure-LRU L1 grid takes the fast path");
+        assert_eq!(resp.values.len(), 2);
+
+        // Cross-check against direct simulation of the same streams.
+        let stored = store.get(&prof.model_id).expect("cached");
+        let profile_ref = &stored.model.kernels[0];
+        let streams = generate_streams(profile_ref, api::DEFAULT_SEED);
+        for (point, served) in grid.iter().zip(&resp.values) {
+            let cfg = grid_config(point, api::DEFAULT_SEED).expect("valid point");
+            let direct = simulate_streams(&streams, &profile_ref.launch, &cfg)
+                .expect("valid config")
+                .l1_miss_pct();
+            assert!(
+                (direct - served).abs() < 1e-9,
+                "served {served} vs direct {direct}"
+            );
+        }
+        assert!(
+            resp.values[0] >= resp.values[1] - 1e-9,
+            "bigger L1, fewer misses"
+        );
+    }
+
+    #[test]
+    fn evaluate_rejects_bad_requests() {
+        let (store, metrics) = state();
+        let prof = profile(
+            &store,
+            &metrics,
+            &ProfileRequest {
+                workload: "bfs".into(),
+                scale: Some("tiny".into()),
+            },
+            &fresh_cancel(),
+        )
+        .expect("profiles");
+        let base = EvaluateRequest {
+            model_id: prof.model_id.clone(),
+            kernel: None,
+            metric: None,
+            seed: None,
+            grid: vec![],
+        };
+        assert_eq!(
+            evaluate(&store, &base, &fresh_cancel())
+                .expect_err("empty grid")
+                .status,
+            400
+        );
+        let mut missing = base.clone();
+        missing.model_id = "feedbeef".into();
+        missing.grid = vec![GridPoint {
+            level: None,
+            size_kb: 16,
+            assoc: 4,
+            line: None,
+            policy: None,
+        }];
+        assert_eq!(
+            evaluate(&store, &missing, &fresh_cancel())
+                .expect_err("unknown id")
+                .status,
+            404
+        );
+        let mut bad_kernel = missing.clone();
+        bad_kernel.model_id = prof.model_id.clone();
+        bad_kernel.kernel = Some(9);
+        assert_eq!(
+            evaluate(&store, &bad_kernel, &fresh_cancel())
+                .expect_err("kernel out of range")
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_504() {
+        let (store, metrics) = state();
+        let cancelled = AtomicBool::new(true);
+        let err = profile(
+            &store,
+            &metrics,
+            &ProfileRequest {
+                workload: "kmeans".into(),
+                scale: Some("tiny".into()),
+            },
+            &cancelled,
+        )
+        .expect_err("cancelled");
+        assert_eq!(err.status, 504);
+    }
+
+    #[test]
+    fn fifo_grid_points_force_the_direct_path() {
+        let point = GridPoint {
+            level: None,
+            size_kb: 16,
+            assoc: 4,
+            line: None,
+            policy: Some("fifo".into()),
+        };
+        let cfg = grid_config(&point, 1).expect("valid");
+        assert!(gmap_bench::engine::plan_single_pass(&[cfg], Metric::L1MissPct).is_none());
+    }
+}

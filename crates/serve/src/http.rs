@@ -1,0 +1,294 @@
+//! Minimal HTTP/1.1 framing over `std::net`.
+//!
+//! The service needs exactly one shape of conversation: read one request
+//! (line + headers + `Content-Length` body), write one response, close.
+//! This module implements that shape from the stdlib — no async runtime,
+//! no external HTTP crate — with hard limits on header and body size so a
+//! misbehaving peer cannot balloon memory.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Maximum accepted request-line + header bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body bytes (profiles are a few KB; grids are
+/// smaller).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or an error suitable for a 400 response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the body is not valid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("request body is not UTF-8: {e}"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request.
+    Eof,
+    /// Transport-level failure (timeouts included).
+    Io(io::Error),
+    /// The bytes did not form an acceptable request; the message is safe
+    /// to echo in a 400 response.
+    Malformed(String),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one HTTP/1.1 request from `reader`.
+///
+/// # Errors
+///
+/// [`ReadError::Eof`] on a cleanly closed idle connection,
+/// [`ReadError::Malformed`] for protocol violations (oversized head,
+/// missing/bad `Content-Length`, bad request line), [`ReadError::Io`]
+/// for transport failures.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
+    let mut head = Vec::new();
+    // Read up to the blank line terminating the header block.
+    loop {
+        let mut line = Vec::new();
+        let n = read_crlf_line(reader, &mut line, MAX_HEAD_BYTES - head.len())?;
+        if n == 0 && head.is_empty() {
+            return Err(ReadError::Eof);
+        }
+        if line.is_empty() {
+            break;
+        }
+        head.push(line);
+        if head.iter().map(Vec::len).sum::<usize>() > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed("header block too large".into()));
+        }
+    }
+    let request_line = head
+        .first()
+        .ok_or_else(|| ReadError::Malformed("empty request".into()))?;
+    let request_line = String::from_utf8_lossy(request_line).into_owned();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::with_capacity(head.len().saturating_sub(1));
+    for raw in &head[1..] {
+        let text = String::from_utf8_lossy(raw);
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line {text:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|e| ReadError::Malformed(format!("bad Content-Length {v:?}: {e}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Malformed(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line into `out`, without the
+/// terminator. Returns the number of bytes consumed (0 on EOF).
+fn read_crlf_line<R: BufRead>(
+    reader: &mut R,
+    out: &mut Vec<u8>,
+    limit: usize,
+) -> Result<usize, ReadError> {
+    let mut raw = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(limit as u64 + 2)
+        .read_until(b'\n', &mut raw)?;
+    if n > limit + 1 {
+        return Err(ReadError::Malformed("line too long".into()));
+    }
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    *out = raw;
+    Ok(n)
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete `Connection: close` response.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        status,
+        status_reason(status),
+        content_type,
+        body.len(),
+        body
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("valid");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("HOST"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r =
+            parse(b"POST /v1/profile HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").expect("valid");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\"");
+        assert_eq!(r.body_utf8().expect("utf8"), "{\"a\"");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_lines() {
+        let r = parse(b"GET / HTTP/1.1\nHost: y\n\n").expect("valid");
+        assert_eq!(r.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn eof_and_malformed_are_distinguished() {
+        assert!(matches!(parse(b""), Err(ReadError::Eof)));
+        assert!(matches!(
+            parse(b"GET\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/99\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_up_front() {
+        let head = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(head.as_bytes()),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ReadError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            "{\"error\":\"queue full\"}",
+        )
+        .expect("write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+}

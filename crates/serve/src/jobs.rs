@@ -1,0 +1,238 @@
+//! Bounded job queue with backpressure and drain-aware shutdown.
+//!
+//! Connection threads submit closures; a fixed worker pool executes them.
+//! The queue is deliberately *bounded*: when it is full, [`JobQueue::submit`]
+//! fails immediately with [`SubmitError::Full`] and the service answers
+//! 429 instead of queueing unbounded work. Shutdown is drain-first — once
+//! [`JobQueue::shutdown`] is called no new work is accepted, but every job
+//! already accepted runs to completion before the workers exit.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// A unit of queued work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity (answer 429).
+    Full,
+    /// The service is shutting down (answer 503).
+    ShuttingDown,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    in_flight: usize,
+    shutting_down: bool,
+}
+
+/// A bounded multi-producer job queue drained by a worker pool.
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// Creates a queue holding at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity.min(1024)),
+                in_flight: 0,
+                shutting_down: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, failing fast on a full queue or during shutdown.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue holds `capacity` pending jobs,
+    /// [`SubmitError::ShuttingDown`] after [`JobQueue::shutdown`].
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Number of jobs waiting to run (excluding in-flight jobs).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").jobs.len()
+    }
+
+    /// Number of jobs currently executing on workers.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").in_flight
+    }
+
+    /// Runs jobs until shutdown *and* queue exhaustion. Worker threads
+    /// call this as their body; a panicking job is contained and does not
+    /// take the worker down.
+    pub fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("queue lock poisoned");
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        state.in_flight += 1;
+                        break Some(job);
+                    }
+                    if state.shutting_down {
+                        break None;
+                    }
+                    state = self.cond.wait(state).expect("queue lock poisoned");
+                }
+            };
+            let Some(job) = job else { return };
+            // Contain panics: the requester observes a disconnected
+            // channel and answers 500; the worker survives.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            let mut state = self.state.lock().expect("queue lock poisoned");
+            state.in_flight -= 1;
+            drop(state);
+            // Wake both idle workers and any wait_drained() caller.
+            self.cond.notify_all();
+        }
+    }
+
+    /// Stops accepting work and wakes all workers so they can drain and
+    /// exit.
+    pub fn shutdown(&self) {
+        self.state
+            .lock()
+            .expect("queue lock poisoned")
+            .shutting_down = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocks until every accepted job has finished executing.
+    pub fn wait_drained(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while !state.jobs.is_empty() || state.in_flight > 0 {
+            state = self.cond.wait(state).expect("queue lock poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn pool(queue: &Arc<JobQueue>, n: usize) -> Vec<thread::JoinHandle<()>> {
+        (0..n)
+            .map(|_| {
+                let q = Arc::clone(queue);
+                thread::spawn(move || q.worker_loop())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let queue = Arc::new(JobQueue::new(16));
+        let workers = pool(&queue, 2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            queue
+                .submit(Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }))
+                .expect("queue has room");
+        }
+        queue.shutdown();
+        queue.wait_drained();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        for w in workers {
+            w.join().expect("worker exits cleanly");
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let queue = Arc::new(JobQueue::new(1));
+        // No workers: the single slot fills and stays full.
+        queue.submit(Box::new(|| ())).expect("first fits");
+        assert_eq!(
+            queue.submit(Box::new(|| ())).expect_err("second rejected"),
+            SubmitError::Full
+        );
+        assert_eq!(queue.depth(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs_then_rejects() {
+        let queue = Arc::new(JobQueue::new(16));
+        let (tx, rx) = mpsc::channel();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        // One slow job holds the worker; several more queue behind it.
+        queue
+            .submit(Box::new(move || {
+                gate_rx
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("gate opens");
+            }))
+            .expect("slow job accepted");
+        for i in 0..4 {
+            let tx = tx.clone();
+            queue
+                .submit(Box::new(move || tx.send(i).expect("receiver alive")))
+                .expect("job accepted");
+        }
+        let workers = pool(&queue, 1);
+        queue.shutdown();
+        assert_eq!(
+            queue.submit(Box::new(|| ())).expect_err("post-shutdown"),
+            SubmitError::ShuttingDown
+        );
+        gate_tx.send(()).expect("worker waiting on gate");
+        queue.wait_drained();
+        let done: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(done, vec![0, 1, 2, 3], "accepted jobs all ran, in order");
+        for w in workers {
+            w.join().expect("worker exits cleanly");
+        }
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let queue = Arc::new(JobQueue::new(8));
+        let workers = pool(&queue, 1);
+        queue
+            .submit(Box::new(|| panic!("handler bug")))
+            .expect("accepted");
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        queue
+            .submit(Box::new(move || {
+                r.store(1, Ordering::SeqCst);
+            }))
+            .expect("accepted");
+        queue.shutdown();
+        queue.wait_drained();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "worker survived the panic");
+        for w in workers {
+            w.join().expect("worker exits cleanly");
+        }
+    }
+}

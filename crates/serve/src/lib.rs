@@ -1,0 +1,52 @@
+//! `gmap-serve` — a concurrent model-cloning service layer over the
+//! G-MAP pipeline.
+//!
+//! This crate wraps the profile → clone → evaluate pipeline in a small,
+//! dependency-free HTTP/1.1 JSON service built directly on [`std::net`]:
+//!
+//! | Route              | Purpose                                               |
+//! |--------------------|-------------------------------------------------------|
+//! | `POST /v1/profile` | Profile a named workload into an application model     |
+//! | `POST /v1/clone`   | Generate (optionally miniaturized) proxy-stream stats  |
+//! | `POST /v1/evaluate`| Run a hierarchy-config grid via the sweep engine       |
+//! | `GET /healthz`     | Liveness probe                                         |
+//! | `GET /metrics`     | Prometheus-style counters, gauges, latency quantiles   |
+//!
+//! Architecture (one module each):
+//!
+//! * [`http`] — single-request HTTP/1.1 framing with size limits.
+//! * [`api`] — wire types; bodies are canonical compact JSON.
+//! * [`jobs`] — bounded job queue: full ⇒ 429, shutdown drains fully.
+//! * [`cache`] — content-addressed model store (memory + optional disk),
+//!   keyed by the hash of the canonical workload spec.
+//! * [`metrics`] — atomics + [`gmap_trace::LatencyHistogram`] registry.
+//! * [`handlers`] — endpoint logic with cooperative cancellation.
+//! * [`server`] — accept loop, worker pool, deadlines, graceful shutdown.
+//! * [`client`] — the minimal client used by `gmap client` and tests.
+//!
+//! ```no_run
+//! let handle = gmap_serve::start(gmap_serve::ServeConfig::default())
+//!     .expect("bind ephemeral port");
+//! let addr = handle.addr().to_string();
+//! let resp = gmap_serve::client::post_json(
+//!     &addr,
+//!     "/v1/profile",
+//!     r#"{"workload":"kmeans","scale":"tiny"}"#,
+//! )
+//! .expect("server reachable");
+//! assert!(resp.is_ok());
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod server;
+
+pub use server::{start, ServeConfig, ServerHandle, ServerState};

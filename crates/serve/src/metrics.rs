@@ -1,0 +1,257 @@
+//! Service metrics registry and the `/metrics` text rendering.
+//!
+//! Counters are lock-free atomics; latency distributions reuse the
+//! log-bucketed [`LatencyHistogram`] from `gmap-trace`, guarded by a
+//! mutex (recording is one bucket increment — contention is negligible
+//! next to the work being measured). The output format follows the
+//! Prometheus text exposition conventions so the endpoint is scrapable,
+//! but no client library is involved.
+
+use gmap_trace::LatencyHistogram;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The service endpoints that report per-endpoint metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/profile`.
+    Profile,
+    /// `POST /v1/clone`.
+    Clone,
+    /// `POST /v1/evaluate`.
+    Evaluate,
+    /// Everything else (`/healthz`, `/metrics`, unknown routes).
+    Other,
+}
+
+impl Endpoint {
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Profile => "profile",
+            Endpoint::Clone => "clone",
+            Endpoint::Evaluate => "evaluate",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Per-endpoint request counters and latency distribution.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl EndpointStats {
+    fn record(&self, elapsed: Duration, status: u16) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency
+            .lock()
+            .expect("latency lock poisoned")
+            .record(elapsed);
+    }
+}
+
+/// The service-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    profile: EndpointStats,
+    clone_op: EndpointStats,
+    evaluate: EndpointStats,
+    other: EndpointStats,
+    /// Model-cache hits (`/v1/profile` served without re-profiling).
+    pub cache_hits: AtomicU64,
+    /// Model-cache misses (profile computed and stored).
+    pub cache_misses: AtomicU64,
+    /// Submissions refused with 429 because the queue was full.
+    pub rejected_full: AtomicU64,
+    /// Submissions refused with 503 during shutdown.
+    pub rejected_shutdown: AtomicU64,
+    /// Requests that hit their deadline and were answered 504.
+    pub deadline_timeouts: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn endpoint(&self, which: Endpoint) -> &EndpointStats {
+        match which {
+            Endpoint::Profile => &self.profile,
+            Endpoint::Clone => &self.clone_op,
+            Endpoint::Evaluate => &self.evaluate,
+            Endpoint::Other => &self.other,
+        }
+    }
+
+    /// Records one finished request.
+    pub fn record_request(&self, which: Endpoint, elapsed: Duration, status: u16) {
+        self.endpoint(which).record(elapsed, status);
+    }
+
+    /// Renders the Prometheus-style text exposition. Gauges that live
+    /// outside the registry (queue state, cache size, connections) are
+    /// passed in by the caller.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        jobs_in_flight: usize,
+        models_cached: usize,
+        active_connections: usize,
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        let endpoints = [
+            Endpoint::Profile,
+            Endpoint::Clone,
+            Endpoint::Evaluate,
+            Endpoint::Other,
+        ];
+        out.push_str("# TYPE gmap_requests_total counter\n");
+        for e in endpoints {
+            let _ = writeln!(
+                out,
+                "gmap_requests_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.endpoint(e).requests.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# TYPE gmap_request_errors_total counter\n");
+        for e in endpoints {
+            let _ = writeln!(
+                out,
+                "gmap_request_errors_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.endpoint(e).errors.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("# TYPE gmap_request_latency_seconds summary\n");
+        for e in endpoints {
+            let hist = self
+                .endpoint(e)
+                .latency
+                .lock()
+                .expect("latency lock poisoned");
+            if hist.count() == 0 {
+                continue;
+            }
+            for (q, latency) in [
+                ("0.5", hist.p50()),
+                ("0.95", hist.p95()),
+                ("0.99", hist.p99()),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "gmap_request_latency_seconds{{endpoint=\"{}\",quantile=\"{}\"}} {:.9}",
+                    e.label(),
+                    q,
+                    latency.as_secs_f64()
+                );
+            }
+            let _ = writeln!(
+                out,
+                "gmap_request_latency_seconds_count{{endpoint=\"{}\"}} {}",
+                e.label(),
+                hist.count()
+            );
+        }
+        for (name, value) in [
+            (
+                "gmap_cache_hits_total",
+                self.cache_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "gmap_cache_misses_total",
+                self.cache_misses.load(Ordering::Relaxed),
+            ),
+            (
+                "gmap_queue_rejected_total",
+                self.rejected_full.load(Ordering::Relaxed),
+            ),
+            (
+                "gmap_shutdown_rejected_total",
+                self.rejected_shutdown.load(Ordering::Relaxed),
+            ),
+            (
+                "gmap_deadline_timeouts_total",
+                self.deadline_timeouts.load(Ordering::Relaxed),
+            ),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in [
+            ("gmap_queue_depth", queue_depth),
+            ("gmap_jobs_in_flight", jobs_in_flight),
+            ("gmap_models_cached", models_cached),
+            ("gmap_active_connections", active_connections),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+        out
+    }
+}
+
+/// Extracts the value of a metric line from a rendered exposition, for
+/// tests and the CLI client.
+pub fn scrape(rendered: &str, metric: &str) -> Option<f64> {
+    rendered.lines().find_map(|line| {
+        if line.starts_with('#') {
+            return None;
+        }
+        line.strip_prefix(metric)?
+            .strip_prefix(' ')?
+            .trim()
+            .parse()
+            .ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let m = Metrics::new();
+        m.record_request(Endpoint::Profile, Duration::from_millis(3), 200);
+        m.record_request(Endpoint::Profile, Duration::from_millis(5), 400);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.rejected_full.fetch_add(7, Ordering::Relaxed);
+        let text = m.render(4, 1, 3, 9);
+        assert!(text.contains("gmap_requests_total{endpoint=\"profile\"} 2"));
+        assert!(text.contains("gmap_request_errors_total{endpoint=\"profile\"} 1"));
+        assert!(text.contains("gmap_request_latency_seconds_count{endpoint=\"profile\"} 2"));
+        assert_eq!(scrape(&text, "gmap_cache_hits_total"), Some(2.0));
+        assert_eq!(scrape(&text, "gmap_queue_rejected_total"), Some(7.0));
+        assert_eq!(scrape(&text, "gmap_queue_depth"), Some(4.0));
+        assert_eq!(scrape(&text, "gmap_jobs_in_flight"), Some(1.0));
+        assert_eq!(scrape(&text, "gmap_models_cached"), Some(3.0));
+        assert_eq!(scrape(&text, "gmap_active_connections"), Some(9.0));
+    }
+
+    #[test]
+    fn quantiles_appear_once_latency_is_recorded() {
+        let m = Metrics::new();
+        let empty = m.render(0, 0, 0, 0);
+        assert!(!empty.contains("quantile"));
+        m.record_request(Endpoint::Evaluate, Duration::from_micros(800), 200);
+        let text = m.render(0, 0, 0, 0);
+        assert!(
+            text.contains("gmap_request_latency_seconds{endpoint=\"evaluate\",quantile=\"0.5\"}")
+        );
+    }
+
+    #[test]
+    fn scrape_ignores_prefixed_names() {
+        // `gmap_cache_hits_total` must not match `gmap_cache_hits_total_foo`.
+        let text = "gmap_cache_hits_total_foo 9\ngmap_cache_hits_total 3\n";
+        assert_eq!(scrape(text, "gmap_cache_hits_total"), Some(3.0));
+    }
+}

@@ -1,0 +1,338 @@
+//! The HTTP server: accept loop, request routing, deadline enforcement,
+//! and drain-first graceful shutdown.
+//!
+//! Threading model: one accept thread polls a non-blocking listener; each
+//! accepted connection gets a short-lived connection thread that parses
+//! the request, and — for the pipeline endpoints — submits a job to the
+//! bounded [`JobQueue`] and waits on a channel with a deadline. A fixed
+//! worker pool executes the jobs. `/healthz` and `/metrics` are answered
+//! directly on the connection thread so the service stays observable even
+//! when every worker is busy.
+//!
+//! Shutdown ordering guarantees that no *accepted* request is dropped:
+//! stop accepting → wait for connection threads (each waits for its job)
+//! → stop the queue → drain remaining jobs → join workers.
+
+use crate::api::ApiError;
+use crate::cache::ModelStore;
+use crate::handlers;
+use crate::http::{self, ReadError, Request};
+use crate::jobs::{JobQueue, SubmitError};
+use crate::metrics::{Endpoint, Metrics};
+use gmap_core::cachekey::canonical_json;
+use serde::{Deserialize, Serialize};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub listen: String,
+    /// Worker threads executing pipeline jobs.
+    pub workers: usize,
+    /// Maximum number of *pending* jobs before submissions get 429.
+    pub queue_capacity: usize,
+    /// Per-request deadline; expired requests get 504 and their job is
+    /// cooperatively cancelled.
+    pub deadline: Duration,
+    /// Optional on-disk tier for the model cache.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(60),
+            cache_dir: None,
+        }
+    }
+}
+
+/// Shared server state reachable from every thread.
+pub struct ServerState {
+    /// Bounded pipeline job queue.
+    pub queue: JobQueue,
+    /// Content-addressed model cache.
+    pub store: ModelStore,
+    /// Metrics registry behind `/metrics`.
+    pub metrics: Metrics,
+    deadline: Duration,
+    active_connections: AtomicUsize,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<ServerState>,
+    accept_thread: thread::JoinHandle<()>,
+    worker_threads: Vec<thread::JoinHandle<()>>,
+}
+
+/// Binds the listener and starts the accept loop and worker pool.
+///
+/// # Errors
+///
+/// Fails if the listen address cannot be bound or the cache directory
+/// cannot be created.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        queue: JobQueue::new(config.queue_capacity),
+        store: ModelStore::new(config.cache_dir.clone())?,
+        metrics: Metrics::new(),
+        deadline: config.deadline,
+        active_connections: AtomicUsize::new(0),
+    });
+    let worker_threads = (0..config.workers.max(1))
+        .map(|i| {
+            let state = Arc::clone(&state);
+            thread::Builder::new()
+                .name(format!("gmap-serve-worker-{i}"))
+                .spawn(move || state.queue.worker_loop())
+                .expect("spawn worker thread")
+        })
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        thread::Builder::new()
+            .name("gmap-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &state, &stop))
+            .expect("spawn accept thread")
+    };
+    Ok(ServerHandle {
+        addr,
+        stop,
+        state,
+        accept_thread,
+        worker_threads,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for tests and the CLI.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight connections
+    /// finish (each waits on its job), drain the queue, join the pool.
+    /// Every request accepted before the call is answered.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.accept_thread.join().expect("accept thread exits");
+        while self.state.active_connections.load(Ordering::SeqCst) > 0 {
+            thread::sleep(Duration::from_millis(2));
+        }
+        self.state.queue.shutdown();
+        self.state.queue.wait_drained();
+        for w in self.worker_threads {
+            w.join().expect("worker thread exits");
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.active_connections.fetch_add(1, Ordering::SeqCst);
+                let conn_state = Arc::clone(state);
+                let spawned =
+                    thread::Builder::new()
+                        .name("gmap-serve-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &conn_state);
+                            conn_state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                if spawned.is_err() {
+                    // Could not spawn: undo the count; the stream drops
+                    // and the peer sees a reset rather than a hang.
+                    state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Routes one connection. Connection threads do the cheap work (parse,
+/// route, wait) and leave pipeline execution to the worker pool.
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let request = match http::read_request(&mut reader) {
+        Ok(r) => r,
+        Err(ReadError::Eof) | Err(ReadError::Io(_)) => return,
+        Err(ReadError::Malformed(msg)) => {
+            respond(stream, 400, &ApiError::bad_request(msg).body());
+            return;
+        }
+    };
+    let started = Instant::now();
+    let endpoint = classify(&request);
+    let (status, body, content_type) = route(&request, state);
+    state
+        .metrics
+        .record_request(endpoint, started.elapsed(), status);
+    respond_with_type(stream, status, content_type, &body);
+}
+
+fn classify(request: &Request) -> Endpoint {
+    match request.path.as_str() {
+        "/v1/profile" => Endpoint::Profile,
+        "/v1/clone" => Endpoint::Clone,
+        "/v1/evaluate" => Endpoint::Evaluate,
+        _ => Endpoint::Other,
+    }
+}
+
+fn respond(stream: TcpStream, status: u16, body: &str) {
+    respond_with_type(stream, status, "application/json", body);
+}
+
+fn respond_with_type(mut stream: TcpStream, status: u16, content_type: &str, body: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = http::write_response(&mut stream, status, content_type, body);
+    let _ = stream.flush();
+}
+
+/// Dispatches a parsed request to its endpoint and renders the response
+/// body. Returns `(status, body, content_type)`.
+fn route(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static str) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string(), "application/json"),
+        ("GET", "/metrics") => {
+            let text = state.metrics.render(
+                state.queue.depth(),
+                state.queue.in_flight(),
+                state.store.len(),
+                state.active_connections.load(Ordering::SeqCst),
+            );
+            (200, text, "text/plain; version=0.0.4")
+        }
+        ("POST", "/v1/profile") => json_endpoint(request, state, |state, req, cancel| {
+            handlers::profile(&state.store, &state.metrics, &req, cancel)
+        }),
+        ("POST", "/v1/clone") => json_endpoint(request, state, |state, req, cancel| {
+            handlers::clone_model(&state.store, &req, cancel)
+        }),
+        ("POST", "/v1/evaluate") => json_endpoint(request, state, |state, req, cancel| {
+            handlers::evaluate(&state.store, &req, cancel)
+        }),
+        ("GET", _) | ("POST", _) => {
+            let e = ApiError::new(404, format!("no such route {}", request.path));
+            (404, e.body(), "application/json")
+        }
+        (method, _) => {
+            let e = ApiError::new(405, format!("method {method} not supported"));
+            (405, e.body(), "application/json")
+        }
+    }
+}
+
+/// Parses the body, runs `handler` on the worker pool with backpressure
+/// and a deadline, and renders the outcome.
+fn json_endpoint<Req, Resp, F>(
+    request: &Request,
+    state: &Arc<ServerState>,
+    handler: F,
+) -> (u16, String, &'static str)
+where
+    Req: Deserialize + Send + 'static,
+    Resp: Serialize,
+    F: FnOnce(&ServerState, Req, &AtomicBool) -> Result<Resp, ApiError> + Send + 'static,
+{
+    let body = match request.body_utf8() {
+        Ok(b) => b,
+        Err(msg) => {
+            let e = ApiError::bad_request(msg);
+            return (e.status, e.body(), "application/json");
+        }
+    };
+    let parsed: Req = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            let e = ApiError::bad_request(format!("invalid request body: {e}"));
+            return (e.status, e.body(), "application/json");
+        }
+    };
+    let (status, body) = run_job(state, parsed, handler);
+    (status, body, "application/json")
+}
+
+/// Submits one handler invocation to the queue and waits for its result
+/// under the configured deadline.
+fn run_job<Req, Resp, F>(state: &Arc<ServerState>, parsed: Req, handler: F) -> (u16, String)
+where
+    Req: Send + 'static,
+    Resp: Serialize,
+    F: FnOnce(&ServerState, Req, &AtomicBool) -> Result<Resp, ApiError> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let job_cancel = Arc::clone(&cancel);
+    let job_state = Arc::clone(state);
+    let submitted = state.queue.submit(Box::new(move || {
+        let result = handler(&job_state, parsed, &job_cancel).map(|resp| canonical_json(&resp));
+        // The requester may have timed out and gone away; that's fine.
+        let _ = tx.send(result);
+    }));
+    match submitted {
+        Err(SubmitError::Full) => {
+            state.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
+            let e = ApiError::new(429, "job queue is full, retry later");
+            (e.status, e.body())
+        }
+        Err(SubmitError::ShuttingDown) => {
+            state
+                .metrics
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            let e = ApiError::new(503, "service is shutting down");
+            (e.status, e.body())
+        }
+        Ok(()) => match rx.recv_timeout(state.deadline) {
+            Ok(Ok(body)) => (200, body),
+            Ok(Err(e)) => (e.status, e.body()),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                cancel.store(true, Ordering::Relaxed);
+                state
+                    .metrics
+                    .deadline_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                let e = ApiError::new(504, "deadline exceeded");
+                (e.status, e.body())
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let e = ApiError::new(500, "internal error: job worker failed");
+                (e.status, e.body())
+            }
+        },
+    }
+}

@@ -1,0 +1,401 @@
+//! End-to-end acceptance tests for `gmap serve`, driving a live server
+//! over real TCP connections.
+//!
+//! Covers the contract from the service-layer design:
+//! * ≥ 32 concurrent client connections whose payload statistics are
+//!   byte-identical to direct library calls,
+//! * repeat profile requests observed as cache hits in `/metrics`,
+//! * queue overflow answered with 429 (no hang, no crash),
+//! * graceful shutdown that drains every accepted request.
+
+use gmap_core::cachekey::canonical_json;
+use gmap_serve::api::{
+    CloneRequest, CloneResponse, EvaluateRequest, EvaluateResponse, GridPoint, ProfileRequest,
+    ProfileResponse,
+};
+use gmap_serve::cache::ModelStore;
+use gmap_serve::metrics::{scrape, Metrics};
+use gmap_serve::{client, handlers, ServeConfig};
+use std::sync::atomic::AtomicBool;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const WORKLOADS: [&str; 4] = ["kmeans", "hotspot", "bfs", "srad"];
+
+fn start(config: ServeConfig) -> (gmap_serve::ServerHandle, String) {
+    let handle = gmap_serve::start(config).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn profile_req(workload: &str, scale: &str) -> String {
+    canonical_json(&ProfileRequest {
+        workload: workload.into(),
+        scale: Some(scale.into()),
+    })
+}
+
+fn lru_grid() -> Vec<GridPoint> {
+    [16u64, 32, 64]
+        .iter()
+        .map(|&size_kb| GridPoint {
+            level: None,
+            size_kb,
+            assoc: 4,
+            line: None,
+            policy: None,
+        })
+        .collect()
+}
+
+fn fifo_grid(points: usize) -> Vec<GridPoint> {
+    (0..points)
+        .map(|i| GridPoint {
+            level: None,
+            size_kb: 16 << (i as u64 % 4),
+            assoc: 4,
+            line: None,
+            policy: Some("fifo".into()),
+        })
+        .collect()
+}
+
+/// Local "direct library call" oracle: the same handlers run in-process
+/// against a private store, no HTTP involved.
+struct Oracle {
+    store: ModelStore,
+    metrics: Metrics,
+}
+
+impl Oracle {
+    fn new() -> Self {
+        Oracle {
+            store: ModelStore::new(None).expect("memory store"),
+            metrics: Metrics::new(),
+        }
+    }
+
+    fn profile(&self, workload: &str) -> ProfileResponse {
+        let req = ProfileRequest {
+            workload: workload.into(),
+            scale: Some("tiny".into()),
+        };
+        handlers::profile(&self.store, &self.metrics, &req, &AtomicBool::new(false))
+            .expect("direct profile succeeds")
+    }
+
+    fn clone_stats(&self, model_id: &str) -> CloneResponse {
+        let req = CloneRequest {
+            model_id: model_id.into(),
+            factor: None,
+            seed: None,
+        };
+        handlers::clone_model(&self.store, &req, &AtomicBool::new(false))
+            .expect("direct clone succeeds")
+    }
+
+    fn evaluate(&self, model_id: &str, grid: Vec<GridPoint>) -> EvaluateResponse {
+        let req = EvaluateRequest {
+            model_id: model_id.into(),
+            kernel: None,
+            metric: None,
+            seed: None,
+            grid,
+        };
+        handlers::evaluate(&self.store, &req, &AtomicBool::new(false))
+            .expect("direct evaluate succeeds")
+    }
+}
+
+#[test]
+fn concurrent_clients_get_payloads_byte_identical_to_direct_calls() {
+    let (handle, addr) = start(ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        deadline: Duration::from_secs(120),
+        ..ServeConfig::default()
+    });
+
+    // Direct-library expectations, computed once per workload.
+    let oracle = Oracle::new();
+    let expected: Vec<(String, ProfileResponse, CloneResponse, EvaluateResponse)> = WORKLOADS
+        .iter()
+        .map(|w| {
+            let p = oracle.profile(w);
+            let c = oracle.clone_stats(&p.model_id);
+            let e = oracle.evaluate(&p.model_id, lru_grid());
+            (w.to_string(), p, c, e)
+        })
+        .collect();
+
+    // Warm the server cache so the 32 concurrent profile requests below
+    // are all deterministic cache hits.
+    for w in WORKLOADS {
+        let resp = client::post_json(&addr, "/v1/profile", &profile_req(w, "tiny"))
+            .expect("server reachable");
+        assert_eq!(resp.status, 200, "warmup failed: {}", resp.body);
+    }
+
+    let threads: Vec<_> = (0..32)
+        .map(|i| {
+            let addr = addr.clone();
+            let (workload, want_profile, want_clone, want_eval) =
+                expected[i % WORKLOADS.len()].clone();
+            thread::spawn(move || {
+                // Profile: statistics block must be byte-identical; the
+                // `cached` flag is the server's own business.
+                let resp = client::post_json(&addr, "/v1/profile", &profile_req(&workload, "tiny"))
+                    .expect("profile request");
+                assert_eq!(resp.status, 200, "profile: {}", resp.body);
+                let served: ProfileResponse =
+                    serde_json::from_str(&resp.body).expect("profile body parses");
+                assert!(served.cached, "cache was warmed");
+                assert_eq!(served.model_id, want_profile.model_id);
+                assert_eq!(
+                    canonical_json(&served.stats),
+                    canonical_json(&want_profile.stats),
+                    "{workload}: served stats must be byte-identical to direct call"
+                );
+
+                // Clone: whole body is deterministic.
+                let body = canonical_json(&CloneRequest {
+                    model_id: want_profile.model_id.clone(),
+                    factor: None,
+                    seed: None,
+                });
+                let resp = client::post_json(&addr, "/v1/clone", &body).expect("clone request");
+                assert_eq!(resp.status, 200, "clone: {}", resp.body);
+                assert_eq!(
+                    resp.body,
+                    canonical_json(&want_clone),
+                    "{workload}: clone body must be byte-identical to direct call"
+                );
+
+                // Evaluate: whole body is deterministic.
+                let body = canonical_json(&EvaluateRequest {
+                    model_id: want_profile.model_id.clone(),
+                    kernel: None,
+                    metric: None,
+                    seed: None,
+                    grid: lru_grid(),
+                });
+                let resp =
+                    client::post_json(&addr, "/v1/evaluate", &body).expect("evaluate request");
+                assert_eq!(resp.status, 200, "evaluate: {}", resp.body);
+                assert_eq!(
+                    resp.body,
+                    canonical_json(&want_eval),
+                    "{workload}: evaluate body must be byte-identical to direct call"
+                );
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread succeeds");
+    }
+
+    // Repeat profile requests are visible as cache hits.
+    let metrics = client::get(&addr, "/metrics").expect("metrics reachable");
+    assert_eq!(metrics.status, 200);
+    let hits = scrape(&metrics.body, "gmap_cache_hits_total").expect("hits exported");
+    let misses = scrape(&metrics.body, "gmap_cache_misses_total").expect("misses exported");
+    assert_eq!(misses, WORKLOADS.len() as f64, "one miss per warmup");
+    assert_eq!(hits, 32.0, "every concurrent profile request hit the cache");
+    assert_eq!(
+        scrape(&metrics.body, "gmap_models_cached"),
+        Some(WORKLOADS.len() as f64)
+    );
+    assert!(
+        metrics
+            .body
+            .contains("gmap_request_latency_seconds{endpoint=\"evaluate\",quantile=\"0.5\"}"),
+        "latency quantiles exported"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn queue_overflow_returns_429_without_hanging() {
+    let (handle, addr) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        deadline: Duration::from_secs(120),
+        ..ServeConfig::default()
+    });
+
+    // Warm one model so burst requests would be instant if ever executed.
+    let resp = client::post_json(&addr, "/v1/profile", &profile_req("srad", "default"))
+        .expect("server reachable");
+    assert_eq!(resp.status, 200, "warmup failed: {}", resp.body);
+    let model_id: ProfileResponse = serde_json::from_str(&resp.body).expect("parses");
+    let model_id = model_id.model_id;
+
+    // Occupy the single worker (and the single queue slot) with slow
+    // FIFO-policy evaluations that bypass the single-pass engine.
+    let eval_body = canonical_json(&EvaluateRequest {
+        model_id: model_id.clone(),
+        kernel: None,
+        metric: None,
+        seed: None,
+        grid: fifo_grid(64),
+    });
+    let spawn_occupier = || {
+        let addr = addr.clone();
+        let body = eval_body.clone();
+        thread::spawn(move || {
+            client::post_json(&addr, "/v1/evaluate", &body).expect("evaluate request")
+        })
+    };
+    let wait_for = |metric: &str, value: f64| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let m = client::get(&addr, "/metrics").expect("metrics reachable");
+            if scrape(&m.body, metric) == Some(value) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "{metric} never reached {value}");
+            thread::sleep(Duration::from_millis(2));
+        }
+    };
+    // Occupy the worker first, then fill the single queue slot — in two
+    // observed steps, so neither occupier can race the other into a 429.
+    let first = spawn_occupier();
+    wait_for("gmap_jobs_in_flight", 1.0);
+    let second = spawn_occupier();
+    wait_for("gmap_queue_depth", 1.0);
+    let occupiers = vec![first, second];
+
+    let burst: Vec<_> = (0..32)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = profile_req("srad", "default");
+            thread::spawn(move || {
+                client::post_json(&addr, "/v1/profile", &body)
+                    .expect("burst request gets a response")
+            })
+        })
+        .collect();
+    let mut rejected = 0;
+    for t in burst {
+        let resp = t.join().expect("burst thread returns");
+        assert!(
+            resp.status == 429 || resp.status == 200,
+            "burst must be answered, got {}: {}",
+            resp.status,
+            resp.body
+        );
+        if resp.status == 429 {
+            assert!(resp.body.contains("queue is full"), "structured 429 body");
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected >= 25,
+        "expected the saturated queue to reject most of the burst, got {rejected}/32"
+    );
+
+    // The occupiers were accepted before the burst and must complete.
+    for t in occupiers {
+        let resp = t.join().expect("occupier returns");
+        assert_eq!(resp.status, 200, "occupier: {}", resp.body);
+    }
+
+    let m = client::get(&addr, "/metrics").expect("metrics reachable");
+    let rejected_metric = scrape(&m.body, "gmap_queue_rejected_total").expect("exported");
+    assert!(rejected_metric >= f64::from(rejected), "rejections counted");
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_accepted_request() {
+    let (handle, addr) = start(ServeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        deadline: Duration::from_secs(120),
+        ..ServeConfig::default()
+    });
+
+    let resp = client::post_json(&addr, "/v1/profile", &profile_req("srad", "default"))
+        .expect("server reachable");
+    assert_eq!(resp.status, 200, "warmup failed: {}", resp.body);
+    let profile: ProfileResponse = serde_json::from_str(&resp.body).expect("parses");
+
+    // Six slow jobs: two run immediately, four queue behind them.
+    let eval_body = canonical_json(&EvaluateRequest {
+        model_id: profile.model_id,
+        kernel: None,
+        metric: None,
+        seed: None,
+        grid: fifo_grid(32),
+    });
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = eval_body.clone();
+            thread::spawn(move || {
+                client::post_json(&addr, "/v1/evaluate", &body).expect("evaluate answered")
+            })
+        })
+        .collect();
+
+    // Only shut down once the server has accepted all six connections.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = client::get(&addr, "/metrics").expect("metrics reachable");
+        // The metrics connection itself is active too, hence >= 7.
+        if scrape(&m.body, "gmap_active_connections").unwrap_or(0.0) >= 7.0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "requests never became active");
+        thread::sleep(Duration::from_millis(2));
+    }
+
+    handle.shutdown();
+
+    // Every accepted request was answered with real results.
+    let mut bodies = Vec::new();
+    for t in clients {
+        let resp = t.join().expect("client thread returns");
+        assert_eq!(resp.status, 200, "drained request: {}", resp.body);
+        bodies.push(resp.body);
+    }
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "identical requests produced identical drained responses"
+    );
+
+    // And the listener is really gone.
+    assert!(
+        client::get(&addr, "/healthz").is_err(),
+        "server must be unreachable after shutdown"
+    );
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_structured_errors() {
+    let (handle, addr) = start(ServeConfig::default());
+
+    let resp = client::get(&addr, "/nope").expect("reachable");
+    assert_eq!(resp.status, 404);
+    assert!(resp.body.contains("\"status\":404"));
+
+    let resp = client::post_json(&addr, "/v1/profile", "{not json").expect("reachable");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("invalid request body"));
+
+    let resp = client::request(&addr, "DELETE", "/v1/profile", None).expect("reachable");
+    assert_eq!(resp.status, 405);
+
+    let resp =
+        client::post_json(&addr, "/v1/clone", r#"{"model_id":"doesnotexist"}"#).expect("reachable");
+    assert_eq!(resp.status, 404);
+    assert!(resp.body.contains("unknown model id"));
+
+    let resp = client::get(&addr, "/healthz").expect("reachable");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, "{\"status\":\"ok\"}");
+
+    handle.shutdown();
+}

@@ -50,3 +50,4 @@ pub use histogram::{HistSampler, Histogram};
 pub use record::{AccessKind, ByteAddr, CoreId, LineAddr, MemAccess, Pc, ThreadId, WarpId};
 pub use reuse::{ReuseClass, ReuseComputer, ReuseHistogram};
 pub use rng::Rng;
+pub use stats::LatencyHistogram;

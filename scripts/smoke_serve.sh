@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Smoke test for `gmap serve`: boots the service on an ephemeral port,
+# exercises a profile -> clone round trip through `gmap client`, and
+# checks that closing the server's stdin drains it cleanly.
+#
+# Usage: scripts/smoke_serve.sh [path-to-gmap-binary]
+set -euo pipefail
+
+GMAP="${1:-target/release/gmap}"
+if [[ ! -x "$GMAP" ]]; then
+    echo "smoke: $GMAP is not an executable (build with: cargo build --release)" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+SERVER_OUT="$WORK/server.out"
+mkfifo "$WORK/stdin"
+cleanup() {
+    # Closing the fifo writer ends the server; kill as a fallback only.
+    exec 9>&- 2>/dev/null || true
+    if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        sleep 2
+        kill "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Hold the fifo open on fd 9 so the server's stdin stays open until we
+# deliberately close it for graceful shutdown.
+"$GMAP" serve --listen 127.0.0.1:0 --workers 2 <"$WORK/stdin" >"$SERVER_OUT" &
+SERVER_PID=$!
+exec 9>"$WORK/stdin"
+
+# Wait for the bound address to appear on stdout.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^gmap-serve listening on //p' "$SERVER_OUT" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "smoke: server never reported its address" >&2
+    cat "$SERVER_OUT" >&2
+    exit 1
+fi
+echo "smoke: server up at $ADDR"
+
+"$GMAP" client health --addr "$ADDR" | grep -q '"status":"ok"'
+echo "smoke: health ok"
+
+PROFILE="$("$GMAP" client profile --addr "$ADDR" --workload kmeans --scale tiny)"
+echo "smoke: profile -> $PROFILE"
+MODEL="$(printf '%s' "$PROFILE" | sed -n 's/.*"model_id":"\([0-9a-f]*\)".*/\1/p')"
+if [[ -z "$MODEL" ]]; then
+    echo "smoke: could not extract model_id" >&2
+    exit 1
+fi
+
+"$GMAP" client clone --addr "$ADDR" --model "$MODEL" --factor 2 | grep -q '"kernels":'
+echo "smoke: clone ok"
+
+"$GMAP" client evaluate --addr "$ADDR" --model "$MODEL" --grid 16:4,32:4 \
+    | grep -q '"values":'
+echo "smoke: evaluate ok"
+
+# Repeat profile must be a cache hit, visible in /metrics.
+"$GMAP" client profile --addr "$ADDR" --workload kmeans --scale tiny \
+    | grep -q '"cached":true'
+"$GMAP" client metrics --addr "$ADDR" | grep -q '^gmap_cache_hits_total 1'
+echo "smoke: cache hit observed in metrics"
+
+# Graceful shutdown: close stdin and expect a clean exit with the drain
+# message on stdout.
+exec 9>&-
+for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "smoke: server did not exit after stdin EOF" >&2
+    exit 1
+fi
+wait "$SERVER_PID"
+grep -q 'drained and stopped' "$SERVER_OUT"
+echo "smoke: graceful shutdown ok"

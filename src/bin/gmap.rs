@@ -8,6 +8,8 @@
 //!               [--l1 16384:4:128] [--l2 1048576:8:128] [--policy lrr|gto]
 //!               [--seed 7] [--dram]
 //! gmap list
+//! gmap serve    [--listen 127.0.0.1:0] [--workers 4] [--queue 64]
+//! gmap client   <profile|clone|evaluate|health|metrics> --addr HOST:PORT ...
 //! ```
 //!
 //! The binary wraps the library pipeline so a memory-system architect can
@@ -33,7 +35,8 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("run `gmap help` for usage");
+            eprintln!();
+            eprint!("{}", usage());
             ExitCode::FAILURE
         }
     }
@@ -46,7 +49,10 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("clone") => cmd_clone(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("fidelity") => cmd_fidelity(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("list") => {
+            check_flags(&args[1..], &[], &[])?;
             for n in workloads::NAMES {
                 println!("{n}");
             }
@@ -70,6 +76,8 @@ USAGE:
   gmap clone -p FILE [OPTS] -o FILE             regenerate a clone trace
   gmap simulate SOURCE [OPTS]                   run the memory hierarchy
   gmap fidelity (-p FILE | --workload NAME)     predict clone trustworthiness
+  gmap serve [OPTS]                             run the model-cloning HTTP service
+  gmap client ACTION --addr HOST:PORT [OPTS]    talk to a running service
 
 PROFILE OPTIONS:
   --scale tiny|small|default    workload size (default: small)
@@ -90,8 +98,48 @@ SIMULATE OPTIONS:
   --policy lrr|gto|self:P       warp scheduler (default lrr)
   --seed N                      scheduling/generation seed (default 42)
   --dram                        also replay memory traffic through DRAM
+
+SERVE OPTIONS:
+  --listen ADDR                 bind address (default 127.0.0.1:0, ephemeral
+                                port; the bound address is printed on stdout)
+  --workers N                   pipeline worker threads (default 2)
+  --queue N                     pending-job capacity before 429 (default 64)
+  --deadline-ms N               per-request deadline (default 60000)
+  --cache-dir DIR               on-disk tier for the model cache
+  The server runs until stdin reaches EOF, then drains and exits.
+
+CLIENT ACTIONS (all need --addr HOST:PORT):
+  health                        GET /healthz
+  metrics                       GET /metrics
+  profile  --workload NAME [--scale tiny|small|default]
+  clone    --model ID [--factor F] [--seed N]
+  evaluate --model ID --grid KB:ASSOC[:LINE[:POLICY]][,...]
+           [--level l1|l2] [--kernel N] [--metric l1_miss_pct|l2_miss_pct]
+           [--seed N]
 "
     .to_owned()
+}
+
+/// Strict argument validation: every token must be a known flag (or the
+/// value of one). Typos fail loudly instead of silently taking defaults.
+fn check_flags(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if value_flags.contains(&a) {
+            if i + 1 >= args.len() {
+                return Err(format!("flag {a} needs a value"));
+            }
+            i += 2;
+        } else if bool_flags.contains(&a) {
+            i += 1;
+        } else if a.starts_with('-') {
+            return Err(format!("unknown flag {a:?}"));
+        } else {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+    }
+    Ok(())
 }
 
 /// Minimal flag parser: `--key value` pairs plus `-o`/`-p` aliases.
@@ -156,6 +204,20 @@ fn load_profile(path: &str) -> Result<GmapProfile, String> {
 }
 
 fn cmd_profile(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            "-o",
+            "--output",
+            "--workload",
+            "--trace",
+            "--grid",
+            "--block",
+            "--scale",
+            "--rebase",
+        ],
+        &[],
+    )?;
     let out = flag(args, &["-o", "--output"]).ok_or("missing -o FILE")?;
     let mut profile = match (flag(args, &["--workload"]), flag(args, &["--trace"])) {
         (Some(name), None) => {
@@ -212,6 +274,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["-p", "--profile"], &[])?;
     let path = flag(args, &["-p", "--profile"]).ok_or("missing -p FILE")?;
     let p = load_profile(path)?;
     println!("name            : {}", p.name);
@@ -287,6 +350,19 @@ fn streams_to_entries(
 }
 
 fn cmd_clone(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            "-p",
+            "--profile",
+            "-o",
+            "--output",
+            "--seed",
+            "--factor",
+            "--format",
+        ],
+        &[],
+    )?;
     let path = flag(args, &["-p", "--profile"]).ok_or("missing -p FILE")?;
     let out = flag(args, &["-o", "--output"]).ok_or("missing -o FILE")?;
     let seed = parse_seed(args)?;
@@ -317,6 +393,7 @@ fn cmd_clone(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fidelity(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["-p", "--profile", "--workload", "--scale"], &[])?;
     let profile = match (
         flag(args, &["-p", "--profile"]),
         flag(args, &["--workload"]),
@@ -347,6 +424,20 @@ fn cmd_fidelity(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            "--workload",
+            "-p",
+            "--profile",
+            "--l1",
+            "--l2",
+            "--policy",
+            "--seed",
+            "--scale",
+        ],
+        &["--dram"],
+    )?;
     let mut cfg = SimtConfig {
         seed: parse_seed(args)?,
         policy: parse_policy(args)?,
@@ -407,6 +498,174 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            "--listen",
+            "--workers",
+            "--queue",
+            "--deadline-ms",
+            "--cache-dir",
+        ],
+        &[],
+    )?;
+    let mut config = gmap::serve::ServeConfig::default();
+    if let Some(listen) = flag(args, &["--listen"]) {
+        config.listen = listen.to_owned();
+    }
+    if let Some(n) = flag(args, &["--workers"]) {
+        config.workers = n.parse().map_err(|e| format!("bad --workers {n:?}: {e}"))?;
+    }
+    if let Some(n) = flag(args, &["--queue"]) {
+        config.queue_capacity = n.parse().map_err(|e| format!("bad --queue {n:?}: {e}"))?;
+    }
+    if let Some(n) = flag(args, &["--deadline-ms"]) {
+        let ms: u64 = n
+            .parse()
+            .map_err(|e| format!("bad --deadline-ms {n:?}: {e}"))?;
+        config.deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(dir) = flag(args, &["--cache-dir"]) {
+        config.cache_dir = Some(dir.into());
+    }
+    let handle = gmap::serve::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("gmap-serve listening on {}", handle.addr());
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+    // Run until the supervisor closes stdin, then drain. EOF as the stop
+    // signal keeps graceful shutdown scriptable without signal handling.
+    let stdin = std::io::stdin();
+    let mut sink = String::new();
+    loop {
+        sink.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    handle.shutdown();
+    println!("gmap-serve: drained and stopped");
+    Ok(())
+}
+
+fn client_addr(args: &[String]) -> Result<&str, String> {
+    flag(args, &["--addr"]).ok_or_else(|| "missing --addr HOST:PORT".into())
+}
+
+fn client_seed(args: &[String]) -> Result<Option<u64>, String> {
+    flag(args, &["--seed"])
+        .map(|s| s.parse().map_err(|e| format!("bad --seed {s:?}: {e}")))
+        .transpose()
+}
+
+/// Parses an evaluation grid: comma-separated `KB:ASSOC[:LINE[:POLICY]]`
+/// points, all applied to `level`.
+fn parse_grid(spec: &str, level: Option<&str>) -> Result<Vec<gmap::serve::api::GridPoint>, String> {
+    spec.split(',')
+        .map(|point| {
+            let parts: Vec<&str> = point.split(':').collect();
+            if !(2..=4).contains(&parts.len()) {
+                return Err(format!(
+                    "bad grid point {point:?} (expected KB:ASSOC[:LINE[:POLICY]])"
+                ));
+            }
+            Ok(gmap::serve::api::GridPoint {
+                level: level.map(str::to_owned),
+                size_kb: parts[0]
+                    .parse()
+                    .map_err(|e| format!("bad size in {point:?}: {e}"))?,
+                assoc: parts[1]
+                    .parse()
+                    .map_err(|e| format!("bad assoc in {point:?}: {e}"))?,
+                line: parts
+                    .get(2)
+                    .map(|l| l.parse().map_err(|e| format!("bad line in {point:?}: {e}")))
+                    .transpose()?,
+                policy: parts.get(3).map(|p| (*p).to_owned()),
+            })
+        })
+        .collect()
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use gmap::core::cachekey::canonical_json;
+    use gmap::serve::{api, client};
+
+    let action = args
+        .first()
+        .ok_or("client needs an action: health, metrics, profile, clone, or evaluate")?
+        .as_str();
+    let rest = &args[1..];
+    let response = match action {
+        "health" => {
+            check_flags(rest, &["--addr"], &[])?;
+            client::get(client_addr(rest)?, "/healthz")
+        }
+        "metrics" => {
+            check_flags(rest, &["--addr"], &[])?;
+            client::get(client_addr(rest)?, "/metrics")
+        }
+        "profile" => {
+            check_flags(rest, &["--addr", "--workload", "--scale"], &[])?;
+            let body = canonical_json(&api::ProfileRequest {
+                workload: flag(rest, &["--workload"])
+                    .ok_or("missing --workload NAME")?
+                    .to_owned(),
+                scale: flag(rest, &["--scale"]).map(str::to_owned),
+            });
+            client::post_json(client_addr(rest)?, "/v1/profile", &body)
+        }
+        "clone" => {
+            check_flags(rest, &["--addr", "--model", "--factor", "--seed"], &[])?;
+            let factor = flag(rest, &["--factor"])
+                .map(|f| f.parse().map_err(|e| format!("bad --factor {f:?}: {e}")))
+                .transpose()?;
+            let body = canonical_json(&api::CloneRequest {
+                model_id: flag(rest, &["--model"])
+                    .ok_or("missing --model ID")?
+                    .to_owned(),
+                factor,
+                seed: client_seed(rest)?,
+            });
+            client::post_json(client_addr(rest)?, "/v1/clone", &body)
+        }
+        "evaluate" => {
+            check_flags(
+                rest,
+                &[
+                    "--addr", "--model", "--grid", "--level", "--kernel", "--metric", "--seed",
+                ],
+                &[],
+            )?;
+            let kernel = flag(rest, &["--kernel"])
+                .map(|k| k.parse().map_err(|e| format!("bad --kernel {k:?}: {e}")))
+                .transpose()?;
+            let grid = parse_grid(
+                flag(rest, &["--grid"]).ok_or("missing --grid SPEC")?,
+                flag(rest, &["--level"]),
+            )?;
+            let body = canonical_json(&api::EvaluateRequest {
+                model_id: flag(rest, &["--model"])
+                    .ok_or("missing --model ID")?
+                    .to_owned(),
+                kernel,
+                metric: flag(rest, &["--metric"]).map(str::to_owned),
+                seed: client_seed(rest)?,
+                grid,
+            });
+            client::post_json(client_addr(rest)?, "/v1/evaluate", &body)
+        }
+        other => return Err(format!("unknown client action {other:?}")),
+    };
+    let response = response.map_err(|e| format!("request failed: {e}"))?;
+    println!("{}", response.body.trim_end());
+    if response.is_ok() {
+        Ok(())
+    } else {
+        Err(format!("server answered {}", response.status))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +713,92 @@ mod tests {
     #[test]
     fn unknown_subcommand_errors() {
         assert!(run(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_error() {
+        // Typo'd flags must fail instead of silently taking defaults.
+        assert!(run(&s(&["simulate", "--workload", "kmeans", "--sedd", "7"])).is_err());
+        assert!(run(&s(&["list", "--verbose"])).is_err());
+        assert!(run(&s(&["list", "extra"])).is_err());
+        assert!(cmd_serve(&s(&["--port", "80"])).is_err());
+        assert!(cmd_client(&s(&[
+            "profile",
+            "--addr",
+            "x",
+            "--workload",
+            "k",
+            "--bogus",
+            "1"
+        ]))
+        .is_err());
+        // A value flag at the end of the line is missing its value.
+        assert!(cmd_clone(&s(&["-p", "x.json", "-o", "y", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_subcommand() {
+        let text = usage();
+        for sub in [
+            "profile", "info", "clone", "simulate", "fidelity", "list", "serve", "client",
+        ] {
+            assert!(text.contains(sub), "usage must mention {sub}");
+        }
+    }
+
+    #[test]
+    fn grid_specs_parse() {
+        let grid = parse_grid("16:4,32:8:64:fifo", Some("l2")).expect("valid grid");
+        assert_eq!(grid.len(), 2);
+        assert_eq!((grid[0].size_kb, grid[0].assoc), (16, 4));
+        assert_eq!(grid[0].line, None);
+        assert_eq!(grid[1].line, Some(64));
+        assert_eq!(grid[1].policy.as_deref(), Some("fifo"));
+        assert_eq!(grid[1].level.as_deref(), Some("l2"));
+        assert!(parse_grid("16", None).is_err());
+        assert!(parse_grid("16:4:64:lru:extra", None).is_err());
+        assert!(parse_grid("a:b", None).is_err());
+    }
+
+    #[test]
+    fn client_round_trip_against_live_server() {
+        let handle = gmap::serve::start(gmap::serve::ServeConfig::default()).expect("start");
+        let addr = handle.addr().to_string();
+        run(&s(&["client", "health", "--addr", &addr])).expect("health");
+        run(&s(&[
+            "client",
+            "profile",
+            "--addr",
+            &addr,
+            "--workload",
+            "kmeans",
+            "--scale",
+            "tiny",
+        ]))
+        .expect("profile");
+        let model = gmap::serve::handlers::model_id_for("kmeans", "tiny");
+        run(&s(&[
+            "client", "clone", "--addr", &addr, "--model", &model, "--factor", "2",
+        ]))
+        .expect("clone");
+        run(&s(&[
+            "client",
+            "evaluate",
+            "--addr",
+            &addr,
+            "--model",
+            &model,
+            "--grid",
+            "16:4,32:4",
+        ]))
+        .expect("evaluate");
+        run(&s(&["client", "metrics", "--addr", &addr])).expect("metrics");
+        // Unknown model ids surface the server's 404 as a CLI error.
+        assert!(run(&s(&["client", "clone", "--addr", &addr, "--model", "feed"])).is_err());
+        assert!(cmd_client(&s(&["health"])).is_err()); // missing --addr
+        assert!(cmd_client(&s(&["reboot", "--addr", &addr])).is_err());
+        assert!(cmd_client(&[]).is_err());
+        handle.shutdown();
     }
 
     #[test]

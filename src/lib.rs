@@ -14,6 +14,8 @@
 //! | [`memsim`] | `gmap-memsim` | multi-core cache hierarchy, MSHRs, prefetchers |
 //! | [`dram`] | `gmap-dram` | GDDR DRAM model with FR-FCFS controllers |
 //! | [`trace`] | `gmap-trace` | records, histograms, reuse distance, statistics |
+//! | [`mod@bench`] | `gmap-bench` | single-pass multi-config sweep engine |
+//! | [`serve`] | `gmap-serve` | concurrent model-cloning HTTP service |
 //!
 //! # Quickstart
 //!
@@ -40,8 +42,10 @@
 
 #![warn(missing_docs)]
 
+pub use gmap_bench as bench;
 pub use gmap_core as core;
 pub use gmap_dram as dram;
 pub use gmap_gpu as gpu;
 pub use gmap_memsim as memsim;
+pub use gmap_serve as serve;
 pub use gmap_trace as trace;
