@@ -1,0 +1,519 @@
+//! Abstract interpretation of [`KernelDesc`] programs.
+//!
+//! The analyzer walks the kernel body once, carrying three pieces of
+//! abstract state: the enclosing *loop stack* (per-depth iteration
+//! intervals), the *divergence context* (can threads of one warp / one
+//! block disagree about reaching this statement?), and the array table.
+//! For every access site it derives, without executing anything:
+//!
+//! - a **sound byte-address interval**: if the affine element interval
+//!   stays inside `[0, elems)` the interval is exact; otherwise the
+//!   executor's `rem_euclid` wrap widens it to the whole array and the
+//!   wrap itself is reported as an out-of-bounds error,
+//! - the **coalescing degree** of a full warp at the 128-byte
+//!   transaction granularity (CUDA guide §G.4.2), by evaluating the
+//!   index expression for warp 0's lanes — the same arithmetic
+//!   `gmap_gpu::exec` uses, so the degree matches `coalesce.rs` exactly
+//!   on uniform warps,
+//! - **stride signatures**: lane-to-lane, warp-to-warp and per-loop
+//!   intra-thread strides in bytes (the quantities the G-MAP profiler
+//!   measures dynamically as `P_E`/`P_A`),
+//! - **divergence reachability**, and for every barrier whether it can
+//!   be reached under block-divergent control — the static signature of
+//!   a `__syncthreads()` deadlock.
+//!
+//! [`verify_against_trace`] is the self-check: every address the SIMT
+//! executor emits must lie inside the analyzer's per-PC interval.
+
+use crate::interval::{ByteRange, Interval};
+use crate::report::{Finding, FindingKind, PatternKind, Severity, SiteReport, StaticReport};
+use gmap_gpu::exec::{AppTrace, WarpEvent};
+use gmap_gpu::kernel::{AccessDesc, EvalCtx, IndexExpr, KernelDesc, Pred, Stmt, Trip};
+use gmap_trace::record::AccessKind;
+use std::collections::BTreeMap;
+
+/// The coalescing granularity the degree is computed at (128-byte
+/// transactions, matching `gmap_core::COALESCE_BYTES`).
+pub const SEGMENT_BYTES: u64 = 128;
+
+/// Analyzes a kernel with the default 32-thread warps.
+pub fn analyze_kernel(kernel: &KernelDesc) -> StaticReport {
+    analyze_kernel_with(kernel, 32)
+}
+
+/// Analyzes a kernel assuming an explicit warp size.
+///
+/// Never panics: structurally invalid kernels produce a report with a
+/// single [`FindingKind::SpecError`] error instead of sites.
+pub fn analyze_kernel_with(kernel: &KernelDesc, warp_size: u32) -> StaticReport {
+    let warp_size = warp_size.clamp(1, 64);
+    let mut report = StaticReport {
+        name: kernel.name.clone(),
+        warp_size,
+        sites: Vec::new(),
+        findings: Vec::new(),
+    };
+    if let Err(e) = kernel.validate() {
+        use gmap_gpu::kernel::ValidateKernelError;
+        let kind = match e {
+            ValidateKernelError::ArraySizeOverflow { .. } => FindingKind::ArraySizeOverflow,
+            _ => FindingKind::SpecError,
+        };
+        report.findings.push(Finding {
+            severity: Severity::Error,
+            kind,
+            pc: None,
+            message: format!("spec failed validation: {e}"),
+        });
+        return report;
+    }
+    let mut walker = Walker {
+        kernel,
+        warp_size,
+        sites: Vec::new(),
+        findings: Vec::new(),
+        loops: Vec::new(),
+        warp_div: false,
+        block_div: false,
+        last_pc: None,
+        written: vec![false; kernel.arrays.len()],
+    };
+    walker.walk(&kernel.body);
+    report.sites = walker.sites;
+    report.findings = walker.findings;
+    check_overlaps(kernel, &walker.written, &mut report.findings);
+    // Errors first, then warnings, preserving discovery order within
+    // each class.
+    report
+        .findings
+        .sort_by_key(|f| std::cmp::Reverse(f.severity));
+    report
+}
+
+/// Flags pairs of arrays whose byte ranges intersect when at least one
+/// of the pair is written: the layouts the builder produces are always
+/// disjoint, so an overlap means a hand-written spec aliases two
+/// logically distinct regions. Size overflow is reported here too, since
+/// a wrapped size makes every bounds statement meaningless.
+fn check_overlaps(kernel: &KernelDesc, written: &[bool], findings: &mut Vec<Finding>) {
+    let mut spans: Vec<Option<(u64, u64)>> = Vec::with_capacity(kernel.arrays.len());
+    for a in &kernel.arrays {
+        let span = a
+            .checked_size_bytes()
+            .and_then(|size| a.base.0.checked_add(size).map(|end| (a.base.0, end)));
+        if span.is_none() {
+            findings.push(Finding {
+                severity: Severity::Error,
+                kind: FindingKind::ArraySizeOverflow,
+                pc: None,
+                message: format!(
+                    "array '{}': {} elems x {} bytes overflows the address space",
+                    a.name, a.elems, a.elem_size
+                ),
+            });
+        }
+        spans.push(span);
+    }
+    for i in 0..kernel.arrays.len() {
+        for j in (i + 1)..kernel.arrays.len() {
+            let (Some((ab, ae)), Some((bb, be))) = (spans[i], spans[j]) else {
+                continue;
+            };
+            if ab < be && bb < ae && (written[i] || written[j]) {
+                findings.push(Finding {
+                    severity: Severity::Error,
+                    kind: FindingKind::OverlappingWrite,
+                    pc: None,
+                    message: format!(
+                        "arrays '{}' [{ab:#x}, {ae:#x}) and '{}' [{bb:#x}, {be:#x}) overlap and at least one is written",
+                        kernel.arrays[i].name, kernel.arrays[j].name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// One enclosing loop in the walk.
+struct LoopCtx {
+    /// Largest iteration value any thread can see (trip count - 1).
+    max_iter: u64,
+    /// Whether per-thread trip counts can differ (hashed trips).
+    ragged: bool,
+}
+
+struct Walker<'a> {
+    kernel: &'a KernelDesc,
+    warp_size: u32,
+    sites: Vec<SiteReport>,
+    findings: Vec<Finding>,
+    loops: Vec<LoopCtx>,
+    /// Lanes of one warp can disagree about reaching this point.
+    warp_div: bool,
+    /// Threads of one block can disagree about reaching this point.
+    block_div: bool,
+    last_pc: Option<u64>,
+    written: Vec<bool>,
+}
+
+/// How a predicate partitions the threads of a launch.
+struct PredClass {
+    warp_div: bool,
+    block_div: bool,
+}
+
+fn classify_pred(pred: &Pred, kernel: &KernelDesc, warp_size: u32) -> PredClass {
+    let uniform = PredClass {
+        warp_div: false,
+        block_div: false,
+    };
+    let divergent = PredClass {
+        warp_div: true,
+        block_div: true,
+    };
+    let total = kernel.launch.total_threads();
+    let tpb = kernel.launch.threads_per_block().max(1) as u64;
+    let ws = warp_size as u64;
+    match *pred {
+        Pred::TidLt(n) => {
+            let n = n as u64;
+            if n == 0 || n >= total {
+                return uniform;
+            }
+            let block_div = !n.is_multiple_of(tpb);
+            PredClass {
+                // A warp holds contiguous tids, so the cut is warp-
+                // aligned only when both n and the block size are.
+                warp_div: block_div && !(n.is_multiple_of(ws) && tpb.is_multiple_of(ws)),
+                block_div,
+            }
+        }
+        Pred::TidMod { m, .. } => {
+            if m <= 1 {
+                uniform
+            } else {
+                divergent
+            }
+        }
+        Pred::LaneLt(n) => {
+            if n == 0 || n >= warp_size {
+                uniform
+            } else {
+                divergent
+            }
+        }
+        Pred::BlockMod { .. } => uniform,
+        Pred::Hashed { percent, .. } => {
+            if percent == 0 || percent >= 100 {
+                uniform
+            } else {
+                divergent
+            }
+        }
+    }
+}
+
+impl Walker<'_> {
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Access(acc) => self.visit_access(acc),
+                Stmt::Loop { trip, body } => {
+                    let (max_trip, ragged) = match *trip {
+                        Trip::Const(n) => (n as u64, false),
+                        Trip::Hashed { base, spread, .. } => {
+                            (base as u64 + spread.saturating_sub(1) as u64, spread > 1)
+                        }
+                    };
+                    self.loops.push(LoopCtx {
+                        max_iter: max_trip.saturating_sub(1),
+                        ragged,
+                    });
+                    self.walk(body);
+                    self.loops.pop();
+                }
+                Stmt::If {
+                    pred,
+                    then_body,
+                    else_body,
+                } => {
+                    let class = classify_pred(pred, self.kernel, self.warp_size);
+                    let (saved_w, saved_b) = (self.warp_div, self.block_div);
+                    self.warp_div |= class.warp_div;
+                    self.block_div |= class.block_div;
+                    self.walk(then_body);
+                    self.walk(else_body);
+                    self.warp_div = saved_w;
+                    self.block_div = saved_b;
+                }
+                Stmt::Sync => self.visit_sync(),
+            }
+        }
+    }
+
+    fn visit_sync(&mut self) {
+        // `__syncthreads()` waits for every thread of the block. Two
+        // static signatures make that wait unsatisfiable: the barrier
+        // sits under a branch that splits a block, or inside a loop
+        // whose trip count differs per thread (threads reach it a
+        // different number of times). The SIMT executor here tolerates
+        // both; real hardware hangs — hence Error, not Warning.
+        if self.block_div {
+            self.findings.push(Finding {
+                severity: Severity::Error,
+                kind: FindingKind::BarrierDivergence,
+                pc: self.last_pc,
+                message: "barrier under a block-divergent branch: threads that took the other side never arrive (deadlock)".into(),
+            });
+        }
+        if let Some(ragged) = self.loops.iter().position(|l| l.ragged) {
+            self.findings.push(Finding {
+                severity: Severity::Error,
+                kind: FindingKind::BarrierDivergence,
+                pc: self.last_pc,
+                message: format!(
+                    "barrier inside loop at depth {ragged} with per-thread (hashed) trip counts: threads reach it a different number of times (deadlock)"
+                ),
+            });
+        }
+    }
+
+    fn visit_access(&mut self, acc: &AccessDesc) {
+        self.last_pc = Some(acc.pc.0);
+        let array = &self.kernel.arrays[acc.array];
+        if acc.kind == AccessKind::Write {
+            self.written[acc.array] = true;
+        }
+        let elems = array.elems;
+        let pattern = match acc.index {
+            IndexExpr::Affine { .. } => PatternKind::Affine,
+            IndexExpr::Hashed { .. } => PatternKind::Hashed,
+            IndexExpr::HashedPerThread { .. } => PatternKind::HashedPerThread,
+        };
+
+        // --- Element interval and bounds. -------------------------------
+        let (elem_iv, in_bounds) = match &acc.index {
+            IndexExpr::Affine { .. } => {
+                let iv = self.affine_interval(&acc.index);
+                let inside = elems > 0 && iv.within(elems as i128);
+                if !inside {
+                    self.findings.push(Finding {
+                        severity: Severity::Error,
+                        kind: FindingKind::OutOfBounds,
+                        pc: Some(acc.pc.0),
+                        message: if elems == 0 {
+                            format!(
+                                "access to array '{}' which has zero elements",
+                                array.name
+                            )
+                        } else {
+                            format!(
+                                "affine index spans {iv} but array '{}' has {elems} elems; the executor wraps out-of-range indices silently",
+                                array.name
+                            )
+                        },
+                    });
+                }
+                (iv, inside)
+            }
+            // Hashed indices cover [0, 2^63) and are wrapped into the
+            // array by construction — irregular, not a bug.
+            IndexExpr::Hashed { .. } | IndexExpr::HashedPerThread { .. } => {
+                (Interval::new(0, elems.max(1) as i128 - 1), false)
+            }
+        };
+        // Sound byte interval of emitted (first-byte) addresses: exact
+        // when the index cannot wrap, the whole array otherwise.
+        let esize = array.elem_size as u64;
+        let addrs = if in_bounds {
+            ByteRange {
+                lo: array.base.0 + elem_iv.lo as u64 * esize,
+                hi: array.base.0 + elem_iv.hi as u64 * esize,
+            }
+        } else {
+            ByteRange {
+                lo: array.base.0,
+                hi: array.base.0 + elems.max(1).saturating_sub(1).saturating_mul(esize),
+            }
+        };
+
+        // --- Coalescing degree: probe warp 0 lane by lane. --------------
+        let lanes = self
+            .warp_size
+            .min(self.kernel.launch.threads_per_block().max(1));
+        let iters = vec![0u64; self.loops.len()];
+        let mut segments: Vec<u64> = (0..lanes)
+            .map(|lane| {
+                let ctx = EvalCtx {
+                    tid: lane as u64,
+                    lane,
+                    warp: 0,
+                    block: 0,
+                    iters: &iters,
+                };
+                let elem = acc.index.eval(&ctx).rem_euclid(elems.max(1) as i64) as u64;
+                (array.base.0 + elem * esize) / SEGMENT_BYTES
+            })
+            .collect();
+        segments.sort_unstable();
+        segments.dedup();
+        let degree = segments.len() as u32;
+        if degree == self.warp_size && self.warp_size > 1 {
+            self.findings.push(Finding {
+                severity: Severity::Warning,
+                kind: FindingKind::Uncoalesced,
+                pc: Some(acc.pc.0),
+                message: format!(
+                    "fully uncoalesced {} access: a warp touches {degree} separate {SEGMENT_BYTES}B segments (one per lane)",
+                    pattern
+                ),
+            });
+        }
+
+        // --- Stride signatures. -----------------------------------------
+        let (lane_stride, warp_stride, iter_strides) = match &acc.index {
+            IndexExpr::Affine {
+                tid_coef,
+                lane_coef,
+                warp_coef,
+                iter_coefs,
+                ..
+            } => {
+                let es = array.elem_size as i64;
+                (
+                    Some(tid_coef.saturating_add(*lane_coef).saturating_mul(es)),
+                    Some(
+                        tid_coef
+                            .saturating_mul(self.warp_size as i64)
+                            .saturating_add(*warp_coef)
+                            .saturating_mul(es),
+                    ),
+                    iter_coefs
+                        .iter()
+                        .map(|&(d, c)| (d, c.saturating_mul(es)))
+                        .collect(),
+                )
+            }
+            _ => (None, None, Vec::new()),
+        };
+
+        self.sites.push(SiteReport {
+            pc: acc.pc.0,
+            array: acc.array,
+            array_name: array.name.clone(),
+            kind: match acc.kind {
+                AccessKind::Read => "R".into(),
+                AccessKind::Write => "W".into(),
+            },
+            pattern,
+            addrs,
+            in_bounds,
+            degree,
+            lane_stride_bytes: lane_stride,
+            inter_warp_stride_bytes: warp_stride,
+            iter_strides_bytes: iter_strides,
+            divergent: self.warp_div || self.loops.iter().any(|l| l.ragged),
+        });
+    }
+
+    /// Interval of an affine index over every thread coordinate and
+    /// every enclosing-loop iteration. All arithmetic in `i128`, so the
+    /// bound itself cannot overflow.
+    fn affine_interval(&self, index: &IndexExpr) -> Interval {
+        let IndexExpr::Affine {
+            base,
+            tid_coef,
+            lane_coef,
+            warp_coef,
+            block_coef,
+            iter_coefs,
+        } = index
+        else {
+            unreachable!("caller checked the pattern");
+        };
+        let launch = &self.kernel.launch;
+        let ws = self.warp_size;
+        let range = |n: u64| Interval::new(0, n.max(1) as i128 - 1);
+        let mut iv = Interval::point(*base as i128)
+            + range(launch.total_threads()).scale(*tid_coef as i128)
+            + range(ws.min(launch.threads_per_block().max(1)) as u64).scale(*lane_coef as i128)
+            + range(launch.total_warps(ws) as u64).scale(*warp_coef as i128)
+            + range(launch.num_blocks() as u64).scale(*block_coef as i128);
+        for &(depth, coef) in iter_coefs {
+            let max_iter = self.loops.get(depth as usize).map_or(0, |l| l.max_iter);
+            iv = iv + Interval::new(0, max_iter as i128).scale(coef as i128);
+        }
+        iv
+    }
+}
+
+/// One disagreement between the static report and a dynamic trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfCheckViolation {
+    /// PC of the offending access.
+    pub pc: u64,
+    /// The dynamically emitted address.
+    pub addr: u64,
+    /// The static interval it was supposed to lie in (`None` when the
+    /// PC has no static site at all).
+    pub expected: Option<ByteRange>,
+}
+
+impl std::fmt::Display for SelfCheckViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.expected {
+            Some(r) => write!(
+                f,
+                "pc {:#x}: dynamic address {:#x} escapes static interval {r}",
+                self.pc, self.addr
+            ),
+            None => write!(f, "pc {:#x}: no static site covers this access", self.pc),
+        }
+    }
+}
+
+/// The self-check: diffs a [`StaticReport`] against a dynamic execution
+/// trace. Sound analysis means an empty result — every address the SIMT
+/// executor emitted lies inside the per-PC static interval. Returns at
+/// most `limit` violations (the first ones found).
+pub fn verify_against_trace(
+    report: &StaticReport,
+    trace: &AppTrace,
+    limit: usize,
+) -> Vec<SelfCheckViolation> {
+    // A PC can occur at several statements (several sites); its sound
+    // interval is the join.
+    let mut per_pc: BTreeMap<u64, ByteRange> = BTreeMap::new();
+    for s in &report.sites {
+        per_pc
+            .entry(s.pc)
+            .and_modify(|r| {
+                r.lo = r.lo.min(s.addrs.lo);
+                r.hi = r.hi.max(s.addrs.hi);
+            })
+            .or_insert(s.addrs);
+    }
+    let mut out = Vec::new();
+    for warp in &trace.warps {
+        for ev in &warp.events {
+            let WarpEvent::Access { pc, lane_addrs, .. } = ev else {
+                continue;
+            };
+            let expected = per_pc.get(&pc.0).copied();
+            for &(_, addr) in lane_addrs {
+                let ok = expected.is_some_and(|r| r.contains(addr.0));
+                if !ok {
+                    out.push(SelfCheckViolation {
+                        pc: pc.0,
+                        addr: addr.0,
+                        expected,
+                    });
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,377 @@
+//! The workspace determinism lint.
+//!
+//! G-MAP's headline property is bit-reproducibility: the same spec and
+//! seed must produce the same profile, clone and simulation result on
+//! every run (`gmap-serve` hashes canonical specs into cache keys, and
+//! the sweep engine dedups work by those keys). Iterating a `HashMap` or
+//! `HashSet` breaks that silently — `RandomState` gives a fresh order
+//! per process — so this lint scans the simulation crates and fails on
+//! any *iteration* over a hash-ordered container unless the site is
+//! allowlisted with a justification (e.g. the code sorts the keys before
+//! use, or folds with an order-insensitive operation).
+//!
+//! The lint is a text heuristic, not a type checker: it tracks
+//! identifiers bound with a `HashMap`/`HashSet` type annotation (both
+//! `let` bindings and struct fields) per file and flags `for .. in`,
+//! `.iter()`, `.keys()`, `.values()`, `.drain()` and friends applied to
+//! them. `#[cfg(test)]` modules are exempt — test assertions routinely
+//! iterate maps, and tests compare against sorted/summed views anyway.
+
+use std::fmt;
+use std::path::Path;
+
+/// Iteration-producing method names that expose hash order.
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+/// One allowlisted iteration site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// File the binding lives in (path suffix match, `/`-separated).
+    pub file: String,
+    /// The binding (variable or field) name.
+    pub binding: String,
+    /// Why the iteration is order-insensitive.
+    pub justification: String,
+}
+
+/// One flagged iteration over a hash-ordered container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Label of the offending file (path as given to the linter).
+    pub file: String,
+    /// 1-based line of the iteration.
+    pub line: usize,
+    /// The binding that is iterated.
+    pub binding: String,
+    /// The offending source line, trimmed.
+    pub source: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: iteration over hash-ordered `{}` ({}) — order is nondeterministic; \
+             sort first, use BTreeMap/BTreeSet, or allowlist with a justification",
+            self.file, self.line, self.binding, self.source
+        )
+    }
+}
+
+/// Parses the allowlist format: one `path/suffix.rs:binding  justification`
+/// entry per line; `#` comments and blank lines are skipped.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((site, justification)) = line.split_once(char::is_whitespace) else {
+            continue;
+        };
+        let Some((file, binding)) = site.split_once(':') else {
+            continue;
+        };
+        out.push(AllowEntry {
+            file: file.to_string(),
+            binding: binding.to_string(),
+            justification: justification.trim().to_string(),
+        });
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` in `hay` at an identifier boundary (not inside a longer
+/// identifier) and returns the byte offset of the first such occurrence.
+fn find_ident(hay: &str, needle: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(hay[..at].chars().next_back().unwrap_or(' '));
+        let after = hay[at + needle.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident_char(after) {
+            return Some(at);
+        }
+        start = at + needle.len().max(1);
+    }
+    None
+}
+
+/// Collects identifiers bound with a `HashMap`/`HashSet` type in `source`:
+/// `let name: HashMap<..> = ..`, `let mut name: HashSet<..>`, struct
+/// fields `name: HashMap<..>,`, and `let name = HashMap::new()` /
+/// `HashSet::with_capacity(..)` initializer forms.
+fn hash_bindings(source: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for line in strip_comments(source) {
+        let line = line.trim();
+        if !(line.contains("HashMap") || line.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] name: Hash… = …` or `let [mut] name = Hash…::new()`.
+        let name = if let Some(rest) = line.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            rest.split(|c: char| !is_ident_char(c)).next()
+        } else if let Some(colon) = line.find(": Hash") {
+            // Struct field or function parameter: `name: HashMap<…>`.
+            line[..colon].rsplit(|c: char| !is_ident_char(c)).next()
+        } else {
+            None
+        };
+        if let Some(name) = name {
+            if !name.is_empty() && !out.iter().any(|n| n == name) {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Yields the non-comment portion of each source line.
+fn strip_comments(source: &str) -> impl Iterator<Item = &str> {
+    source.lines().map(|l| {
+        let code = l.split("//").next().unwrap_or(l);
+        code
+    })
+}
+
+/// Lints one file's source text. `label` is used in findings; `allow`
+/// suppresses matching `(file-suffix, binding)` pairs.
+pub fn lint_source(label: &str, source: &str, allow: &[AllowEntry]) -> Vec<LintFinding> {
+    let bindings = hash_bindings(source);
+    let mut findings = Vec::new();
+    let mut in_tests = false;
+    let mut brace_depth_at_tests = 0usize;
+    let mut depth = 0usize;
+    for (idx, raw) in source.lines().enumerate() {
+        let code = raw.split("//").next().unwrap_or(raw);
+        if !in_tests && code.trim_start().starts_with("#[cfg(test)]") {
+            in_tests = true;
+            brace_depth_at_tests = depth;
+        }
+        depth += code.matches('{').count();
+        depth = depth.saturating_sub(code.matches('}').count());
+        if in_tests {
+            // The test module ends when the brace depth returns to where
+            // the attribute appeared (after at least one open brace).
+            if depth <= brace_depth_at_tests && code.contains('}') {
+                in_tests = false;
+            }
+            continue;
+        }
+        for binding in &bindings {
+            if !iterates_binding(code, binding) {
+                continue;
+            }
+            let allowed = allow
+                .iter()
+                .any(|a| a.binding == *binding && (label.ends_with(&a.file) || a.file == "*"));
+            if !allowed {
+                findings.push(LintFinding {
+                    file: label.to_string(),
+                    line: idx + 1,
+                    binding: binding.clone(),
+                    source: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Whether `code` iterates `binding`'s hash order: `for … in [&[mut]] b`
+/// (optionally `b.iter()`-style) or `b.<iter-method>()`.
+fn iterates_binding(code: &str, binding: &str) -> bool {
+    let Some(at) = find_ident(code, binding) else {
+        return false;
+    };
+    // Method-call forms: `binding.iter()`, `binding.keys()` …
+    let after = &code[at + binding.len()..];
+    if let Some(rest) = after.strip_prefix('.') {
+        let method: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if ITER_METHODS.contains(&method.as_str()) && rest[method.len()..].starts_with('(') {
+            return true;
+        }
+    }
+    // `for (k, v) in &binding {` / `for x in self.binding {` — the
+    // iterated expression (up to the body brace) ends in the binding.
+    if let Some(in_pos) = code.find(" in ") {
+        if at > in_pos {
+            let mut expr = code[in_pos + 4..].trim();
+            if let Some(brace) = expr.find('{') {
+                expr = expr[..brace].trim();
+            }
+            let expr = expr
+                .trim_start_matches('&')
+                .trim_start_matches("mut ")
+                .trim();
+            if expr == binding || expr.ends_with(&format!(".{binding}")) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Lints every `.rs` file under `src/` of each listed crate directory.
+///
+/// # Errors
+///
+/// Returns `Err` with a description when a directory cannot be read.
+pub fn lint_crates(
+    workspace_root: &Path,
+    crate_dirs: &[&str],
+    allow: &[AllowEntry],
+) -> Result<Vec<LintFinding>, String> {
+    let mut findings = Vec::new();
+    for dir in crate_dirs {
+        let src = workspace_root.join("crates").join(dir).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)
+            .map_err(|e| format!("reading {}: {e}", src.display()))?;
+        files.sort();
+        for path in files {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let label = path
+                .strip_prefix(workspace_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(lint_source(&label, &text, allow));
+        }
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLAGGED: &str = r#"
+use std::collections::HashMap;
+fn f() {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for (k, v) in &counts {
+        println!("{k} {v}");
+    }
+    let total: u64 = counts.values().sum();
+}
+"#;
+
+    #[test]
+    fn flags_iteration_over_hashmap() {
+        let findings = lint_source("crates/x/src/lib.rs", FLAGGED, &[]);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].binding, "counts");
+        assert_eq!(findings[0].line, 5);
+        assert_eq!(findings[1].line, 8);
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_file_and_binding() {
+        let allow =
+            parse_allowlist("# comment\ncrates/x/src/lib.rs:counts  keys are sorted before use\n");
+        assert_eq!(allow.len(), 1);
+        assert!(allow[0].justification.contains("sorted"));
+        let findings = lint_source("crates/x/src/lib.rs", FLAGGED, &allow);
+        assert!(findings.is_empty(), "{findings:?}");
+        // A different file with the same binding is still flagged.
+        let other = lint_source("crates/y/src/lib.rs", FLAGGED, &allow);
+        assert_eq!(other.len(), 2);
+    }
+
+    #[test]
+    fn non_iterating_uses_are_fine() {
+        let src = r#"
+fn f() {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(1);
+    let n = seen.len();
+    if seen.contains(&1) {}
+}
+"#;
+        assert!(lint_source("a.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = r#"
+fn real() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn t() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for x in m.keys() {}
+    }
+}
+"#;
+        assert!(lint_source("a.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn struct_fields_are_tracked() {
+        let src = r#"
+struct S {
+    by_slot: HashMap<usize, Vec<usize>>,
+}
+fn f(s: &S) {
+    for (k, v) in &s.by_slot {
+    }
+}
+"#;
+        let findings = lint_source("a.rs", src, &[]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].binding, "by_slot");
+    }
+
+    #[test]
+    fn comments_do_not_flag() {
+        let src = r#"
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    // for x in m.keys() {} — documented, not executed
+    let _ = m.len();
+}
+"#;
+        assert!(lint_source("a.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn for_in_with_method_chain_is_flagged() {
+        let src = r#"
+fn f() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    for x in m.drain() {}
+}
+"#;
+        assert_eq!(lint_source("a.rs", src, &[]).len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! The static-analysis admission gate of the profile pipeline.
+//!
+//! Every kernel that enters the profiler can instead go through
+//! [`profile_kernel_admitted`], which runs `gmap-analyze` first and
+//! refuses to profile specs with correctness errors (out-of-bounds
+//! affine indices, overlapping written arrays, size overflows, barriers
+//! that deadlock under divergence). Warnings — e.g. fully uncoalesced
+//! accesses, which shipped workloads like kmeans exhibit by design —
+//! never block admission.
+//!
+//! Admission also runs the analyzer's *self-check*: after executing the
+//! kernel (which profiling does anyway), every emitted address is diffed
+//! against the static per-PC interval. A violation means the analyzer
+//! itself is unsound for this spec and is surfaced as
+//! [`GmapError::SelfCheck`] rather than silently trusted.
+
+use crate::error::GmapError;
+use crate::profile::GmapProfile;
+use crate::profiler::{profile_streams, ProfilerConfig};
+use gmap_analyze::{analyze_kernel, verify_against_trace, StaticReport};
+use gmap_gpu::app::Application;
+use gmap_gpu::coalesce::coalesce_app;
+use gmap_gpu::exec::execute_kernel;
+use gmap_gpu::kernel::KernelDesc;
+
+/// How many self-check violations to report before giving up.
+const SELF_CHECK_LIMIT: usize = 8;
+
+/// Statically analyzes a kernel and decides admission.
+///
+/// # Errors
+///
+/// Returns [`GmapError::Inadmissible`] when the report carries error
+/// findings; the report (with its warnings) is returned otherwise.
+pub fn admit_kernel(kernel: &KernelDesc) -> Result<StaticReport, GmapError> {
+    let report = analyze_kernel(kernel);
+    if report.has_errors() {
+        return Err(GmapError::Inadmissible {
+            kernel: kernel.name.clone(),
+            findings: report.errors().map(|f| f.message.clone()).collect(),
+        });
+    }
+    Ok(report)
+}
+
+/// Profiles a kernel behind the admission gate: analyze, execute,
+/// self-check the analysis against the real trace, then profile.
+///
+/// # Errors
+///
+/// - [`GmapError::Inadmissible`] when static analysis finds errors,
+/// - [`GmapError::SelfCheck`] when the dynamic trace escapes the static
+///   intervals (an analyzer bug),
+/// - [`GmapError::EmptyProfile`] when the kernel emits no accesses.
+pub fn profile_kernel_admitted(
+    kernel: &KernelDesc,
+    cfg: &ProfilerConfig,
+) -> Result<(GmapProfile, StaticReport), GmapError> {
+    let report = admit_kernel(kernel)?;
+    let app = execute_kernel(kernel);
+    let violations = verify_against_trace(&report, &app, SELF_CHECK_LIMIT);
+    if !violations.is_empty() {
+        return Err(GmapError::SelfCheck {
+            kernel: kernel.name.clone(),
+            detail: violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; "),
+        });
+    }
+    let streams = coalesce_app(&app, cfg.line_size);
+    let profile = profile_streams(&kernel.name, &streams, &app.launch, app.warp_size, cfg)?;
+    Ok((profile, report))
+}
+
+/// Profiles a whole application behind the admission gate; fails on the
+/// first inadmissible kernel.
+///
+/// # Errors
+///
+/// As [`profile_kernel_admitted`], for any kernel in the sequence.
+pub fn profile_application_admitted(
+    app: &Application,
+    cfg: &ProfilerConfig,
+) -> Result<(crate::application::AppProfile, Vec<StaticReport>), GmapError> {
+    let mut kernels = Vec::with_capacity(app.kernels.len());
+    let mut reports = Vec::with_capacity(app.kernels.len());
+    for k in &app.kernels {
+        let (profile, report) = profile_kernel_admitted(k, cfg)?;
+        kernels.push(profile);
+        reports.push(report);
+    }
+    Ok((
+        crate::application::AppProfile {
+            name: app.name.clone(),
+            kernels,
+        },
+        reports,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::profile_kernel;
+    use gmap_analyze::fixtures;
+    use gmap_gpu::workloads::{self, Scale};
+
+    #[test]
+    fn workloads_are_admitted_and_profile_matches_ungated_path() {
+        let cfg = ProfilerConfig::default();
+        let kernel = workloads::by_name("backprop", Scale::Tiny).expect("known");
+        let (gated, report) = profile_kernel_admitted(&kernel, &cfg).expect("admissible");
+        assert!(!report.sites.is_empty());
+        let ungated = profile_kernel(&kernel, &cfg);
+        assert_eq!(gated, ungated, "the gate must not perturb the profile");
+    }
+
+    #[test]
+    fn oob_spec_is_rejected_before_profiling() {
+        let err = profile_kernel_admitted(&fixtures::oob_affine(), &ProfilerConfig::default())
+            .expect_err("inadmissible");
+        match err {
+            GmapError::Inadmissible { kernel, findings } => {
+                assert_eq!(kernel, "oob-affine");
+                assert!(findings.iter().any(|m| m.contains("wraps")), "{findings:?}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn uncoalesced_spec_is_admitted_with_warning() {
+        let (_, report) =
+            profile_kernel_admitted(&fixtures::uncoalesced(), &ProfilerConfig::default())
+                .expect("warnings are admissible");
+        assert!(report.warnings().count() > 0);
+    }
+
+    #[test]
+    fn application_gate_covers_every_kernel() {
+        let app = gmap_gpu::app::apps::backprop_training(Scale::Tiny);
+        let (profile, reports) =
+            profile_application_admitted(&app, &ProfilerConfig::default()).expect("admissible");
+        assert_eq!(profile.kernels.len(), reports.len());
+        assert_eq!(profile.kernels.len(), app.kernels.len());
+    }
+}

@@ -18,7 +18,7 @@ use gmap_gpu::schedule::{WarpStream, WarpStreamEvent};
 use gmap_trace::record::{AccessKind, ByteAddr, Pc};
 use gmap_trace::reuse::ReuseHistogram;
 use gmap_trace::Histogram;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Profiler parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,7 +80,10 @@ pub fn profile_streams(
         /// First-transaction address of every memory entry, in order.
         addrs: Vec<u64>,
         /// Per-slot: indices into `addrs` of this slot's executions.
-        by_slot: HashMap<usize, Vec<usize>>,
+        /// BTreeMap: pass 3 iterates this map, and the iteration order
+        /// feeds the stride histograms — hash order would make profiles
+        /// nondeterministic across runs (see the determinism lint).
+        by_slot: BTreeMap<usize, Vec<usize>>,
         /// Full line stream (all transactions) for reuse analysis.
         lines: Vec<u64>,
     }
@@ -91,7 +94,7 @@ pub fn profile_streams(
             warp: s.warp.0,
             pi: PiProfile::default(),
             addrs: Vec::new(),
-            by_slot: HashMap::new(),
+            by_slot: BTreeMap::new(),
             lines: Vec::new(),
         };
         for ev in &s.events {

@@ -37,8 +37,29 @@ pub struct ArrayDesc {
 
 impl ArrayDesc {
     /// Size of the region in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elems * elem_size` overflows `u64`. Specs that can
+    /// overflow are rejected by [`KernelDesc::validate`] (with
+    /// [`ValidateKernelError::ArraySizeOverflow`]) before any code that
+    /// calls this runs, so the panic guards against unvalidated
+    /// hand-built descriptors only — previously the multiplication
+    /// wrapped silently in release builds, yielding a bogus tiny
+    /// footprint.
     pub fn size_bytes(&self) -> u64 {
-        self.elems * self.elem_size as u64
+        self.checked_size_bytes().unwrap_or_else(|| {
+            panic!(
+                "array '{}': {} elems x {} bytes overflows u64; validate() rejects such specs",
+                self.name, self.elems, self.elem_size
+            )
+        })
+    }
+
+    /// Size of the region in bytes, or `None` when `elems * elem_size`
+    /// overflows `u64`.
+    pub fn checked_size_bytes(&self) -> Option<u64> {
+        self.elems.checked_mul(self.elem_size as u64)
     }
 }
 
@@ -325,6 +346,17 @@ impl KernelDesc {
         if self.arrays.is_empty() {
             return Err(ValidateKernelError::NoArrays);
         }
+        for (i, a) in self.arrays.iter().enumerate() {
+            // Both the region size and its end address must fit in u64;
+            // otherwise every downstream bounds/footprint computation
+            // (size_bytes, the builder layout, the analyzer) is garbage.
+            let fits = a
+                .checked_size_bytes()
+                .and_then(|size| a.base.0.checked_add(size));
+            if fits.is_none() {
+                return Err(ValidateKernelError::ArraySizeOverflow { array: i });
+            }
+        }
         walk(&self.body, 0, self.arrays.len())
     }
 
@@ -387,6 +419,12 @@ pub enum ValidateKernelError {
     },
     /// A modulo predicate with modulus zero.
     ZeroModulus,
+    /// An array's byte size (`elems * elem_size`) or end address
+    /// (`base + size`) overflows `u64`.
+    ArraySizeOverflow {
+        /// Index of the offending array in the array table.
+        array: usize,
+    },
 }
 
 impl fmt::Display for ValidateKernelError {
@@ -408,6 +446,10 @@ impl fmt::Display for ValidateKernelError {
                 "access {pc} uses loop depth {depth} but only {enclosing} loops enclose it"
             ),
             ValidateKernelError::ZeroModulus => f.write_str("modulo predicate with modulus zero"),
+            ValidateKernelError::ArraySizeOverflow { array } => write!(
+                f,
+                "array #{array}: elems * elem_size (or base + size) overflows u64"
+            ),
         }
     }
 }
@@ -459,10 +501,14 @@ impl KernelBuilder {
     }
 
     /// Declares an array with an explicit element size.
+    ///
+    /// Layout arithmetic saturates: an array too large for the address
+    /// space does not wrap the allocation cursor, and the resulting
+    /// descriptor is rejected by [`KernelDesc::validate`] at `build()`.
     pub fn array_with(mut self, name: &str, elems: u64, elem_size: u32) -> Self {
         let base = ByteAddr(self.next_base);
-        let size = elems * elem_size as u64;
-        self.next_base = (self.next_base + size + 255) & !255;
+        let size = elems.saturating_mul(elem_size as u64);
+        self.next_base = self.next_base.saturating_add(size).saturating_add(255) & !255;
         self.arrays.push(ArrayDesc {
             name: name.to_owned(),
             base,
@@ -754,5 +800,69 @@ mod tests {
         assert!(ValidateKernelError::NoArrays
             .to_string()
             .contains("no arrays"));
+    }
+
+    #[test]
+    fn checked_size_bytes_catches_overflow() {
+        let a = ArrayDesc {
+            name: "big".into(),
+            base: ByteAddr(0),
+            elems: u64::MAX / 2,
+            elem_size: 4,
+        };
+        assert_eq!(a.checked_size_bytes(), None);
+        let ok = ArrayDesc {
+            name: "ok".into(),
+            base: ByteAddr(0),
+            elems: 1 << 20,
+            elem_size: 4,
+        };
+        assert_eq!(ok.checked_size_bytes(), Some(4 << 20));
+        assert_eq!(ok.size_bytes(), 4 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn size_bytes_panics_on_overflow_instead_of_wrapping() {
+        // Release builds previously wrapped silently here: 2^63 elems x 4 B
+        // "was" 0 bytes.
+        let a = ArrayDesc {
+            name: "big".into(),
+            base: ByteAddr(0),
+            elems: 1 << 63,
+            elem_size: 4,
+        };
+        let _ = a.size_bytes();
+    }
+
+    #[test]
+    fn validate_rejects_array_size_overflow() {
+        let k = KernelBuilder::new("k", 1u32, 32u32)
+            .array_with("big", u64::MAX / 2, 8)
+            .read(Pc(1), 0, IndexExpr::tid_linear(0, 1))
+            .build();
+        assert_eq!(
+            k.unwrap_err(),
+            ValidateKernelError::ArraySizeOverflow { array: 0 }
+        );
+        // The end address must fit too, even when the size itself does.
+        let tail = KernelDesc {
+            name: "k".into(),
+            launch: LaunchConfig::new(1u32, 32u32),
+            arrays: vec![ArrayDesc {
+                name: "tail".into(),
+                base: ByteAddr(u64::MAX - 1024),
+                elems: 1024,
+                elem_size: 4,
+            }],
+            body: vec![dsl::read(1, 0, IndexExpr::tid_linear(0, 1))],
+        };
+        assert_eq!(
+            tail.validate().unwrap_err(),
+            ValidateKernelError::ArraySizeOverflow { array: 0 }
+        );
+        assert!(ValidateKernelError::ArraySizeOverflow { array: 0 }
+            .to_string()
+            .contains("overflows"));
     }
 }

@@ -577,9 +577,14 @@ pub fn pathfinder(scale: Scale) -> KernelDesc {
         .stmt(loop_n(
             t_trip,
             vec![
-                read(0x600, 0, idx(0, 1, 0, 0, 0, vec![(0, total)])),
-                read(0x608, 0, idx(-1, 1, 0, 0, 0, vec![(0, total)])),
-                read(0x610, 0, idx(1, 1, 0, 0, 0, vec![(0, total)])),
+                // The halo window starts one full row in so the -1
+                // neighbor never underflows (tid 0, iter 0 would
+                // otherwise wrap to the end of the array). `total` is a
+                // multiple of 32 elems, so the shift preserves 128 B
+                // segment alignment and every stride/reuse statistic.
+                read(0x600, 0, idx(total, 1, 0, 0, 0, vec![(0, total)])),
+                read(0x608, 0, idx(total - 1, 1, 0, 0, 0, vec![(0, total)])),
+                read(0x610, 0, idx(total + 1, 1, 0, 0, 0, vec![(0, total)])),
                 write(0x618, 1, idx(0, 1, 0, 0, 0, vec![(0, total)])),
             ],
         ))

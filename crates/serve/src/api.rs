@@ -7,19 +7,59 @@
 //! functions of the request and the model — the integration tests compare
 //! them byte-for-byte against direct library calls.
 
+use gmap_analyze::StaticReport;
 use gmap_core::fidelity::FidelityClass;
+use gmap_gpu::kernel::KernelDesc;
 use gmap_gpu::workloads::Scale;
 use gmap_memsim::ReplacementPolicy;
 use serde::{Deserialize, Serialize};
 
-/// `POST /v1/profile` body: profile a named workload into an application
-/// model.
+/// `POST /v1/profile` body: profile a named workload — or an inline
+/// kernel spec — into an application model.
+///
+/// Exactly one of `workload` and `spec` must be present. Inline specs
+/// pass through the static-analysis admission gate *before* entering the
+/// job queue: correctness errors are answered 422 on the connection
+/// thread.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProfileRequest {
     /// Workload name from [`gmap_gpu::workloads::NAMES`].
-    pub workload: String,
+    pub workload: Option<String>,
     /// Workload scale: `"tiny"`, `"small"`, or `"default"` (the default).
+    /// Only meaningful with `workload`.
     pub scale: Option<String>,
+    /// An inline kernel spec, profiled as a single-kernel application.
+    pub spec: Option<KernelDesc>,
+}
+
+/// `POST /v1/analyze` body: statically analyze a named workload or an
+/// inline kernel spec without profiling it. Answered on the connection
+/// thread — the analyzer never executes the kernel, so it needs no
+/// worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzeRequest {
+    /// Workload name from [`gmap_gpu::workloads::NAMES`].
+    pub workload: Option<String>,
+    /// Workload scale (with `workload` only).
+    pub scale: Option<String>,
+    /// An inline kernel spec.
+    pub spec: Option<KernelDesc>,
+}
+
+/// `POST /v1/analyze` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzeResponse {
+    /// Kernel name.
+    pub name: String,
+    /// Whether the admission gate would accept this spec (no error
+    /// findings; warnings do not block admission).
+    pub admissible: bool,
+    /// Number of error findings.
+    pub errors: usize,
+    /// Number of warning findings.
+    pub warnings: usize,
+    /// The full static report (sites + findings).
+    pub report: StaticReport,
 }
 
 /// Deterministic summary statistics of a profiled application model.

@@ -7,16 +7,18 @@
 //! request stops burning a worker.
 
 use crate::api::{
-    self, ApiError, CloneRequest, CloneResponse, EvaluateRequest, EvaluateResponse, GridPoint,
-    KernelCloneStats, ProfileRequest, ProfileResponse, ProfileStats,
+    self, AnalyzeRequest, AnalyzeResponse, ApiError, CloneRequest, CloneResponse, EvaluateRequest,
+    EvaluateResponse, GridPoint, KernelCloneStats, ProfileRequest, ProfileResponse, ProfileStats,
 };
 use crate::cache::{ModelStore, StoredModel};
 use crate::metrics::Metrics;
+use gmap_analyze::analyze_kernel;
 use gmap_core::cachekey;
 use gmap_core::generate::generate_streams;
 use gmap_core::profiler::ProfilerConfig;
 use gmap_core::{fidelity, miniaturize, GmapProfile, SimtConfig};
 use gmap_gpu::app::Application;
+use gmap_gpu::kernel::KernelDesc;
 use gmap_gpu::schedule::{WarpStream, WarpStreamEvent};
 use gmap_gpu::workloads;
 use gmap_memsim::CacheConfig;
@@ -38,6 +40,116 @@ pub fn model_id_for(workload: &str, scale: &str) -> String {
     cachekey::key_of(&CanonicalSpec {
         workload: workload.to_string(),
         scale: scale.to_string(),
+    })
+}
+
+/// Resolves the kernel a request names: either a built-in workload at a
+/// scale, or an inline spec. Returns the kernel plus the model id its
+/// profile would be cached under.
+///
+/// # Errors
+///
+/// 400 when neither or both of `workload`/`spec` are given, the workload
+/// or scale name is unknown, or an inline spec fails structural
+/// validation.
+pub fn resolve_kernel(
+    workload: Option<&str>,
+    scale: Option<&str>,
+    spec: Option<&KernelDesc>,
+) -> Result<(KernelDesc, String), ApiError> {
+    match (workload, spec) {
+        (Some(_), Some(_)) => Err(ApiError::bad_request(
+            "give either \"workload\" or \"spec\", not both",
+        )),
+        (None, None) => Err(ApiError::bad_request(
+            "missing \"workload\" (a built-in name) or \"spec\" (an inline kernel)",
+        )),
+        (Some(name), None) => {
+            let scale = api::parse_scale(scale)?;
+            let kernel = workloads::by_name(name, scale).ok_or_else(|| {
+                ApiError::bad_request(format!(
+                    "unknown workload {name:?} (known: {})",
+                    workloads::NAMES.join(", ")
+                ))
+            })?;
+            let model_id = model_id_for(name, api::scale_name(scale));
+            Ok((kernel, model_id))
+        }
+        (None, Some(spec)) => {
+            spec.validate()
+                .map_err(|e| ApiError::bad_request(format!("invalid kernel spec: {e}")))?;
+            // Inline specs are content-addressed by their own canonical
+            // JSON, so identical specs share a cache entry.
+            let model_id = cachekey::key_of(spec);
+            Ok((spec.clone(), model_id))
+        }
+    }
+}
+
+/// The static-analysis admission gate: 422 when the analyzer finds
+/// correctness errors. Runs on the connection thread, *before* the job
+/// queue — an inadmissible spec never occupies a worker.
+///
+/// # Errors
+///
+/// 400 from kernel resolution, 422 with the error findings otherwise.
+pub fn admission_gate(req: &ProfileRequest) -> Result<(), ApiError> {
+    let (kernel, _) = resolve_kernel(
+        req.workload.as_deref(),
+        req.scale.as_deref(),
+        req.spec.as_ref(),
+    )?;
+    let report = analyze_kernel(&kernel);
+    if report.has_errors() {
+        let findings: Vec<String> = report.errors().map(|f| f.message.clone()).collect();
+        return Err(ApiError::new(
+            422,
+            format!("spec rejected by static analysis: {}", findings.join("; ")),
+        ));
+    }
+    Ok(())
+}
+
+/// `POST /v1/analyze`: run the static analyzer and return the full
+/// report. Pure computation over the spec — no execution, no queue.
+/// Unlike profiling, a structurally invalid inline spec is *analyzed*
+/// (yielding a `spec-error` finding), not rejected with 400 — the
+/// endpoint exists to explain what is wrong with a spec.
+///
+/// # Errors
+///
+/// 400 for unresolvable requests (unknown workload, both or neither
+/// source given).
+pub fn analyze(req: &AnalyzeRequest) -> Result<AnalyzeResponse, ApiError> {
+    let kernel = match (req.workload.as_deref(), req.spec.as_ref()) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::bad_request(
+                "give either \"workload\" or \"spec\", not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ApiError::bad_request(
+                "missing \"workload\" (a built-in name) or \"spec\" (an inline kernel)",
+            ))
+        }
+        (Some(name), None) => {
+            let scale = api::parse_scale(req.scale.as_deref())?;
+            workloads::by_name(name, scale).ok_or_else(|| {
+                ApiError::bad_request(format!(
+                    "unknown workload {name:?} (known: {})",
+                    workloads::NAMES.join(", ")
+                ))
+            })?
+        }
+        (None, Some(spec)) => spec.clone(),
+    };
+    let report = analyze_kernel(&kernel);
+    Ok(AnalyzeResponse {
+        name: kernel.name.clone(),
+        admissible: !report.has_errors(),
+        errors: report.errors().count(),
+        warnings: report.warnings().count(),
+        report,
     })
 }
 
@@ -64,27 +176,24 @@ pub fn profile_stats(model: &gmap_core::application::AppProfile) -> ProfileStats
     }
 }
 
-/// `POST /v1/profile`: profile a workload (or serve it from the cache).
+/// `POST /v1/profile`: profile a workload or inline spec (or serve it
+/// from the cache).
 ///
 /// # Errors
 ///
-/// 400 for unknown workloads or scales, 504 on cancellation.
+/// 400 for unknown workloads or scales or invalid specs, 504 on
+/// cancellation.
 pub fn profile(
     store: &ModelStore,
     metrics: &Metrics,
     req: &ProfileRequest,
     cancel: &AtomicBool,
 ) -> Result<ProfileResponse, ApiError> {
-    let scale = api::parse_scale(req.scale.as_deref())?;
-    let scale_name = api::scale_name(scale);
-    let Some(kernel) = workloads::by_name(&req.workload, scale) else {
-        return Err(ApiError::bad_request(format!(
-            "unknown workload {:?} (known: {})",
-            req.workload,
-            workloads::NAMES.join(", ")
-        )));
-    };
-    let model_id = model_id_for(&req.workload, scale_name);
+    let (kernel, model_id) = resolve_kernel(
+        req.workload.as_deref(),
+        req.scale.as_deref(),
+        req.spec.as_ref(),
+    )?;
     if let Some(hit) = store.get(&model_id) {
         metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         return Ok(ProfileResponse {
@@ -95,7 +204,8 @@ pub fn profile(
     }
     check_cancel(cancel)?;
     metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-    let app = Application::new(&req.workload, vec![kernel]);
+    let app_name = req.workload.clone().unwrap_or_else(|| kernel.name.clone());
+    let app = Application::new(&app_name, vec![kernel]);
     let model = gmap_core::profile_application(&app, &ProfilerConfig::default());
     check_cancel(cancel)?;
     let stored = store.insert(&model_id, model);
@@ -264,8 +374,9 @@ mod tests {
     fn profile_then_cache_hit() {
         let (store, metrics) = state();
         let req = ProfileRequest {
-            workload: "kmeans".into(),
+            workload: Some("kmeans".into()),
             scale: Some("tiny".into()),
+            spec: None,
         };
         let first = profile(&store, &metrics, &req, &fresh_cancel()).expect("profiles");
         assert!(!first.cached);
@@ -295,8 +406,9 @@ mod tests {
     fn unknown_workload_is_a_400() {
         let (store, metrics) = state();
         let req = ProfileRequest {
-            workload: "not-a-workload".into(),
+            workload: Some("not-a-workload".into()),
             scale: None,
+            spec: None,
         };
         let err = profile(&store, &metrics, &req, &fresh_cancel()).expect_err("rejected");
         assert_eq!(err.status, 400);
@@ -307,8 +419,9 @@ mod tests {
     fn clone_stats_match_direct_generation() {
         let (store, metrics) = state();
         let req = ProfileRequest {
-            workload: "hotspot".into(),
+            workload: Some("hotspot".into()),
             scale: Some("tiny".into()),
+            spec: None,
         };
         let prof = profile(&store, &metrics, &req, &fresh_cancel()).expect("profiles");
         let resp = clone_model(
@@ -351,8 +464,9 @@ mod tests {
             &store,
             &metrics,
             &ProfileRequest {
-                workload: "kmeans".into(),
+                workload: Some("kmeans".into()),
                 scale: Some("tiny".into()),
+                spec: None,
             },
             &fresh_cancel(),
         )
@@ -415,8 +529,9 @@ mod tests {
             &store,
             &metrics,
             &ProfileRequest {
-                workload: "bfs".into(),
+                workload: Some("bfs".into()),
                 scale: Some("tiny".into()),
+                spec: None,
             },
             &fresh_cancel(),
         )
@@ -468,13 +583,117 @@ mod tests {
             &store,
             &metrics,
             &ProfileRequest {
-                workload: "kmeans".into(),
+                workload: Some("kmeans".into()),
                 scale: Some("tiny".into()),
+                spec: None,
             },
             &cancelled,
         )
         .expect_err("cancelled");
         assert_eq!(err.status, 504);
+    }
+
+    #[test]
+    fn resolve_kernel_requires_exactly_one_source() {
+        let spec = gmap_analyze::fixtures::clean_streaming();
+        assert_eq!(
+            resolve_kernel(Some("kmeans"), None, Some(&spec))
+                .expect_err("both")
+                .status,
+            400
+        );
+        assert_eq!(
+            resolve_kernel(None, None, None)
+                .expect_err("neither")
+                .status,
+            400
+        );
+        let (kernel, id) = resolve_kernel(None, None, Some(&spec)).expect("inline spec");
+        assert_eq!(kernel.name, spec.name);
+        assert_eq!(id, cachekey::key_of(&spec), "content-addressed");
+    }
+
+    #[test]
+    fn admission_gate_rejects_error_specs_with_422() {
+        let bad = ProfileRequest {
+            workload: None,
+            scale: None,
+            spec: Some(gmap_analyze::fixtures::oob_affine()),
+        };
+        let err = admission_gate(&bad).expect_err("oob spec rejected");
+        assert_eq!(err.status, 422);
+        assert!(
+            err.message.contains("static analysis"),
+            "names the gate: {}",
+            err.message
+        );
+
+        // Warnings (uncoalesced) do not block admission; neither do the
+        // built-in workloads.
+        for req in [
+            ProfileRequest {
+                workload: None,
+                scale: None,
+                spec: Some(gmap_analyze::fixtures::uncoalesced()),
+            },
+            ProfileRequest {
+                workload: Some("kmeans".into()),
+                scale: Some("tiny".into()),
+                spec: None,
+            },
+        ] {
+            admission_gate(&req).expect("admissible");
+        }
+    }
+
+    #[test]
+    fn profile_accepts_inline_specs_and_content_addresses_them() {
+        let (store, metrics) = state();
+        let spec = gmap_analyze::fixtures::clean_streaming();
+        let req = ProfileRequest {
+            workload: None,
+            scale: None,
+            spec: Some(spec.clone()),
+        };
+        let first = profile(&store, &metrics, &req, &fresh_cancel()).expect("profiles spec");
+        assert!(!first.cached);
+        assert_eq!(first.model_id, cachekey::key_of(&spec));
+        let second = profile(&store, &metrics, &req, &fresh_cancel()).expect("cache hit");
+        assert!(second.cached);
+        assert_eq!(first.stats, second.stats);
+    }
+
+    #[test]
+    fn analyze_reports_findings_without_executing() {
+        let resp = analyze(&AnalyzeRequest {
+            workload: None,
+            scale: None,
+            spec: Some(gmap_analyze::fixtures::oob_affine()),
+        })
+        .expect("analyzes");
+        assert!(!resp.admissible);
+        assert!(resp.errors >= 1);
+        assert!(resp.report.has_errors());
+
+        let clean = analyze(&AnalyzeRequest {
+            workload: Some("streamcluster".into()),
+            scale: Some("tiny".into()),
+            spec: None,
+        })
+        .expect("analyzes workload");
+        assert!(clean.admissible);
+        assert_eq!(clean.errors, 0);
+
+        assert_eq!(
+            analyze(&AnalyzeRequest {
+                workload: Some("nope".into()),
+                scale: None,
+                spec: None,
+            })
+            .expect_err("unknown workload")
+            .status,
+            400
+        );
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub enum Endpoint {
     Clone,
     /// `POST /v1/evaluate`.
     Evaluate,
+    /// `POST /v1/analyze` (answered on the connection thread).
+    Analyze,
     /// Everything else (`/healthz`, `/metrics`, unknown routes).
     Other,
 }
@@ -32,6 +34,7 @@ impl Endpoint {
             Endpoint::Profile => "profile",
             Endpoint::Clone => "clone",
             Endpoint::Evaluate => "evaluate",
+            Endpoint::Analyze => "analyze",
             Endpoint::Other => "other",
         }
     }
@@ -64,6 +67,7 @@ pub struct Metrics {
     profile: EndpointStats,
     clone_op: EndpointStats,
     evaluate: EndpointStats,
+    analyze: EndpointStats,
     other: EndpointStats,
     /// Model-cache hits (`/v1/profile` served without re-profiling).
     pub cache_hits: AtomicU64,
@@ -75,6 +79,9 @@ pub struct Metrics {
     pub rejected_shutdown: AtomicU64,
     /// Requests that hit their deadline and were answered 504.
     pub deadline_timeouts: AtomicU64,
+    /// Specs rejected with 422 by the static-analysis admission gate
+    /// (before ever entering the job queue).
+    pub analyze_rejects: AtomicU64,
 }
 
 impl Metrics {
@@ -88,6 +95,7 @@ impl Metrics {
             Endpoint::Profile => &self.profile,
             Endpoint::Clone => &self.clone_op,
             Endpoint::Evaluate => &self.evaluate,
+            Endpoint::Analyze => &self.analyze,
             Endpoint::Other => &self.other,
         }
     }
@@ -112,6 +120,7 @@ impl Metrics {
             Endpoint::Profile,
             Endpoint::Clone,
             Endpoint::Evaluate,
+            Endpoint::Analyze,
             Endpoint::Other,
         ];
         out.push_str("# TYPE gmap_requests_total counter\n");
@@ -183,6 +192,10 @@ impl Metrics {
                 "gmap_deadline_timeouts_total",
                 self.deadline_timeouts.load(Ordering::Relaxed),
             ),
+            (
+                "gmap_analyze_rejects_total",
+                self.analyze_rejects.load(Ordering::Relaxed),
+            ),
         ] {
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
         }
@@ -224,12 +237,14 @@ mod tests {
         m.record_request(Endpoint::Profile, Duration::from_millis(5), 400);
         m.cache_hits.fetch_add(2, Ordering::Relaxed);
         m.rejected_full.fetch_add(7, Ordering::Relaxed);
+        m.analyze_rejects.fetch_add(5, Ordering::Relaxed);
         let text = m.render(4, 1, 3, 9);
         assert!(text.contains("gmap_requests_total{endpoint=\"profile\"} 2"));
         assert!(text.contains("gmap_request_errors_total{endpoint=\"profile\"} 1"));
         assert!(text.contains("gmap_request_latency_seconds_count{endpoint=\"profile\"} 2"));
         assert_eq!(scrape(&text, "gmap_cache_hits_total"), Some(2.0));
         assert_eq!(scrape(&text, "gmap_queue_rejected_total"), Some(7.0));
+        assert_eq!(scrape(&text, "gmap_analyze_rejects_total"), Some(5.0));
         assert_eq!(scrape(&text, "gmap_queue_depth"), Some(4.0));
         assert_eq!(scrape(&text, "gmap_jobs_in_flight"), Some(1.0));
         assert_eq!(scrape(&text, "gmap_models_cached"), Some(3.0));

@@ -13,7 +13,7 @@
 //! stop accepting → wait for connection threads (each waits for its job)
 //! → stop the queue → drain remaining jobs → join workers.
 
-use crate::api::ApiError;
+use crate::api::{self, ApiError};
 use crate::cache::ModelStore;
 use crate::handlers;
 use crate::http::{self, ReadError, Request};
@@ -208,6 +208,7 @@ fn classify(request: &Request) -> Endpoint {
         "/v1/profile" => Endpoint::Profile,
         "/v1/clone" => Endpoint::Clone,
         "/v1/evaluate" => Endpoint::Evaluate,
+        "/v1/analyze" => Endpoint::Analyze,
         _ => Endpoint::Other,
     }
 }
@@ -236,9 +237,16 @@ fn route(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static 
             );
             (200, text, "text/plain; version=0.0.4")
         }
-        ("POST", "/v1/profile") => json_endpoint(request, state, |state, req, cancel| {
-            handlers::profile(&state.store, &state.metrics, &req, cancel)
-        }),
+        ("POST", "/v1/profile") => profile_endpoint(request, state),
+        ("POST", "/v1/analyze") => {
+            // Pure static analysis: answered right here on the connection
+            // thread — no queue slot, no worker, no deadline machinery.
+            match parse_body::<api::AnalyzeRequest>(request).and_then(|req| handlers::analyze(&req))
+            {
+                Ok(resp) => (200, canonical_json(&resp), "application/json"),
+                Err(e) => (e.status, e.body(), "application/json"),
+            }
+        }
         ("POST", "/v1/clone") => json_endpoint(request, state, |state, req, cancel| {
             handlers::clone_model(&state.store, &req, cancel)
         }),
@@ -256,6 +264,36 @@ fn route(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static 
     }
 }
 
+/// Parses a JSON request body into its wire type.
+fn parse_body<Req: Deserialize>(request: &Request) -> Result<Req, ApiError> {
+    let body = request.body_utf8().map_err(ApiError::bad_request)?;
+    serde_json::from_str(body)
+        .map_err(|e| ApiError::bad_request(format!("invalid request body: {e}")))
+}
+
+/// `POST /v1/profile`: the static-analysis admission gate runs here on
+/// the connection thread, *before* the job queue — an inadmissible spec
+/// is answered 422 without ever occupying a queue slot or a worker.
+fn profile_endpoint(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static str) {
+    let parsed: api::ProfileRequest = match parse_body(request) {
+        Ok(r) => r,
+        Err(e) => return (e.status, e.body(), "application/json"),
+    };
+    if let Err(e) = handlers::admission_gate(&parsed) {
+        if e.status == 422 {
+            state
+                .metrics
+                .analyze_rejects
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        return (e.status, e.body(), "application/json");
+    }
+    let (status, body) = run_job(state, parsed, |state, req, cancel| {
+        handlers::profile(&state.store, &state.metrics, &req, cancel)
+    });
+    (status, body, "application/json")
+}
+
 /// Parses the body, runs `handler` on the worker pool with backpressure
 /// and a deadline, and renders the outcome.
 fn json_endpoint<Req, Resp, F>(
@@ -268,19 +306,9 @@ where
     Resp: Serialize,
     F: FnOnce(&ServerState, Req, &AtomicBool) -> Result<Resp, ApiError> + Send + 'static,
 {
-    let body = match request.body_utf8() {
-        Ok(b) => b,
-        Err(msg) => {
-            let e = ApiError::bad_request(msg);
-            return (e.status, e.body(), "application/json");
-        }
-    };
-    let parsed: Req = match serde_json::from_str(body) {
+    let parsed: Req = match parse_body(request) {
         Ok(r) => r,
-        Err(e) => {
-            let e = ApiError::bad_request(format!("invalid request body: {e}"));
-            return (e.status, e.body(), "application/json");
-        }
+        Err(e) => return (e.status, e.body(), "application/json"),
     };
     let (status, body) = run_job(state, parsed, handler);
     (status, body, "application/json")

@@ -10,8 +10,8 @@
 
 use gmap_core::cachekey::canonical_json;
 use gmap_serve::api::{
-    CloneRequest, CloneResponse, EvaluateRequest, EvaluateResponse, GridPoint, ProfileRequest,
-    ProfileResponse,
+    AnalyzeRequest, AnalyzeResponse, CloneRequest, CloneResponse, EvaluateRequest,
+    EvaluateResponse, GridPoint, ProfileRequest, ProfileResponse,
 };
 use gmap_serve::cache::ModelStore;
 use gmap_serve::metrics::{scrape, Metrics};
@@ -30,8 +30,9 @@ fn start(config: ServeConfig) -> (gmap_serve::ServerHandle, String) {
 
 fn profile_req(workload: &str, scale: &str) -> String {
     canonical_json(&ProfileRequest {
-        workload: workload.into(),
+        workload: Some(workload.into()),
         scale: Some(scale.into()),
+        spec: None,
     })
 }
 
@@ -77,8 +78,9 @@ impl Oracle {
 
     fn profile(&self, workload: &str) -> ProfileResponse {
         let req = ProfileRequest {
-            workload: workload.into(),
+            workload: Some(workload.into()),
             scale: Some("tiny".into()),
+            spec: None,
         };
         handlers::profile(&self.store, &self.metrics, &req, &AtomicBool::new(false))
             .expect("direct profile succeeds")
@@ -371,6 +373,54 @@ fn graceful_shutdown_drains_every_accepted_request() {
         client::get(&addr, "/healthz").is_err(),
         "server must be unreachable after shutdown"
     );
+}
+
+#[test]
+fn inadmissible_specs_are_rejected_422_before_the_queue() {
+    let (handle, addr) = start(ServeConfig::default());
+
+    // An out-of-bounds inline spec: answered 422 on the connection
+    // thread, before the job queue.
+    let bad = canonical_json(&ProfileRequest {
+        workload: None,
+        scale: None,
+        spec: Some(gmap_analyze::fixtures::oob_affine()),
+    });
+    let resp = client::post_json(&addr, "/v1/profile", &bad).expect("reachable");
+    assert_eq!(resp.status, 422, "gate rejects: {}", resp.body);
+    assert!(resp.body.contains("static analysis"), "{}", resp.body);
+
+    // `/v1/analyze` explains the rejection with the full report.
+    let areq = canonical_json(&AnalyzeRequest {
+        workload: None,
+        scale: None,
+        spec: Some(gmap_analyze::fixtures::oob_affine()),
+    });
+    let resp = client::post_json(&addr, "/v1/analyze", &areq).expect("reachable");
+    assert_eq!(resp.status, 200, "analyze answers: {}", resp.body);
+    let report: AnalyzeResponse = serde_json::from_str(&resp.body).expect("parses");
+    assert!(!report.admissible);
+    assert!(report.errors >= 1);
+    assert!(report.report.has_errors());
+
+    // A clean inline spec sails through the gate and gets profiled.
+    let good = canonical_json(&ProfileRequest {
+        workload: None,
+        scale: None,
+        spec: Some(gmap_analyze::fixtures::clean_streaming()),
+    });
+    let resp = client::post_json(&addr, "/v1/profile", &good).expect("reachable");
+    assert_eq!(resp.status, 200, "clean spec profiles: {}", resp.body);
+    let profiled: ProfileResponse = serde_json::from_str(&resp.body).expect("parses");
+    assert!(!profiled.cached);
+
+    // The rejection is counted, and the rejected spec never reached the
+    // profiler: exactly one cache miss (the clean spec).
+    let m = client::get(&addr, "/metrics").expect("metrics reachable");
+    assert_eq!(scrape(&m.body, "gmap_analyze_rejects_total"), Some(1.0));
+    assert_eq!(scrape(&m.body, "gmap_cache_misses_total"), Some(1.0));
+
+    handle.shutdown();
 }
 
 #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Workspace determinism lint, as a standalone CI gate.
+#
+# Runs the `determinism_lint` integration test, which lints the
+# simulation crates (memsim, gpu, dram, core) for order-sensitive
+# iteration over HashMap/HashSet — hash order is nondeterministic, and
+# the deterministic-output contract (bit-identical profiles, clones,
+# and statistics across runs) is part of the public API. Justified
+# sites live in scripts/determinism_allowlist.txt.
+#
+# Usage: scripts/determinism_lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test -q --test determinism_lint
+echo "determinism lint: simulation crates are free of hash-order iteration"

@@ -70,6 +70,26 @@ echo "smoke: evaluate ok"
 "$GMAP" client metrics --addr "$ADDR" | grep -q '^gmap_cache_hits_total 1'
 echo "smoke: cache hit observed in metrics"
 
+# Static analysis over the wire: a named workload is admissible...
+"$GMAP" client analyze --addr "$ADDR" --workload kmeans --scale tiny \
+    | grep -q '"admissible":true'
+echo "smoke: analyze ok"
+
+# ...while an out-of-bounds spec is explained by /v1/analyze and then
+# rejected 422 by the admission gate before it ever reaches the queue.
+BAD_SPEC="$WORK/oob.json"
+"$GMAP" analyze --fixture oob-affine --dump-spec "$BAD_SPEC" >/dev/null 2>&1 || true
+[[ -s "$BAD_SPEC" ]] || { echo "smoke: --dump-spec wrote nothing" >&2; exit 1; }
+"$GMAP" client analyze --addr "$ADDR" --spec "$BAD_SPEC" \
+    | grep -q '"admissible":false'
+if "$GMAP" client profile --addr "$ADDR" --spec "$BAD_SPEC" 2>"$WORK/gate.err"; then
+    echo "smoke: inadmissible spec was not rejected" >&2
+    exit 1
+fi
+grep -q '422' "$WORK/gate.err"
+"$GMAP" client metrics --addr "$ADDR" | grep -q '^gmap_analyze_rejects_total 1'
+echo "smoke: admission gate rejected inadmissible spec with 422"
+
 # Graceful shutdown: close stdin and expect a clean exit with the drain
 # message on stdout.
 exec 9>&-

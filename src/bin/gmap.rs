@@ -45,6 +45,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("profile") => cmd_profile(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("clone") => cmd_clone(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
@@ -72,6 +73,8 @@ fn usage() -> String {
 USAGE:
   gmap list                                     list bundled workload models
   gmap profile (--workload NAME | --trace FILE --grid B --block T) [OPTS] -o FILE
+  gmap analyze (--workload NAME | --spec FILE | --fixture NAME | --all)
+                                                statically verify a kernel spec
   gmap info -p FILE                             summarize a profile
   gmap clone -p FILE [OPTS] -o FILE             regenerate a clone trace
   gmap simulate SOURCE [OPTS]                   run the memory hierarchy
@@ -82,6 +85,18 @@ USAGE:
 PROFILE OPTIONS:
   --scale tiny|small|default    workload size (default: small)
   --rebase HEX                  shift base addresses (obfuscation)
+
+ANALYZE OPTIONS (exactly one source: --workload, --spec, --fixture, --all):
+  --workload NAME               analyze a bundled workload model
+  --spec FILE                   analyze a kernel spec from a JSON file
+  --fixture NAME                analyze a named defect fixture (oob-affine,
+                                uncoalesced, barrier-divergent,
+                                overlapping-write, clean-streaming)
+  --all                         analyze every bundled workload; exit nonzero
+                                if any has error findings
+  --scale tiny|small|default    workload size (default: small)
+  --dump-spec FILE              also write the resolved spec as JSON
+  Exits nonzero when the analyzer reports error-severity findings.
 
 CLONE OPTIONS:
   --seed N                      generation seed (default: 42)
@@ -111,7 +126,8 @@ SERVE OPTIONS:
 CLIENT ACTIONS (all need --addr HOST:PORT):
   health                        GET /healthz
   metrics                       GET /metrics
-  profile  --workload NAME [--scale tiny|small|default]
+  profile  (--workload NAME [--scale tiny|small|default] | --spec FILE)
+  analyze  (--workload NAME [--scale tiny|small|default] | --spec FILE)
   clone    --model ID [--factor F] [--seed N]
   evaluate --model ID --grid KB:ASSOC[:LINE[:POLICY]][,...]
            [--level l1|l2] [--kernel N] [--metric l1_miss_pct|l2_miss_pct]
@@ -271,6 +287,64 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         profile.total_warp_accesses
     );
     Ok(())
+}
+
+fn load_spec(path: &str) -> Result<gmap::gpu::kernel::KernelDesc, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&raw).map_err(|e| format!("cannot parse {path} as a kernel spec: {e}"))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    check_flags(
+        args,
+        &[
+            "--workload",
+            "--spec",
+            "--fixture",
+            "--scale",
+            "--dump-spec",
+        ],
+        &["--all"],
+    )?;
+    let kernels: Vec<gmap::gpu::kernel::KernelDesc> = match (
+        flag(args, &["--workload"]),
+        flag(args, &["--spec"]),
+        flag(args, &["--fixture"]),
+        has_flag(args, "--all"),
+    ) {
+        (Some(name), None, None, false) => {
+            vec![workloads::by_name(name, parse_scale(args))
+                .ok_or_else(|| format!("unknown workload {name:?} (see `gmap list`)"))?]
+        }
+        (None, Some(path), None, false) => vec![load_spec(path)?],
+        (None, None, Some(name), false) => {
+            vec![gmap::analyze::fixtures::by_name(name).ok_or_else(|| {
+                format!(
+                    "unknown fixture {name:?} (known: {}, clean-streaming)",
+                    gmap::analyze::fixtures::NAMES.join(", ")
+                )
+            })?]
+        }
+        (None, None, None, true) => workloads::all(parse_scale(args)),
+        _ => return Err("pass exactly one of --workload, --spec, --fixture, or --all".into()),
+    };
+    if let Some(out) = flag(args, &["--dump-spec"]) {
+        let spec = gmap::core::cachekey::canonical_json(&kernels[0]);
+        std::fs::write(out, spec).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    let mut total_errors = 0usize;
+    for kernel in &kernels {
+        let report = gmap::analyze::analyze_kernel(kernel);
+        print!("{}", report.render());
+        total_errors += report.errors().count();
+    }
+    if total_errors > 0 {
+        Err(format!(
+            "static analysis found {total_errors} error finding(s)"
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -593,7 +667,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
 
     let action = args
         .first()
-        .ok_or("client needs an action: health, metrics, profile, clone, or evaluate")?
+        .ok_or("client needs an action: health, metrics, profile, analyze, clone, or evaluate")?
         .as_str();
     let rest = &args[1..];
     let response = match action {
@@ -606,14 +680,30 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             client::get(client_addr(rest)?, "/metrics")
         }
         "profile" => {
-            check_flags(rest, &["--addr", "--workload", "--scale"], &[])?;
+            check_flags(rest, &["--addr", "--workload", "--scale", "--spec"], &[])?;
+            let spec = flag(rest, &["--spec"]).map(load_spec).transpose()?;
+            if spec.is_none() && flag(rest, &["--workload"]).is_none() {
+                return Err("missing --workload NAME or --spec FILE".into());
+            }
             let body = canonical_json(&api::ProfileRequest {
-                workload: flag(rest, &["--workload"])
-                    .ok_or("missing --workload NAME")?
-                    .to_owned(),
+                workload: flag(rest, &["--workload"]).map(str::to_owned),
                 scale: flag(rest, &["--scale"]).map(str::to_owned),
+                spec,
             });
             client::post_json(client_addr(rest)?, "/v1/profile", &body)
+        }
+        "analyze" => {
+            check_flags(rest, &["--addr", "--workload", "--scale", "--spec"], &[])?;
+            let spec = flag(rest, &["--spec"]).map(load_spec).transpose()?;
+            if spec.is_none() && flag(rest, &["--workload"]).is_none() {
+                return Err("missing --workload NAME or --spec FILE".into());
+            }
+            let body = canonical_json(&api::AnalyzeRequest {
+                workload: flag(rest, &["--workload"]).map(str::to_owned),
+                scale: flag(rest, &["--scale"]).map(str::to_owned),
+                spec,
+            });
+            client::post_json(client_addr(rest)?, "/v1/analyze", &body)
         }
         "clone" => {
             check_flags(rest, &["--addr", "--model", "--factor", "--seed"], &[])?;
@@ -740,7 +830,8 @@ mod tests {
     fn usage_lists_every_subcommand() {
         let text = usage();
         for sub in [
-            "profile", "info", "clone", "simulate", "fidelity", "list", "serve", "client",
+            "profile", "analyze", "info", "clone", "simulate", "fidelity", "list", "serve",
+            "client",
         ] {
             assert!(text.contains(sub), "usage must mention {sub}");
         }
@@ -855,6 +946,83 @@ mod tests {
         .expect("profile external trace");
         run(&s(&["info", "-p", &p2])).expect("info on ingested profile");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_verifies_specs_and_gates_defects() {
+        // Clean sources succeed.
+        run(&s(&["analyze", "--workload", "kmeans", "--scale", "tiny"])).expect("kmeans clean");
+        run(&s(&["analyze", "--all", "--scale", "tiny"])).expect("all bundled workloads clean");
+        run(&s(&["analyze", "--fixture", "clean-streaming"])).expect("clean fixture");
+
+        // Error-severity fixtures exit nonzero with error findings;
+        // `uncoalesced` is a warning and does not fail the command.
+        for fixture in ["oob-affine", "barrier-divergent", "overlapping-write"] {
+            let err = run(&s(&["analyze", "--fixture", fixture])).expect_err("defect detected");
+            assert!(err.contains("error finding"), "{fixture}: {err}");
+        }
+        run(&s(&["analyze", "--fixture", "uncoalesced"])).expect("warnings do not gate");
+
+        // Bad invocations.
+        assert!(run(&s(&["analyze"])).is_err());
+        assert!(run(&s(&["analyze", "--workload", "kmeans", "--all"])).is_err());
+        assert!(run(&s(&["analyze", "--workload", "nope"])).is_err());
+        assert!(run(&s(&["analyze", "--fixture", "nope"])).is_err());
+
+        // --dump-spec writes a spec that --spec round-trips.
+        let dir = std::env::temp_dir().join(format!("gmap-analyze-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let spec = dir.join("oob.json").to_string_lossy().into_owned();
+        let err = run(&s(&[
+            "analyze",
+            "--fixture",
+            "oob-affine",
+            "--dump-spec",
+            &spec,
+        ]))
+        .expect_err("still reports the defect");
+        assert!(err.contains("error finding"));
+        let err = run(&s(&["analyze", "--spec", &spec])).expect_err("spec file re-analyzed");
+        assert!(err.contains("error finding"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_analyze_round_trip_against_live_server() {
+        let handle = gmap::serve::start(gmap::serve::ServeConfig::default()).expect("start");
+        let addr = handle.addr().to_string();
+        run(&s(&[
+            "client",
+            "analyze",
+            "--addr",
+            &addr,
+            "--workload",
+            "kmeans",
+            "--scale",
+            "tiny",
+        ]))
+        .expect("analyze workload");
+
+        // An inadmissible spec: `client analyze` succeeds (the report is
+        // the answer), but `client profile` surfaces the 422 gate.
+        let dir = std::env::temp_dir().join(format!("gmap-client-analyze-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let spec = dir.join("oob.json").to_string_lossy().into_owned();
+        let _ = run(&s(&[
+            "analyze",
+            "--fixture",
+            "oob-affine",
+            "--dump-spec",
+            &spec,
+        ]));
+        run(&s(&["client", "analyze", "--addr", &addr, "--spec", &spec]))
+            .expect("report delivered");
+        let err = run(&s(&["client", "profile", "--addr", &addr, "--spec", &spec]))
+            .expect_err("gate rejects");
+        assert!(err.contains("422"), "{err}");
+        assert!(cmd_client(&s(&["analyze", "--addr", &addr])).is_err()); // no source
+        std::fs::remove_dir_all(&dir).ok();
+        handle.shutdown();
     }
 
     #[test]

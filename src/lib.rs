@@ -15,6 +15,7 @@
 //! | [`dram`] | `gmap-dram` | GDDR DRAM model with FR-FCFS controllers |
 //! | [`trace`] | `gmap-trace` | records, histograms, reuse distance, statistics |
 //! | [`mod@bench`] | `gmap-bench` | single-pass multi-config sweep engine |
+//! | [`analyze`] | `gmap-analyze` | static verifier for the kernel DSL, determinism lint |
 //! | [`serve`] | `gmap-serve` | concurrent model-cloning HTTP service |
 //!
 //! # Quickstart
@@ -42,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub use gmap_analyze as analyze;
 pub use gmap_bench as bench;
 pub use gmap_core as core;
 pub use gmap_dram as dram;

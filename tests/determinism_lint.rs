@@ -1,0 +1,59 @@
+//! Workspace determinism lint, run as a tier-1 test and a CI gate.
+//!
+//! The simulation crates must produce bit-identical results across runs
+//! and platforms, so iterating a `HashMap`/`HashSet` in them is a bug
+//! unless the site provably derives an order-independent result — those
+//! sites are recorded in `scripts/determinism_allowlist.txt` with a
+//! justification. See `gmap_analyze::detlint` for the lint itself.
+
+use gmap::analyze::detlint::{lint_crates, parse_allowlist};
+use std::path::Path;
+
+/// The crates whose outputs are part of the deterministic contract:
+/// profiles, clone traces, and simulation statistics.
+const SIMULATION_CRATES: &[&str] = &["memsim", "gpu", "dram", "core"];
+
+#[test]
+fn simulation_crates_do_not_iterate_hash_maps() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let allow_text = std::fs::read_to_string(root.join("scripts/determinism_allowlist.txt"))
+        .expect("allowlist readable");
+    let allow = parse_allowlist(&allow_text);
+    assert!(
+        allow.iter().all(|e| !e.justification.is_empty()),
+        "every allowlist entry needs a justification"
+    );
+    let findings = lint_crates(root, SIMULATION_CRATES, &allow).expect("crates lintable");
+    assert!(
+        findings.is_empty(),
+        "nondeterministic hash iteration in simulation crates \
+         (sort the keys, switch to BTreeMap, or justify the site in \
+         scripts/determinism_allowlist.txt):\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn allowlist_entries_are_not_stale() {
+    // Every allowlisted site must still exist: the file must be lintable
+    // and actually contain the named binding. Stale entries rot into
+    // blanket permissions for future code.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let allow_text = std::fs::read_to_string(root.join("scripts/determinism_allowlist.txt"))
+        .expect("allowlist readable");
+    for entry in parse_allowlist(&allow_text) {
+        let path = root.join(&entry.file);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("allowlisted file {} unreadable: {e}", entry.file));
+        assert!(
+            source.contains(&entry.binding),
+            "allowlist entry {}:{} names a binding that no longer exists",
+            entry.file,
+            entry.binding
+        );
+    }
+}
