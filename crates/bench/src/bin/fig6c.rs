@@ -6,6 +6,12 @@
 //! notes scalarProd and srad stay insensitive to prefetching (large
 //! footprints, low temporal locality) while kmeans and nw benefit.
 
+//!
+//! The grid varies only the L1 geometry and the stride-prefetcher
+//! parameters, so the single-pass sweep engine covers it: one capture
+//! per benchmark stream, one prefetcher replay + stack-distance pass per
+//! (prefetcher config) group, instead of 72 full simulations.
+
 use gmap_bench::{run_figure, sweeps, ExperimentOpts, Metric};
 
 fn main() {

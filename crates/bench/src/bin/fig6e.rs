@@ -1,6 +1,6 @@
 //! Regenerates Figure 6e: replicating cache performance across warp
 //! scheduling policies — loose round-robin (LRR) and greedy-then-oldest
-//! (GTO).
+//! (GTO) — and across L1 replacement policies (LRU and FIFO).
 //!
 //! G-MAP does not model the core, so the proxy replays GTO through the
 //! `SchedP_self` statistic (§4.5): the measured probability of scheduling
@@ -12,7 +12,10 @@
 //! one capture run of the original under the true policy (which also
 //! measures `SchedP_self`), one of the proxy under the replay policy, and
 //! a stack-distance pass over each — instead of `2 × 15` full
-//! simulations.
+//! simulations. The replacement grid doubles that L1 grid across
+//! LRU/FIFO and is likewise single-pass (the FIFO rows via the
+//! insertion-order evaluator); its captures are shared with the LRR
+//! section through the engine's process-wide capture cache.
 //!
 //! Paper result: average L1 miss-rate error 8 % (5.1 % for LRR, 10.9 %
 //! for GTO).
@@ -21,6 +24,7 @@ use gmap_bench::{engine, parallel_map, prepare, print_header, sweeps, Experiment
 use gmap_core::{compare_series, summarize};
 use gmap_gpu::schedule::Policy;
 use gmap_gpu::workloads;
+use std::sync::Arc;
 
 fn main() {
     let opts = ExperimentOpts::from_args();
@@ -33,28 +37,61 @@ fn main() {
         &opts,
     );
 
+    let names: Vec<&str> = workloads::NAMES.to_vec();
+    let data = parallel_map(&names, opts.threads, |name| {
+        Arc::new(prepare(name, opts.scale, opts.seed))
+    });
+
     for policy in [Policy::Lrr, Policy::Gto] {
-        let names: Vec<&str> = workloads::NAMES.to_vec();
-        let comparisons = parallel_map(&names, opts.threads, |name| {
-            let data = prepare(name, opts.scale, opts.seed);
+        let comparisons = parallel_map(&data, opts.threads, |data| {
             // Original runs under the true policy; the capture measures
-            // SchedP_self at the reference configuration.
+            // SchedP_self at the reference configuration. The policy is
+            // part of the capture-cache key, so the LRR captures are
+            // shared with the replacement grid below.
             let mut ocfg = plan.capture_cfg;
             ocfg.policy = policy;
-            let orig = engine::capture_stream(&data.orig_streams, &data.kernel.launch, &ocfg);
+            let orig = engine::capture_stream_cached(
+                &data.capture_source(false),
+                &data.orig_streams,
+                &data.kernel.launch,
+                &ocfg,
+            );
             // The proxy replays: LRR directly, GTO via SchedP_self.
             let mut pcfg = plan.capture_cfg;
             pcfg.policy = match policy {
                 Policy::Lrr => Policy::Lrr,
                 _ => Policy::SelfProb(orig.schedule.sched_p_self),
             };
-            let proxy = engine::capture_stream(&data.proxy_streams, &data.profile.launch, &pcfg);
+            let proxy = engine::capture_stream_cached(
+                &data.capture_source(true),
+                &data.proxy_streams,
+                &data.profile.launch,
+                &pcfg,
+            );
             let o = engine::eval_captured(&plan, &orig, &configs);
             let p = engine::eval_captured(&plan, &proxy, &configs);
-            compare_series(name, o.values, p.values)
+            compare_series(&data.kernel.name, o.values, p.values)
         });
         let summary = summarize(comparisons);
         println!("--- policy {policy} ---");
         println!("{summary}\n");
     }
+
+    // Replacement-policy grid: the same L1 geometries crossed with LRU
+    // and FIFO, evaluated under the default (LRR) scheduler. Captures
+    // are cache hits from the LRR section above.
+    let rp_configs = sweeps::replacement_policy_sweep();
+    let rp_plan = engine::plan_single_pass(&rp_configs, Metric::L1MissPct)
+        .expect("the replacement grid is LRU/FIFO and single-pass");
+    let comparisons = parallel_map(&data, opts.threads, |data| {
+        engine::sweep_benchmark_single_pass(data, &rp_plan, &rp_configs)
+    });
+    let summary = summarize(comparisons);
+    println!("--- replacement policies (LRU + FIFO, LRR scheduler) ---");
+    println!("{summary}");
+    let cache = engine::capture_cache_stats();
+    println!(
+        "capture cache: {} hits / {} misses across sections",
+        cache.hits, cache.misses
+    );
 }

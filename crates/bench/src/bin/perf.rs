@@ -1,19 +1,47 @@
 //! Perf tracking for the sweep engine: measures the direct per-config
-//! full-simulation path against the single-pass stack-distance engine on
-//! the fig6a L1 sweep and emits `BENCH_sweep.json`, so the performance
-//! trajectory is comparable across PRs.
+//! full-simulation path against the single-pass capture/replay engine on
+//! every figure grid (fig6a–6e) and emits `BENCH_sweep.json`, so the
+//! performance trajectory is comparable across PRs.
 //!
 //! Defaults to `--scale small`; pass `--scale`/`--seed` to override and
-//! `--out PATH` to move the report.
+//! `--out PATH` to move the report. `--smoke` skips the (slow) direct
+//! timings and instead asserts the planner coverage: every fig6a–6e grid
+//! must take the single-pass path, and cross-figure capture reuse must
+//! kick in — exiting nonzero otherwise, which is what CI gates on.
 
-use gmap_bench::{engine, prepare, sweep_benchmark, sweeps, ExperimentOpts, Metric};
+use gmap_bench::{engine, prepare, sweep_benchmark, sweeps, BenchData, ExperimentOpts, Metric};
+use gmap_core::SimtConfig;
 use gmap_trace::LatencyHistogram;
 use serde::Serialize;
 use std::time::Instant;
 
 /// Benchmarks timed by the tracker — a fixed, locality-diverse subset so
-/// the report stays comparable across PRs and runs in seconds.
+/// the report stays comparable across PRs and runs in minutes.
 const BENCHMARKS: [&str; 5] = ["kmeans", "backprop", "scalarprod", "bfs", "srad"];
+
+/// The figure grids the tracker covers. Every one of these must plan
+/// single-pass; a grid falling off the engine is a regression.
+fn grids() -> Vec<(&'static str, Vec<SimtConfig>, Metric)> {
+    vec![
+        ("fig6a_l1", sweeps::l1_sweep(), Metric::L1MissPct),
+        ("fig6b_l2", sweeps::l2_sweep(), Metric::L2MissPct),
+        (
+            "fig6c_l1_prefetch",
+            sweeps::l1_prefetch_sweep(),
+            Metric::L1MissPct,
+        ),
+        (
+            "fig6d_l2_prefetch",
+            sweeps::l2_prefetch_sweep(),
+            Metric::L2MissPct,
+        ),
+        (
+            "fig6e_replacement",
+            sweeps::replacement_policy_sweep(),
+            Metric::L1MissPct,
+        ),
+    ]
+}
 
 #[derive(Debug, Serialize)]
 struct PerBenchmark {
@@ -45,19 +73,107 @@ impl PhaseLatency {
 }
 
 #[derive(Debug, Serialize)]
-struct PerfReport {
-    scale: String,
-    seed: u64,
+struct GridReport {
     sweep: String,
+    metric: String,
     configs: usize,
-    benchmarks: usize,
     /// (benchmark × config) points, original and proxy series each.
     validation_points: usize,
     direct_secs: f64,
     single_pass_secs: f64,
     speedup: f64,
-    latency: Vec<PhaseLatency>,
     per_benchmark: Vec<PerBenchmark>,
+}
+
+#[derive(Debug, Serialize)]
+struct CaptureReuse {
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct PerfReport {
+    scale: String,
+    seed: u64,
+    benchmarks: usize,
+    /// Totals across every grid, for cross-PR continuity.
+    direct_secs: f64,
+    single_pass_secs: f64,
+    speedup: f64,
+    grids: Vec<GridReport>,
+    latency: Vec<PhaseLatency>,
+    /// Capture-cache counters of the cross-figure reuse pass (all five
+    /// grids evaluated back to back without clearing).
+    capture_reuse: CaptureReuse,
+}
+
+fn metric_name(m: Metric) -> &'static str {
+    match m {
+        Metric::L1MissPct => "l1_miss_pct",
+        Metric::L2MissPct => "l2_miss_pct",
+    }
+}
+
+/// Runs every grid single-pass over already-prepared benchmarks, without
+/// clearing the capture cache — all five stock grids mask to one
+/// reference config, so each benchmark must capture exactly once (per
+/// stream) for the whole set.
+fn reuse_pass(data: &[BenchData]) -> CaptureReuse {
+    engine::capture_cache_clear();
+    for (_, configs, metric) in grids() {
+        let plan = engine::plan_single_pass(&configs, metric).expect("grid plans single-pass");
+        for d in data {
+            let _ = engine::sweep_benchmark_single_pass(d, &plan, &configs);
+        }
+    }
+    let stats = engine::capture_cache_stats();
+    engine::capture_cache_clear();
+    CaptureReuse {
+        hits: stats.hits,
+        misses: stats.misses,
+    }
+}
+
+/// `--smoke`: assert the planner coverage and the capture-cache reuse
+/// cheaply (single-pass only), for CI. Panics (nonzero exit) on any grid
+/// falling off the single-pass path.
+fn smoke(opts: &ExperimentOpts) {
+    println!(
+        "=== sweep-engine smoke: planner coverage at scale {:?} ===",
+        opts.scale
+    );
+    for (name, configs, metric) in grids() {
+        let plan = engine::plan_single_pass(&configs, metric)
+            .unwrap_or_else(|| panic!("{name} fell off the single-pass path"));
+        println!(
+            "{name:<20} plans single-pass: {} configs in {} groups",
+            configs.len(),
+            plan.groups.len()
+        );
+    }
+    let data: Vec<BenchData> = BENCHMARKS
+        .iter()
+        .map(|n| prepare(n, opts.scale, opts.seed))
+        .collect();
+    let t = Instant::now();
+    let reuse = reuse_pass(&data);
+    let expected_misses = (BENCHMARKS.len() * 2) as u64;
+    assert_eq!(
+        reuse.misses, expected_misses,
+        "every stock grid shares one capture pair per benchmark"
+    );
+    assert!(
+        reuse.hits >= expected_misses,
+        "cross-figure capture reuse must kick in (hits {})",
+        reuse.hits
+    );
+    println!(
+        "all {} grids single-pass in {:.2}s; capture cache {} hits / {} misses",
+        grids().len(),
+        t.elapsed().as_secs_f64(),
+        reuse.hits,
+        reuse.misses
+    );
 }
 
 fn main() {
@@ -66,6 +182,10 @@ fn main() {
     if !args.iter().any(|a| a == "--scale") {
         opts.scale = gmap_gpu::workloads::Scale::Small;
     }
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(&opts);
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -73,71 +193,100 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_sweep.json".to_string());
 
-    let configs = sweeps::l1_sweep();
-    let metric = Metric::L1MissPct;
-    let plan = engine::plan_single_pass(&configs, metric)
-        .expect("the fig6a L1 sweep is pure-LRU and single-pass");
+    let data: Vec<BenchData> = BENCHMARKS
+        .iter()
+        .map(|n| prepare(n, opts.scale, opts.seed))
+        .collect();
 
-    println!(
-        "=== sweep-engine perf: fig6a L1 sweep, {} configs, scale {:?} ===",
-        configs.len(),
-        opts.scale
-    );
-    let mut rows = Vec::new();
+    let mut grid_reports = Vec::new();
     let (mut direct_total, mut single_total) = (0.0f64, 0.0f64);
     let mut direct_hist = LatencyHistogram::new();
     let mut single_hist = LatencyHistogram::new();
-    for name in BENCHMARKS {
-        let data = prepare(name, opts.scale, opts.seed);
-
-        let t = Instant::now();
-        let direct_cmp = sweep_benchmark(&data, &configs, metric);
-        let direct_elapsed = t.elapsed();
-        direct_hist.record(direct_elapsed);
-        let direct_secs = direct_elapsed.as_secs_f64();
-
-        let t = Instant::now();
-        let single_cmp = engine::sweep_benchmark_single_pass(&data, &plan, &configs);
-        let single_elapsed = t.elapsed();
-        single_hist.record(single_elapsed);
-        let single_pass_secs = single_elapsed.as_secs_f64();
-
-        // Sanity: both paths produce full aligned series.
-        assert_eq!(direct_cmp.original.len(), single_cmp.original.len());
-
-        let speedup = direct_secs / single_pass_secs.max(1e-9);
+    for (sweep_name, configs, metric) in grids() {
+        let plan = engine::plan_single_pass(&configs, metric)
+            .unwrap_or_else(|| panic!("{sweep_name} fell off the single-pass path"));
         println!(
-            "{name:<14} direct {direct_secs:7.3}s  single-pass {single_pass_secs:7.3}s  speedup {speedup:6.1}x"
+            "=== {sweep_name}: {} configs, scale {:?} ===",
+            configs.len(),
+            opts.scale
         );
-        direct_total += direct_secs;
-        single_total += single_pass_secs;
-        rows.push(PerBenchmark {
-            name: name.to_string(),
-            direct_secs,
-            single_pass_secs,
-            speedup,
+        let mut rows = Vec::new();
+        let (mut grid_direct, mut grid_single) = (0.0f64, 0.0f64);
+        for d in &data {
+            let t = Instant::now();
+            let direct_cmp = sweep_benchmark(d, &configs, metric);
+            let direct_elapsed = t.elapsed();
+            direct_hist.record(direct_elapsed);
+            let direct_secs = direct_elapsed.as_secs_f64();
+
+            // Clear between timed sections: a capture memoized by an
+            // earlier grid would otherwise inflate this grid's speedup.
+            engine::capture_cache_clear();
+            let t = Instant::now();
+            let single_cmp = engine::sweep_benchmark_single_pass(d, &plan, &configs);
+            let single_elapsed = t.elapsed();
+            single_hist.record(single_elapsed);
+            let single_pass_secs = single_elapsed.as_secs_f64();
+
+            // Sanity: both paths produce full aligned series.
+            assert_eq!(direct_cmp.original.len(), single_cmp.original.len());
+
+            let speedup = direct_secs / single_pass_secs.max(1e-9);
+            println!(
+                "{:<14} direct {direct_secs:7.3}s  single-pass {single_pass_secs:7.3}s  speedup {speedup:6.1}x",
+                d.kernel.name
+            );
+            grid_direct += direct_secs;
+            grid_single += single_pass_secs;
+            rows.push(PerBenchmark {
+                name: d.kernel.name.clone(),
+                direct_secs,
+                single_pass_secs,
+                speedup,
+            });
+        }
+        let grid_speedup = grid_direct / grid_single.max(1e-9);
+        println!(
+            "{sweep_name}: direct {grid_direct:.3}s  single-pass {grid_single:.3}s  speedup {grid_speedup:.1}x\n"
+        );
+        direct_total += grid_direct;
+        single_total += grid_single;
+        grid_reports.push(GridReport {
+            sweep: sweep_name.to_string(),
+            metric: metric_name(metric).to_string(),
+            configs: configs.len(),
+            validation_points: BENCHMARKS.len() * configs.len() * 2,
+            direct_secs: grid_direct,
+            single_pass_secs: grid_single,
+            speedup: grid_speedup,
+            per_benchmark: rows,
         });
     }
+
+    // Cross-figure reuse: all grids back to back share captures.
+    let reuse = reuse_pass(&data);
 
     let speedup = direct_total / single_total.max(1e-9);
     let report = PerfReport {
         scale: format!("{:?}", opts.scale).to_lowercase(),
         seed: opts.seed,
-        sweep: "l1_sweep".to_string(),
-        configs: configs.len(),
         benchmarks: BENCHMARKS.len(),
-        validation_points: BENCHMARKS.len() * configs.len() * 2,
         direct_secs: direct_total,
         single_pass_secs: single_total,
         speedup,
+        grids: grid_reports,
         latency: vec![
             PhaseLatency::summarize("direct", &direct_hist),
             PhaseLatency::summarize("single_pass", &single_hist),
         ],
-        per_benchmark: rows,
+        capture_reuse: reuse,
     };
     println!(
-        "\ntotal: direct {direct_total:.3}s  single-pass {single_total:.3}s  speedup {speedup:.1}x"
+        "total: direct {direct_total:.3}s  single-pass {single_total:.3}s  speedup {speedup:.1}x"
+    );
+    println!(
+        "capture reuse across grids: {} hits / {} misses",
+        report.capture_reuse.hits, report.capture_reuse.misses
     );
     for p in &report.latency {
         println!(

@@ -134,6 +134,26 @@ pub struct BenchData {
     pub profile: GmapProfile,
     /// Clone streams generated from the profile.
     pub proxy_streams: Vec<WarpStream>,
+    /// Workload scale the bundle was prepared at.
+    pub scale: Scale,
+    /// Clone-generation seed the bundle was prepared with.
+    pub seed: u64,
+}
+
+impl BenchData {
+    /// Stable identity of one of this bundle's streams for the engine's
+    /// cross-figure capture cache: `(name, scale, seed)` pin the stream
+    /// content exactly — original streams depend on (name, scale), proxy
+    /// streams additionally on the seed.
+    pub fn capture_source(&self, proxy: bool) -> String {
+        format!(
+            "bench:{}:{:?}:{}:{}",
+            self.kernel.name,
+            self.scale,
+            self.seed,
+            if proxy { "proxy" } else { "orig" }
+        )
+    }
 }
 
 /// Prepares one benchmark: execute, profile, clone.
@@ -147,6 +167,8 @@ pub fn prepare(name: &str, scale: Scale, seed: u64) -> BenchData {
         orig_streams,
         profile,
         proxy_streams,
+        scale,
+        seed,
     }
 }
 
@@ -230,7 +252,12 @@ pub fn evaluate_profile(
         return None;
     }
     if let Some(plan) = engine::plan_single_pass(configs, metric) {
-        let capture = engine::capture_stream(&streams, &profile.launch, &plan.capture_cfg);
+        // Keyed by profile content + seed: repeated evaluations of the
+        // same model (the common service pattern — one clone, many
+        // grids) capture once per process.
+        let source = format!("profile:{}:{}", gmap_core::cachekey::key_of(profile), seed);
+        let capture =
+            engine::capture_stream_cached(&source, &streams, &profile.launch, &plan.capture_cfg);
         if cancelled() {
             return None;
         }
@@ -325,12 +352,14 @@ pub fn run_figure(
     };
     let results: Vec<Vec<(f64, f64)>> = parallel_map(&jobs, opts.threads, |job| match &plan {
         Some(plan) => {
-            let orig = engine::capture_stream(
+            let orig = engine::capture_stream_cached(
+                &job.data.capture_source(false),
                 &job.data.orig_streams,
                 &job.data.kernel.launch,
                 &plan.capture_cfg,
             );
-            let proxy = engine::capture_stream(
+            let proxy = engine::capture_stream_cached(
+                &job.data.capture_source(true),
                 &job.data.proxy_streams,
                 &job.data.profile.launch,
                 &plan.capture_cfg,

@@ -107,6 +107,23 @@ pub fn policy_l1_sweep() -> Vec<SimtConfig> {
     out
 }
 
+/// Figure 6e's replacement-policy grid: the reduced L1 geometry sweep
+/// crossed with LRU and FIFO replacement — 30 configurations.
+pub fn replacement_policy_sweep() -> Vec<SimtConfig> {
+    let mut out = Vec::with_capacity(30);
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo] {
+        for size_kb in [8u64, 16, 32, 64, 128] {
+            for assoc in [1u32, 4, 16] {
+                let mut cfg = SimtConfig::default();
+                cfg.hierarchy.l1 = cache(size_kb, assoc, 128);
+                cfg.hierarchy.l1.policy = policy;
+                out.push(cfg);
+            }
+        }
+    }
+    out
+}
+
 /// Figure 7: 11 GDDR5 configurations — bus width, channel parallelism and
 /// addressing scheme (RoBaRaCoCh / ChRaBaRoCo), as in the paper.
 pub fn dram_sweep() -> Vec<(String, DramConfig)> {
@@ -154,6 +171,17 @@ mod tests {
         assert_eq!(l2_prefetch_sweep().len(), 96);
         assert_eq!(dram_sweep().len(), 11);
         assert_eq!(policy_l1_sweep().len(), 15);
+        assert_eq!(replacement_policy_sweep().len(), 30);
+    }
+
+    #[test]
+    fn replacement_sweep_covers_both_policies() {
+        let grid = replacement_policy_sweep();
+        let fifo = grid
+            .iter()
+            .filter(|c| c.hierarchy.l1.policy == ReplacementPolicy::Fifo)
+            .count();
+        assert_eq!(fifo, grid.len() / 2);
     }
 
     #[test]
@@ -165,6 +193,7 @@ mod tests {
             .chain(l1_prefetch_sweep())
             .chain(l2_prefetch_sweep())
             .chain(policy_l1_sweep())
+            .chain(replacement_policy_sweep())
         {
             GpuHierarchy::new(cfg.hierarchy).expect("valid hierarchy");
         }

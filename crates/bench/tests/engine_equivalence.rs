@@ -1,0 +1,171 @@
+//! Property test: the single-pass sweep engine is numerically equivalent
+//! to an independent per-config replay of the captured reference stream,
+//! on *randomized* grids — geometry, replacement policy, and stride
+//! prefetcher parameters all drawn at random.
+//!
+//! The oracle mirrors `GpuHierarchy`'s L1 demand path structurally
+//! (separate `request` + `demand_fill`, per-core stride prefetchers with
+//! probe-then-fill candidate installation) and never touches the
+//! stack-distance code, so any disagreement is an engine bug, not a
+//! shared one. Tolerance 1e-9: both sides count integer hits/misses, so
+//! the only slack needed is the final percentage division.
+
+use gmap_bench::engine::{self, CapturedStream};
+use gmap_bench::prepare;
+use gmap_core::SimtConfig;
+use gmap_gpu::workloads::Scale;
+use gmap_memsim::cache::AccessRequest;
+use gmap_memsim::hierarchy::L1WritePolicy;
+use gmap_memsim::prefetch::{StridePrefetcher, StridePrefetcherConfig};
+use gmap_memsim::{Cache, CacheConfig, ReplacementPolicy};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// One captured reference stream, shared by every proptest case: the
+/// capture config is the same for every masked L1 grid, so capturing per
+/// case would only re-run identical work.
+fn capture() -> &'static (Arc<CapturedStream>, SimtConfig) {
+    static CAPTURE: OnceLock<(Arc<CapturedStream>, SimtConfig)> = OnceLock::new();
+    CAPTURE.get_or_init(|| {
+        let data = prepare("scalarprod", Scale::Tiny, 42);
+        let plan = engine::plan_single_pass(
+            &gmap_bench::sweeps::l1_sweep(),
+            gmap_bench::Metric::L1MissPct,
+        )
+        .expect("stock L1 grid plans");
+        let cap =
+            engine::capture_stream(&data.orig_streams, &data.kernel.launch, &plan.capture_cfg);
+        (Arc::new(cap), plan.capture_cfg)
+    })
+}
+
+/// Independent per-config replay (the oracle).
+fn direct_series(capture: &CapturedStream, configs: &[SimtConfig]) -> Vec<f64> {
+    configs
+        .iter()
+        .map(|cfg| {
+            let shift = cfg.hierarchy.l1.line_size.trailing_zeros();
+            let mut l1s: Vec<Cache> = (0..capture.cores)
+                .map(|_| Cache::new(cfg.hierarchy.l1))
+                .collect();
+            let mut pfs: Vec<Option<StridePrefetcher>> = (0..capture.cores)
+                .map(|_| cfg.hierarchy.l1_prefetch.map(StridePrefetcher::new))
+                .collect();
+            for a in &capture.accesses {
+                let line = a.addr >> shift;
+                let core = a.core as usize;
+                if a.is_write {
+                    let (allocate_on_miss, mark_dirty) = match cfg.hierarchy.l1_write_policy {
+                        L1WritePolicy::WriteThroughNoAllocate => (false, false),
+                        L1WritePolicy::WriteBackAllocate => (true, true),
+                    };
+                    let _ = l1s[core].request(AccessRequest {
+                        line,
+                        is_write: true,
+                        allocate_on_miss,
+                        mark_dirty,
+                    });
+                } else {
+                    let hit = l1s[core]
+                        .request(AccessRequest {
+                            line,
+                            is_write: false,
+                            allocate_on_miss: false,
+                            mark_dirty: false,
+                        })
+                        .hit;
+                    if let Some(pf) = pfs[core].as_mut() {
+                        for cand in pf.observe(a.pc, line) {
+                            if !l1s[core].probe(cand) {
+                                l1s[core].prefetch_fill(cand);
+                            }
+                        }
+                    }
+                    if !hit {
+                        l1s[core].demand_fill(line);
+                    }
+                }
+            }
+            let (acc, miss) = l1s.iter().fold((0u64, 0u64), |(a, m), c| {
+                (a + c.stats().accesses, m + c.stats().misses)
+            });
+            if acc == 0 {
+                0.0
+            } else {
+                miss as f64 / acc as f64 * 100.0
+            }
+        })
+        .collect()
+}
+
+/// A random single-pass-eligible L1 config: LRU (optionally with a
+/// stride prefetcher) or FIFO (never with one — the planner rejects that
+/// combination).
+fn l1_config() -> impl Strategy<Value = SimtConfig> {
+    let geometry = (
+        prop_oneof![Just(8u64), Just(16), Just(32), Just(64)],
+        prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+        prop_oneof![Just(64u64), Just(128)],
+    );
+    // The vendored proptest subset has no `option::of`; a bool gate over
+    // unconditionally drawn parameters is equivalent.
+    let prefetch = (
+        prop_oneof![Just(16u32), Just(64), Just(256)],
+        1u32..=4,
+        1u32..=4,
+        1u32..=3,
+    );
+    (geometry, prefetch, any::<bool>(), any::<bool>()).prop_map(
+        |((kb, assoc, line), pf_params, use_pf, fifo)| {
+            let pf = use_pf.then_some(pf_params);
+            let mut cfg = SimtConfig::default();
+            let policy = if fifo && pf.is_none() {
+                ReplacementPolicy::Fifo
+            } else {
+                ReplacementPolicy::Lru
+            };
+            cfg.hierarchy.l1 = CacheConfig::new(kb * 1024, assoc, line, policy)
+                .expect("strategy geometry is valid");
+            if policy == ReplacementPolicy::Lru {
+                cfg.hierarchy.l1_prefetch =
+                    pf.map(|(table, degree, distance, conf)| StridePrefetcherConfig {
+                        table_size: table,
+                        degree,
+                        distance,
+                        min_confidence: conf,
+                    });
+            }
+            cfg
+        },
+    )
+}
+
+proptest! {
+    // Each case replays the full captured stream once per config on the
+    // oracle side; a handful of cases over 2–5 config grids already
+    // exercises every evaluator path (LRU, FIFO, prefetch) and the
+    // grouping logic between them.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn engine_matches_direct_replay_on_random_grids(
+        grid in proptest::collection::vec(l1_config(), 2..=5)
+    ) {
+        let (cap, capture_cfg) = capture();
+        let plan = engine::plan_single_pass(&grid, gmap_bench::Metric::L1MissPct)
+            .expect("strategy only emits single-pass-eligible grids");
+        prop_assert!(
+            plan.capture_cfg == *capture_cfg,
+            "every masked L1 grid shares the stock reference config"
+        );
+        let engine_vals = engine::eval_captured(&plan, cap, &grid).values;
+        let direct_vals = direct_series(cap, &grid);
+        for (i, (e, d)) in engine_vals.iter().zip(&direct_vals).enumerate() {
+            prop_assert!(
+                (e - d).abs() < 1e-9,
+                "config {i}: engine {e} vs direct {d} (cfg {:?})",
+                grid[i].hierarchy.l1
+            );
+        }
+    }
+}

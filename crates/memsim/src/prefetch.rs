@@ -41,6 +41,38 @@ impl Default for StridePrefetcherConfig {
     }
 }
 
+impl StridePrefetcherConfig {
+    /// `true` iff [`StridePrefetcher::new`] accepts this config and the
+    /// parameters fall inside the supported sweep envelope. Planners gate
+    /// on this so construction never panics on user-supplied grids.
+    pub fn is_supported(&self) -> bool {
+        self.table_size.is_power_of_two()
+            && self.table_size <= 4096
+            && (1..=32).contains(&self.degree)
+            && self.distance <= 64
+    }
+
+    /// Expands one confident `(line, stride)` observation into the
+    /// candidate lines this config issues: `line + stride * (distance +
+    /// k)` for `k in 0..degree`, dropping candidates that would fall
+    /// below line zero. Appends to `out` without clearing it.
+    ///
+    /// This is the emission half of [`StridePrefetcher::observe_into`];
+    /// it depends only on `degree` and `distance`, never on table state,
+    /// so bulk replays can share one training pass across configs that
+    /// differ only here.
+    pub fn expand_into(&self, line: u64, stride: i64, out: &mut Vec<u64>) {
+        out.reserve(self.degree as usize);
+        for k in 0..self.degree {
+            let steps = (self.distance + k) as i64;
+            let target = line as i64 + stride * steps;
+            if target >= 0 {
+                out.push(target as u64);
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct StrideEntry {
     pc: u64,
@@ -80,6 +112,32 @@ impl StridePrefetcher {
     /// Observes a demand access `(pc, line)` and returns the lines to
     /// prefetch (possibly empty).
     pub fn observe(&mut self, pc: u64, line: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(pc, line, &mut out);
+        out
+    }
+
+    /// Allocation-free [`observe`](Self::observe): clears `out` and fills
+    /// it with the candidate lines. Bulk replays (the sweep engine builds
+    /// one candidate schedule per prefetcher config over multi-million
+    /// access streams) reuse one buffer instead of allocating per access.
+    pub fn observe_into(&mut self, pc: u64, line: u64, out: &mut Vec<u64>) {
+        out.clear();
+        if let Some((line, stride)) = self.observe_stride(pc, line) {
+            self.cfg.expand_into(line, stride, out);
+            self.issued += out.len() as u64;
+        }
+    }
+
+    /// The training half of [`observe_into`](Self::observe_into): updates
+    /// the per-PC table for one demand load and returns the `(line,
+    /// stride)` pair candidate expansion starts from, if the entry has
+    /// reached the confidence threshold. Training depends only on
+    /// `table_size` and `min_confidence` — never on `degree` or
+    /// `distance`, which only shape
+    /// [`StridePrefetcherConfig::expand_into`] — so configs differing
+    /// only in emission shape share one training trajectory.
+    pub fn observe_stride(&mut self, pc: u64, line: u64) -> Option<(u64, i64)> {
         let idx = (pc as usize).wrapping_mul(0x9E37_79B9) % self.table.len();
         let e = &mut self.table[idx];
         if !e.valid || e.pc != pc {
@@ -90,12 +148,12 @@ impl StridePrefetcher {
                 stride: 0,
                 confidence: 0,
             };
-            return Vec::new();
+            return None;
         }
         let delta = line as i64 - e.last_line as i64;
         e.last_line = line;
         if delta == 0 {
-            return Vec::new();
+            return None;
         }
         if delta == e.stride {
             e.confidence = e.confidence.saturating_add(1);
@@ -104,19 +162,9 @@ impl StridePrefetcher {
             e.confidence = 1;
         }
         if e.confidence < self.cfg.min_confidence {
-            return Vec::new();
+            return None;
         }
-        let stride = e.stride;
-        let mut out = Vec::with_capacity(self.cfg.degree as usize);
-        for k in 0..self.cfg.degree {
-            let steps = (self.cfg.distance + k) as i64;
-            let target = line as i64 + stride * steps;
-            if target >= 0 {
-                out.push(target as u64);
-            }
-        }
-        self.issued += out.len() as u64;
-        out
+        Some((line, e.stride))
     }
 
     /// Prefetch candidates issued so far.
@@ -143,6 +191,16 @@ impl Default for StreamPrefetcherConfig {
             window: 16,
             degree: 2,
         }
+    }
+}
+
+impl StreamPrefetcherConfig {
+    /// `true` iff [`StreamPrefetcher::new`] accepts this config and the
+    /// parameters fall inside the supported sweep envelope.
+    pub fn is_supported(&self) -> bool {
+        (1..=256).contains(&self.num_streams)
+            && (1..=1024).contains(&self.window)
+            && (1..=32).contains(&self.degree)
     }
 }
 
@@ -384,6 +442,32 @@ mod tests {
         pf.observe(100);
         pf.observe(500); // replaces the only stream
         assert!(pf.observe(101).is_empty(), "old stream must be gone");
+    }
+
+    #[test]
+    fn is_supported_matches_constructor_envelope() {
+        assert!(StridePrefetcherConfig::default().is_supported());
+        assert!(StreamPrefetcherConfig::default().is_supported());
+        let bad_table = StridePrefetcherConfig {
+            table_size: 3,
+            ..Default::default()
+        };
+        assert!(!bad_table.is_supported());
+        let oversized = StridePrefetcherConfig {
+            table_size: 8192,
+            ..Default::default()
+        };
+        assert!(!oversized.is_supported());
+        let zero_degree = StridePrefetcherConfig {
+            degree: 0,
+            ..Default::default()
+        };
+        assert!(!zero_degree.is_supported());
+        let zero_streams = StreamPrefetcherConfig {
+            num_streams: 0,
+            ..Default::default()
+        };
+        assert!(!zero_streams.is_supported());
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Single-pass multi-configuration LRU cache evaluation (Mattson stack
-//! distances).
+//! Single-pass multi-configuration cache evaluation (Mattson stack
+//! distances, plus a FIFO insertion-order variant and prefetch-fill
+//! composition).
 //!
 //! The classic Mattson inclusion result: under true LRU with bit-selected
 //! set indexing, the content of an `(S sets, a ways)` cache is exactly
@@ -32,6 +33,40 @@
 //!     per-configuration replay through [`crate::cache::Cache`] — the
 //!     returned counts are **always** exact; divergence only costs
 //!     speed, never correctness, and only for the affected class.
+//!
+//! # Prefetch-fill composition
+//!
+//! [`evaluate_lru_prefetch_multi`] additionally merges a
+//! [`PrefetchSchedule`] — per-access prefetch-fill candidates computed by
+//! the caller (e.g. by replaying a [`crate::prefetch::StridePrefetcher`]
+//! over the demand stream) — into the pass. A prefetch fill is a
+//! *conditional* insert: it fills at MRU when the line is absent and is a
+//! no-op when it is resident, exactly the probe-then-fill protocol of
+//! `GpuHierarchy::l1_prefetch`. Per class it is classified like a
+//! no-allocate store: absent everywhere → uniform fill, resident
+//! everywhere → uniform skip, anything else → divergent, exact replay.
+//! A demand load that lands in the divergence band *while carrying
+//! candidates* also diverges, because the hierarchy fills candidates
+//! between the lookup and the demand fill: the relative insertion order
+//! of the line and its candidates differs between hit- and
+//! miss-geometries of the class.
+//!
+//! # FIFO insertion order
+//!
+//! FIFO is **not** a stack algorithm (Bélády's anomaly: a larger FIFO
+//! cache can miss where a smaller one hits), so no unconditional
+//! inclusion argument exists. What does hold: FIFO hits never change
+//! replacement state, so as long as every allocating access either
+//! misses *every* geometry of a set-count class (uniform insert) or hits
+//! every one of them (uniform no-op), all geometries of the class insert
+//! the same line sequence and an `a`-way FIFO set holds exactly the `a`
+//! newest insertions — the top-`a` prefix of one insertion-ordered class
+//! list. [`evaluate_fifo_multi`] runs that pass and, the moment an
+//! allocating access hits only part of a class (the insertion sequences
+//! would fork), marks the class divergent and replays its geometries
+//! exactly — same fallback contract as the LRU path. No-allocate stores
+//! never modify FIFO state (hits do not touch, misses do not insert), so
+//! under the write-through L1 model they never diverge.
 
 use crate::cache::{Cache, CacheConfig, ReplacementPolicy};
 use std::error::Error;
@@ -64,6 +99,65 @@ pub enum WriteMode {
     /// hits touches recency. Divergent stores trigger an internal exact
     /// fallback (see module docs).
     NoAllocate,
+}
+
+/// Per-access prefetch-fill candidates for a demand stream, flattened
+/// into one shared buffer. `for_access(i)` are the candidate lines the
+/// prefetcher emitted for stream access `i`, in issue order — the
+/// hierarchy fills them after the demand lookup and before the demand
+/// fill, and that is exactly where the evaluators replay them.
+#[derive(Debug, Clone)]
+pub struct PrefetchSchedule {
+    /// `offsets[i]..offsets[i + 1]` indexes `lines` for access `i`.
+    offsets: Vec<usize>,
+    /// Flattened candidate line indices.
+    lines: Vec<u64>,
+}
+
+impl Default for PrefetchSchedule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefetchSchedule {
+    /// An empty schedule covering zero accesses.
+    pub fn new() -> Self {
+        PrefetchSchedule {
+            offsets: vec![0],
+            lines: Vec::new(),
+        }
+    }
+
+    /// Appends the candidate list of the next access.
+    pub fn push(&mut self, candidates: &[u64]) {
+        self.lines.extend_from_slice(candidates);
+        self.offsets.push(self.lines.len());
+    }
+
+    /// Resets to an empty schedule, keeping the allocations. Bulk
+    /// replays derive one schedule per prefetcher config over
+    /// multi-million access streams and reuse a single buffer.
+    pub fn clear(&mut self) {
+        self.lines.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+    }
+
+    /// Number of accesses covered.
+    pub fn num_accesses(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total candidate count across all accesses.
+    pub fn total_candidates(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Candidate lines of access `i`.
+    pub fn for_access(&self, i: usize) -> &[u64] {
+        &self.lines[self.offsets[i]..self.offsets[i + 1]]
+    }
 }
 
 /// Exact demand counters for one evaluated geometry.
@@ -102,14 +196,14 @@ impl GeomCounts {
     }
 }
 
-/// Result of [`evaluate_lru_multi`].
+/// Result of [`evaluate_lru_multi`] and friends.
 #[derive(Debug, Clone)]
 pub struct MultiEvalResult {
     /// Per-geometry counters, aligned with the input `configs` slice.
     pub counts: Vec<GeomCounts>,
-    /// `true` if a divergent no-allocate store forced the exact
-    /// per-configuration replay fallback for at least one set-count
-    /// class; unaffected classes keep their single-pass counts.
+    /// `true` if a divergent access forced the exact per-configuration
+    /// replay fallback for at least one set-count class; unaffected
+    /// classes keep their single-pass counts.
     pub fell_back: bool,
 }
 
@@ -118,8 +212,13 @@ pub struct MultiEvalResult {
 pub enum StackDistError {
     /// The config list was empty.
     NoConfigs,
-    /// A config's replacement policy is not LRU.
+    /// A config's replacement policy is not LRU (LRU evaluators).
     NotLru {
+        /// Index of the offending config.
+        index: usize,
+    },
+    /// A config's replacement policy is not FIFO ([`evaluate_fifo_multi`]).
+    NotFifo {
         /// Index of the offending config.
         index: usize,
     },
@@ -142,6 +241,12 @@ impl fmt::Display for StackDistError {
                     "config {index} is not LRU; single-pass evaluation requires LRU"
                 )
             }
+            StackDistError::NotFifo { index } => {
+                write!(
+                    f,
+                    "config {index} is not FIFO; the FIFO evaluator requires FIFO"
+                )
+            }
             StackDistError::MixedLineSizes { expected, found } => write!(
                 f,
                 "configs must share one line size (saw {expected} and {found})"
@@ -153,23 +258,75 @@ impl fmt::Display for StackDistError {
 impl Error for StackDistError {}
 
 /// One distinct set-count class shared by one or more geometries: the
-/// per-set MRU-ordered contents of the widest cache of the class. By LRU
-/// inclusion, the top `a` entries of each set are exactly the contents of
-/// the class's `a`-way geometry.
+/// per-set ordered contents of the widest cache of the class. Under LRU
+/// the order is recency (MRU first); under FIFO it is insertion age
+/// (newest first). Either way, while the class stays uniform the top `a`
+/// entries of each set are exactly the contents of the class's `a`-way
+/// geometry.
 struct SetClass {
     /// `num_sets - 1`, the set-index mask.
     mask: u64,
     /// Largest associativity among geometries with this set count.
     a_max: usize,
-    /// Smallest associativity among geometries with this set count — a
-    /// no-allocate store hitting at or beyond this way-position diverges.
+    /// Smallest associativity among geometries with this set count — an
+    /// access whose state effect depends on hitting at or beyond this
+    /// way-position diverges.
     a_min: usize,
     /// Divergence hit this class; its geometries will be replayed.
     dirty: bool,
-    /// `num_sets × a_max` line slots, MRU-first within each set.
+    /// `num_sets × a_max` line slots, ordered within each set.
     lines: Vec<u64>,
     /// Live entries per set.
     occ: Vec<u32>,
+}
+
+impl SetClass {
+    /// Way-position of `line` within its set, or [`ABSENT`].
+    fn locate(&self, line: u64) -> usize {
+        let set = (line & self.mask) as usize;
+        let base = set * self.a_max;
+        self.lines[base..base + self.occ[set] as usize]
+            .iter()
+            .position(|&l| l == line)
+            .unwrap_or(ABSENT)
+    }
+
+    /// Moves the entry at way-position `pos` of `line`'s set to the front.
+    fn rotate_to_front(&mut self, line: u64, pos: usize) {
+        let base = (line & self.mask) as usize * self.a_max;
+        self.lines[base..=base + pos].rotate_right(1);
+    }
+
+    /// Inserts `line` at the front of its set, evicting the set's last
+    /// entry if the widest cache is full.
+    fn insert_front(&mut self, line: u64) {
+        let set = (line & self.mask) as usize;
+        let base = set * self.a_max;
+        let n = self.occ[set] as usize;
+        if n < self.a_max {
+            self.occ[set] += 1;
+        }
+        let end = (n + 1).min(self.a_max);
+        self.lines[base..base + end].rotate_right(1);
+        self.lines[base] = line;
+    }
+
+    /// Applies the conditional prefetch fills of one access: absent
+    /// everywhere → insert at front, resident everywhere → skip, resident
+    /// in only part of the class → divergent (marks the class dirty and
+    /// stops).
+    fn apply_prefetches(&mut self, cands: &[u64]) {
+        for &cand in cands {
+            match self.locate(cand) {
+                q if q == ABSENT => self.insert_front(cand),
+                q if q < self.a_min => {}
+                _ => {
+                    self.dirty = true;
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Per-geometry view onto the set classes.
@@ -178,6 +335,15 @@ struct GeomView {
     class: usize,
     /// Associativity.
     assoc: usize,
+}
+
+/// Which single-pass variant a class list models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassPolicy {
+    /// Recency order; hits rotate to MRU.
+    Lru,
+    /// Insertion order; hits never touch state.
+    Fifo,
 }
 
 /// Evaluate every LRU geometry in `configs` (which must share one line
@@ -194,25 +360,89 @@ pub fn evaluate_lru_multi(
     stream: &[LineAccess],
     mode: WriteMode,
 ) -> Result<MultiEvalResult, StackDistError> {
-    validate_configs(configs)?;
-    let (mut counts, dirty) = single_pass(configs, stream, mode);
+    evaluate(configs, stream, None, mode, PassPolicy::Lru)
+}
+
+/// Like [`evaluate_lru_multi`], but additionally replays the per-access
+/// prefetch-fill candidates of `schedule` in hierarchy order (demand
+/// lookup → candidate fills → demand fill). Exact for every geometry —
+/// divergent classes fall back to per-config replay internally.
+///
+/// # Panics
+///
+/// Panics if `schedule` does not cover exactly `stream.len()` accesses.
+///
+/// # Errors
+///
+/// Returns [`StackDistError`] if `configs` is empty, mixes line sizes, or
+/// contains a non-LRU policy.
+pub fn evaluate_lru_prefetch_multi(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    schedule: &PrefetchSchedule,
+    mode: WriteMode,
+) -> Result<MultiEvalResult, StackDistError> {
+    assert_eq!(
+        schedule.num_accesses(),
+        stream.len(),
+        "prefetch schedule must cover the demand stream"
+    );
+    evaluate(configs, stream, Some(schedule), mode, PassPolicy::Lru)
+}
+
+/// Evaluate every FIFO geometry in `configs` (which must share one line
+/// size) over `stream` in a single insertion-order pass, falling back to
+/// exact per-config replay for any set-count class where the insertion
+/// sequences would fork (see module docs — FIFO is not a stack
+/// algorithm). Counts are always exact.
+///
+/// # Errors
+///
+/// Returns [`StackDistError`] if `configs` is empty, mixes line sizes, or
+/// contains a non-FIFO policy.
+pub fn evaluate_fifo_multi(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    mode: WriteMode,
+) -> Result<MultiEvalResult, StackDistError> {
+    evaluate(configs, stream, None, mode, PassPolicy::Fifo)
+}
+
+fn evaluate(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    schedule: Option<&PrefetchSchedule>,
+    mode: WriteMode,
+    policy: PassPolicy,
+) -> Result<MultiEvalResult, StackDistError> {
+    validate_configs(configs, policy)?;
+    let (mut counts, dirty) = single_pass(configs, stream, schedule, mode, policy);
     let fell_back = !dirty.is_empty();
     if fell_back {
         // Replay only the geometries whose set-count class diverged; the
         // rest keep their (exact) single-pass counts.
         let sub: Vec<CacheConfig> = dirty.iter().map(|&i| configs[i]).collect();
-        for (&i, c) in dirty.iter().zip(replay_per_config(&sub, stream, mode)) {
+        for (&i, c) in dirty
+            .iter()
+            .zip(replay_per_config_prefetch(&sub, stream, schedule, mode))
+        {
             counts[i] = c;
         }
     }
     Ok(MultiEvalResult { counts, fell_back })
 }
 
-fn validate_configs(configs: &[CacheConfig]) -> Result<(), StackDistError> {
+fn validate_configs(configs: &[CacheConfig], policy: PassPolicy) -> Result<(), StackDistError> {
     let first = configs.first().ok_or(StackDistError::NoConfigs)?;
     for (i, c) in configs.iter().enumerate() {
-        if c.policy != ReplacementPolicy::Lru {
-            return Err(StackDistError::NotLru { index: i });
+        match policy {
+            PassPolicy::Lru if c.policy != ReplacementPolicy::Lru => {
+                return Err(StackDistError::NotLru { index: i });
+            }
+            PassPolicy::Fifo if c.policy != ReplacementPolicy::Fifo => {
+                return Err(StackDistError::NotFifo { index: i });
+            }
+            _ => {}
         }
         if c.line_size != first.line_size {
             return Err(StackDistError::MixedLineSizes {
@@ -227,13 +457,15 @@ fn validate_configs(configs: &[CacheConfig]) -> Result<(), StackDistError> {
 /// Sentinel way-position for "line absent from this class".
 const ABSENT: usize = usize::MAX;
 
-/// The Mattson pass. Returns per-geometry counts plus the indices of
-/// configs whose set-count class hit a divergent no-allocate store (their
-/// counts are garbage and must be recomputed by replay).
+/// The shared single pass. Returns per-geometry counts plus the indices
+/// of configs whose set-count class hit a divergent access (their counts
+/// are garbage and must be recomputed by replay).
 fn single_pass(
     configs: &[CacheConfig],
     stream: &[LineAccess],
+    schedule: Option<&PrefetchSchedule>,
     mode: WriteMode,
+    policy: PassPolicy,
 ) -> (Vec<GeomCounts>, Vec<usize>) {
     // Build the distinct set-count classes and per-geometry views.
     let mut classes: Vec<SetClass> = Vec::new();
@@ -272,17 +504,14 @@ fn single_pass(
     // Reused per-access scratch: the line's way-position per class.
     let mut positions = vec![ABSENT; classes.len()];
 
-    for acc in stream {
+    for (i, acc) in stream.iter().enumerate() {
         // Phase 1: locate the line in each class's widest cache.
         for (pos, class) in positions.iter_mut().zip(classes.iter()) {
-            if class.dirty {
-                *pos = ABSENT;
-                continue;
-            }
-            let set = (acc.line & class.mask) as usize;
-            let base = set * class.a_max;
-            let ways = &class.lines[base..base + class.occ[set] as usize];
-            *pos = ways.iter().position(|&l| l == acc.line).unwrap_or(ABSENT);
+            *pos = if class.dirty {
+                ABSENT
+            } else {
+                class.locate(acc.line)
+            };
         }
 
         // Phase 2: count. A way-position `p` hits every geometry of the
@@ -302,37 +531,15 @@ fn single_pass(
             }
         }
 
-        // Phase 3: update recency per class.
+        // Phase 3: update replacement state per class.
+        let cands = schedule.map_or(&[][..], |s| s.for_access(i));
         for (&pos, class) in positions.iter().zip(classes.iter_mut()) {
             if class.dirty {
                 continue;
             }
-            let set = (acc.line & class.mask) as usize;
-            let base = set * class.a_max;
-            if pos != ABSENT {
-                if !acc.is_write || uniform_writes || pos < class.a_min {
-                    // Uniform recency touch: every geometry of the class
-                    // that holds the line moves it to MRU, and (for loads
-                    // and allocating stores) the rest re-allocate it at
-                    // MRU — either way the class list rotates to front.
-                    class.lines[base..=base + pos].rotate_right(1);
-                } else {
-                    // No-allocate store hitting some ways of the class
-                    // but not all: LRU inclusion breaks for this class.
-                    class.dirty = true;
-                }
-            } else if !acc.is_write || uniform_writes {
-                // Cold/evicted load (or allocating store): insert at MRU,
-                // evicting the set's LRU entry if the widest cache is
-                // full. A no-allocate store that misses the whole class
-                // touches nothing — exact.
-                let n = class.occ[set] as usize;
-                if n < class.a_max {
-                    class.occ[set] += 1;
-                }
-                let end = (n + 1).min(class.a_max);
-                class.lines[base..base + end].rotate_right(1);
-                class.lines[base] = acc.line;
+            match policy {
+                PassPolicy::Lru => update_lru(class, acc, pos, cands, uniform_writes),
+                PassPolicy::Fifo => update_fifo(class, acc, pos, cands, uniform_writes),
             }
         }
     }
@@ -346,25 +553,141 @@ fn single_pass(
     (counts, dirty)
 }
 
+/// LRU state update for one access against one class.
+fn update_lru(class: &mut SetClass, acc: &LineAccess, pos: usize, cands: &[u64], alloc_w: bool) {
+    if acc.is_write {
+        // Demand-store effect first (prefetchers in this hierarchy only
+        // trigger on loads, but keep the write-then-candidates order in
+        // lockstep with the replay fallback for generality).
+        if pos != ABSENT {
+            if alloc_w || pos < class.a_min {
+                // Uniform recency touch: every geometry of the class that
+                // holds the line moves it to MRU, and (for allocating
+                // stores) the rest re-allocate it at MRU — either way the
+                // class list rotates to front.
+                class.rotate_to_front(acc.line, pos);
+            } else {
+                // No-allocate store hitting some ways of the class but
+                // not all: LRU inclusion breaks for this class.
+                class.dirty = true;
+                return;
+            }
+        } else if alloc_w {
+            class.insert_front(acc.line);
+        }
+        // A no-allocate store that misses the whole class touches
+        // nothing — exact.
+        class.apply_prefetches(cands);
+    } else if pos == ABSENT {
+        // Cold/evicted load, miss in every geometry: the hierarchy fills
+        // prefetch candidates between the lookup and the demand fill.
+        class.apply_prefetches(cands);
+        if !class.dirty {
+            class.insert_front(acc.line);
+        }
+    } else if pos < class.a_min {
+        // Hit everywhere: touch, then candidate fills land above.
+        class.rotate_to_front(acc.line, pos);
+        class.apply_prefetches(cands);
+    } else if cands.is_empty() {
+        // Load in the divergence band with no candidates stays uniform:
+        // hit-geometries touch to MRU, miss-geometries refill at MRU —
+        // the class list rotates to front either way.
+        class.rotate_to_front(acc.line, pos);
+    } else {
+        // Load in the divergence band *with* candidates: hit-geometries
+        // order the line below its candidates, miss-geometries above.
+        class.dirty = true;
+    }
+}
+
+/// FIFO state update for one access against one class.
+fn update_fifo(class: &mut SetClass, acc: &LineAccess, pos: usize, cands: &[u64], alloc_w: bool) {
+    if acc.is_write && !alloc_w {
+        // No-allocate store: FIFO hits do not touch and misses do not
+        // insert — no geometry changes state, whatever `pos` is.
+        class.apply_prefetches(cands);
+    } else if acc.is_write {
+        // Allocating store, same uniformity condition as a load.
+        if pos == ABSENT {
+            class.insert_front(acc.line);
+        } else if pos >= class.a_min {
+            class.dirty = true;
+            return;
+        }
+        class.apply_prefetches(cands);
+    } else if pos == ABSENT {
+        // Miss everywhere: every geometry inserts, in hierarchy order
+        // (candidate fills before the demand fill).
+        class.apply_prefetches(cands);
+        if !class.dirty {
+            class.insert_front(acc.line);
+        }
+    } else if pos < class.a_min {
+        // Hit everywhere: FIFO hits leave the queue untouched.
+        class.apply_prefetches(cands);
+    } else {
+        // Hit in the wide geometries, miss-and-insert in the narrow
+        // ones: the insertion sequences fork — Bélády territory.
+        class.dirty = true;
+    }
+}
+
 /// Exact per-configuration replay through [`Cache`] — the fallback for
-/// divergent no-allocate stores, and the reference the single pass is
-/// tested against.
+/// divergent accesses, and the reference the single pass is tested
+/// against. The replacement policy comes from each config.
 pub fn replay_per_config(
     configs: &[CacheConfig],
     stream: &[LineAccess],
     mode: WriteMode,
 ) -> Vec<GeomCounts> {
+    replay_per_config_prefetch(configs, stream, None, mode)
+}
+
+/// [`replay_per_config`] with per-access prefetch-fill candidates,
+/// mirroring `GpuHierarchy`'s L1 path: demand lookup, then conditional
+/// candidate fills, then the demand fill of a missing line.
+pub fn replay_per_config_prefetch(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    schedule: Option<&PrefetchSchedule>,
+    mode: WriteMode,
+) -> Vec<GeomCounts> {
+    use crate::cache::AccessRequest;
     configs
         .iter()
         .map(|cfg| {
             let mut cache = Cache::new(*cfg);
-            for acc in stream {
-                match (acc.is_write, mode) {
-                    (true, WriteMode::NoAllocate) => {
-                        cache.access_no_allocate(acc.line, true);
+            for (i, acc) in stream.iter().enumerate() {
+                let cands = schedule.map_or(&[][..], |s| s.for_access(i));
+                if acc.is_write {
+                    match mode {
+                        WriteMode::NoAllocate => {
+                            cache.access_no_allocate(acc.line, true);
+                        }
+                        WriteMode::Allocate => {
+                            cache.access(acc.line, true);
+                        }
                     }
-                    (is_write, _) => {
-                        cache.access(acc.line, is_write);
+                    for &cand in cands {
+                        cache.prefetch_fill(cand);
+                    }
+                } else {
+                    let hit = cache
+                        .request(AccessRequest {
+                            line: acc.line,
+                            is_write: false,
+                            allocate_on_miss: false,
+                            mark_dirty: false,
+                        })
+                        .hit;
+                    // `prefetch_fill` is a no-op on resident lines —
+                    // exactly the probe-then-fill the hierarchy does.
+                    for &cand in cands {
+                        cache.prefetch_fill(cand);
+                    }
+                    if !hit {
+                        cache.demand_fill(acc.line);
                     }
                 }
             }
@@ -386,6 +709,10 @@ mod tests {
 
     fn lru(size: u64, assoc: u32, line: u64) -> CacheConfig {
         CacheConfig::new(size, assoc, line, ReplacementPolicy::Lru).expect("valid config")
+    }
+
+    fn fifo(size: u64, assoc: u32, line: u64) -> CacheConfig {
+        CacheConfig::new(size, assoc, line, ReplacementPolicy::Fifo).expect("valid config")
     }
 
     /// A small deterministic mixed-locality stream.
@@ -410,6 +737,20 @@ mod tests {
             .collect()
     }
 
+    /// A stride-heavy schedule: every fourth load carries two sequential
+    /// candidates, the way a trained stride prefetcher would.
+    fn synth_schedule(stream: &[LineAccess]) -> PrefetchSchedule {
+        let mut sched = PrefetchSchedule::new();
+        for (i, acc) in stream.iter().enumerate() {
+            if !acc.is_write && i % 4 == 0 {
+                sched.push(&[acc.line + 1, acc.line + 2]);
+            } else {
+                sched.push(&[]);
+            }
+        }
+        sched
+    }
+
     #[test]
     fn validation_rejects_bad_groups() {
         assert_eq!(
@@ -422,11 +763,19 @@ mod tests {
             evaluate_lru_multi(&[a, b], &[], WriteMode::Allocate).unwrap_err(),
             StackDistError::MixedLineSizes { .. }
         ));
-        let fifo = CacheConfig::new(1024, 2, 64, ReplacementPolicy::Fifo).unwrap();
+        let f = fifo(1024, 2, 64);
         assert!(matches!(
-            evaluate_lru_multi(&[a, fifo], &[], WriteMode::Allocate).unwrap_err(),
+            evaluate_lru_multi(&[a, f], &[], WriteMode::Allocate).unwrap_err(),
             StackDistError::NotLru { index: 1 }
         ));
+        assert!(matches!(
+            evaluate_fifo_multi(&[f, a], &[], WriteMode::Allocate).unwrap_err(),
+            StackDistError::NotFifo { index: 1 }
+        ));
+        assert_eq!(
+            evaluate_fifo_multi(&[], &[], WriteMode::Allocate).unwrap_err(),
+            StackDistError::NoConfigs
+        );
     }
 
     #[test]
@@ -518,5 +867,148 @@ mod tests {
         assert_eq!(c.reads, 1000 - expected_writes);
         assert_eq!(c.hits + c.misses, c.accesses);
         assert!(c.miss_rate() > 0.0 && c.miss_rate() <= 1.0);
+    }
+
+    #[test]
+    fn prefetch_schedule_round_trips() {
+        let mut s = PrefetchSchedule::new();
+        assert_eq!(s.num_accesses(), 0);
+        s.push(&[1, 2]);
+        s.push(&[]);
+        s.push(&[9]);
+        assert_eq!(s.num_accesses(), 3);
+        assert_eq!(s.total_candidates(), 3);
+        assert_eq!(s.for_access(0), &[1, 2]);
+        assert_eq!(s.for_access(1), &[] as &[u64]);
+        assert_eq!(s.for_access(2), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the demand stream")]
+    fn prefetch_schedule_must_cover_stream() {
+        let configs = [lru(1024, 4, 64)];
+        let stream = synth_stream(10, 8, 0);
+        let sched = PrefetchSchedule::new();
+        let _ = evaluate_lru_prefetch_multi(&configs, &stream, &sched, WriteMode::Allocate);
+    }
+
+    #[test]
+    fn prefetched_lru_matches_replay_across_grid() {
+        for write_every in [0, 5] {
+            for mode in [WriteMode::Allocate, WriteMode::NoAllocate] {
+                let configs = [
+                    lru(256, 1, 64),
+                    lru(512, 2, 64),
+                    lru(1024, 4, 64),
+                    lru(4096, 4, 64),
+                    lru(4096, 16, 64),
+                ];
+                let stream = synth_stream(3000, 220, write_every);
+                let sched = synth_schedule(&stream);
+                assert!(sched.total_candidates() > 0);
+                let result = evaluate_lru_prefetch_multi(&configs, &stream, &sched, mode).unwrap();
+                assert_eq!(
+                    result.counts,
+                    replay_per_config_prefetch(&configs, &stream, Some(&sched), mode),
+                    "write_every={write_every} mode={mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_prefetch_triggers_fallback_and_stays_exact() {
+        // [b, a] in the 2-way cache, [b] in the 1-way one; a prefetch of
+        // `a` is a no-op in the former and a fill in the latter.
+        let configs = [lru(64, 1, 64), lru(128, 2, 64)];
+        let stream = vec![
+            LineAccess::new(0, false),
+            LineAccess::new(1, false),
+            LineAccess::new(7, false), // carries the divergent candidate
+        ];
+        let mut sched = PrefetchSchedule::new();
+        sched.push(&[]);
+        sched.push(&[]);
+        sched.push(&[0]);
+        let result =
+            evaluate_lru_prefetch_multi(&configs, &stream, &sched, WriteMode::NoAllocate).unwrap();
+        assert!(result.fell_back);
+        assert_eq!(
+            result.counts,
+            replay_per_config_prefetch(&configs, &stream, Some(&sched), WriteMode::NoAllocate)
+        );
+    }
+
+    #[test]
+    fn fifo_matches_replay_across_grid() {
+        for write_every in [0, 4] {
+            for mode in [WriteMode::Allocate, WriteMode::NoAllocate] {
+                let configs = [
+                    fifo(256, 1, 64),
+                    fifo(512, 2, 64),
+                    fifo(1024, 4, 64),
+                    fifo(2048, 8, 64),
+                    fifo(4096, 4, 64),
+                ];
+                let stream = synth_stream(4000, 200, write_every);
+                let result = evaluate_fifo_multi(&configs, &stream, mode).unwrap();
+                assert_eq!(
+                    result.counts,
+                    replay_per_config(&configs, &stream, mode),
+                    "write_every={write_every} mode={mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_belady_anomaly_forces_fallback_but_stays_exact() {
+        // The classic FIFO anomaly string over 3- and 4-way single-set
+        // caches: the insertion sequences fork, so the class must fall
+        // back — and the counts must still match per-config replay
+        // (which exhibits the anomaly).
+        let configs = [fifo(3 * 64, 3, 64), fifo(4 * 64, 4, 64)];
+        let refs = [1u64, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+        let stream: Vec<LineAccess> = refs.iter().map(|&l| LineAccess::new(l, false)).collect();
+        let result = evaluate_fifo_multi(&configs, &stream, WriteMode::Allocate).unwrap();
+        assert!(result.fell_back, "the anomaly string must diverge");
+        let reference = replay_per_config(&configs, &stream, WriteMode::Allocate);
+        assert_eq!(result.counts, reference);
+        assert!(
+            reference[1].misses > reference[0].misses,
+            "Bélády's anomaly: the larger FIFO cache misses more"
+        );
+    }
+
+    #[test]
+    fn fifo_no_allocate_stores_never_dirty_a_class() {
+        // Same construction that forces the LRU divergent-store fallback;
+        // under FIFO a no-allocate store changes nothing anywhere.
+        let configs = [fifo(64, 1, 64), fifo(128, 2, 64)];
+        let stream = vec![
+            LineAccess::new(0, false),
+            LineAccess::new(1, false),
+            LineAccess::new(0, true),
+        ];
+        let result = evaluate_fifo_multi(&configs, &stream, WriteMode::NoAllocate).unwrap();
+        assert!(!result.fell_back, "FIFO state ignores no-allocate stores");
+        assert_eq!(
+            result.counts,
+            replay_per_config(&configs, &stream, WriteMode::NoAllocate)
+        );
+    }
+
+    #[test]
+    fn fifo_uniform_single_geometry_never_falls_back() {
+        // One geometry per set count: a_min == a_max, so the divergence
+        // band is empty and the pass stays single-pass by construction.
+        let configs = [fifo(1024, 4, 64), fifo(2048, 4, 64)];
+        let stream = synth_stream(3000, 300, 6);
+        let result = evaluate_fifo_multi(&configs, &stream, WriteMode::NoAllocate).unwrap();
+        assert!(!result.fell_back);
+        assert_eq!(
+            result.counts,
+            replay_per_config(&configs, &stream, WriteMode::NoAllocate)
+        );
     }
 }

@@ -4,7 +4,10 @@ use gmap_gpu::schedule::MemoryModel;
 use gmap_memsim::cache::{Cache, CacheConfig, ReplacementPolicy};
 use gmap_memsim::hierarchy::{GpuHierarchy, HierarchyConfig};
 use gmap_memsim::mshr::Mshr;
-use gmap_memsim::stackdist::{evaluate_lru_multi, replay_per_config, LineAccess, WriteMode};
+use gmap_memsim::stackdist::{
+    evaluate_fifo_multi, evaluate_lru_multi, evaluate_lru_prefetch_multi, replay_per_config,
+    replay_per_config_prefetch, LineAccess, PrefetchSchedule, WriteMode,
+};
 use gmap_trace::record::{AccessKind, ByteAddr, CoreId, Pc};
 use proptest::prelude::*;
 
@@ -147,5 +150,73 @@ proptest! {
             // Write-allocate streams never diverge, so the fast path ran.
             prop_assert!(!result.fell_back);
         }
+    }
+
+    /// The FIFO insertion-order evaluator's counts exactly equal direct
+    /// per-config simulation with `ReplacementPolicy::Fifo` — including
+    /// streams that trip Bélády's anomaly and force the internal replay
+    /// fallback.
+    #[test]
+    fn fifo_stackdist_matches_direct_cache_simulation(
+        stream in proptest::collection::vec((0u64..512, any::<bool>()), 1..400),
+        allocate in any::<bool>(),
+    ) {
+        let grid = [
+            (64u64 * 64, 1u32),
+            (64 * 64, 64),
+            (8 * 64, 1),
+            (8 * 64, 8),
+            (32 * 64, 4),
+            (256 * 64, 16),
+        ];
+        let configs: Vec<CacheConfig> = grid
+            .iter()
+            .map(|&(size, assoc)| {
+                CacheConfig::new(size, assoc, 64, ReplacementPolicy::Fifo).expect("valid")
+            })
+            .collect();
+        let accesses: Vec<LineAccess> =
+            stream.iter().map(|&(l, w)| LineAccess::new(l, w)).collect();
+        let mode = if allocate { WriteMode::Allocate } else { WriteMode::NoAllocate };
+        let result = evaluate_fifo_multi(&configs, &accesses, mode).expect("uniform FIFO group");
+        let reference = replay_per_config(&configs, &accesses, mode);
+        prop_assert_eq!(&result.counts, &reference);
+    }
+
+    /// The prefetch-composed LRU evaluator exactly matches per-config
+    /// replay under randomized demand streams and randomized candidate
+    /// schedules (hierarchy fill order: lookup, candidates, demand fill).
+    #[test]
+    fn prefetch_stackdist_matches_direct_cache_simulation(
+        stream in proptest::collection::vec(
+            ((0u64..384, any::<bool>()), proptest::collection::vec(0u64..384, 0..3)),
+            1..300,
+        ),
+        allocate in any::<bool>(),
+    ) {
+        let grid = [
+            (64u64 * 64, 1u32),
+            (64 * 64, 64),
+            (8 * 64, 4),
+            (32 * 64, 4),
+            (128 * 64, 8),
+        ];
+        let configs: Vec<CacheConfig> = grid
+            .iter()
+            .map(|&(size, assoc)| {
+                CacheConfig::new(size, assoc, 64, ReplacementPolicy::Lru).expect("valid")
+            })
+            .collect();
+        let mut accesses = Vec::with_capacity(stream.len());
+        let mut schedule = PrefetchSchedule::new();
+        for ((l, w), cands) in &stream {
+            accesses.push(LineAccess::new(*l, *w));
+            schedule.push(cands);
+        }
+        let mode = if allocate { WriteMode::Allocate } else { WriteMode::NoAllocate };
+        let result = evaluate_lru_prefetch_multi(&configs, &accesses, &schedule, mode)
+            .expect("uniform LRU group");
+        let reference = replay_per_config_prefetch(&configs, &accesses, Some(&schedule), mode);
+        prop_assert_eq!(&result.counts, &reference);
     }
 }

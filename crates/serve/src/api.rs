@@ -132,6 +132,32 @@ pub struct CloneResponse {
     pub kernels: Vec<KernelCloneStats>,
 }
 
+/// An L1 stride-prefetcher attachment for a grid point (fig6c-shaped
+/// sweeps). Only meaningful on `"l1"` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StridePoint {
+    /// PC-indexed table entries (power of two, at most 4096).
+    pub table: u32,
+    /// Lines fetched per trigger (1–32).
+    pub degree: u32,
+    /// Lines ahead of the demand stride (default 1).
+    pub distance: Option<u32>,
+    /// Consecutive same-stride observations before firing (default 2).
+    pub confidence: Option<u32>,
+}
+
+/// An L2 stream-prefetcher attachment for a grid point (fig6d-shaped
+/// sweeps). Only meaningful on `"l2"` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamPoint {
+    /// Concurrently tracked streams (1–256, default 16).
+    pub streams: Option<u32>,
+    /// Lines a miss may deviate and still extend a stream (1–1024).
+    pub window: u32,
+    /// Lines fetched per stream hit (1–32).
+    pub degree: u32,
+}
+
 /// One point of an evaluation grid: a cache configuration applied to the
 /// baseline hierarchy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -147,6 +173,10 @@ pub struct GridPoint {
     /// Replacement policy: `"lru"` (default), `"fifo"`, `"plru"`, or
     /// `"random"`.
     pub policy: Option<String>,
+    /// Optional L1 stride prefetcher (requires `level` = `"l1"`).
+    pub stride_prefetch: Option<StridePoint>,
+    /// Optional L2 stream prefetcher (requires `level` = `"l2"`).
+    pub stream_prefetch: Option<StreamPoint>,
 }
 
 /// `POST /v1/evaluate` body: run a hierarchy-config grid against a model.
@@ -302,6 +332,29 @@ mod tests {
         assert_eq!(minimal.kernel, None);
         assert_eq!(minimal.grid[0].line, None);
         assert_eq!(minimal.grid[0].policy, None);
+        assert_eq!(minimal.grid[0].stride_prefetch, None);
+        assert_eq!(minimal.grid[0].stream_prefetch, None);
+
+        let prefetched: EvaluateRequest = serde_json::from_str(
+            r#"{"model_id":"abc","grid":[
+                {"size_kb":16,"assoc":4,
+                 "stride_prefetch":{"table":64,"degree":2}},
+                {"level":"l2","size_kb":512,"assoc":8,
+                 "stream_prefetch":{"window":16,"degree":4}}]}"#,
+        )
+        .expect("prefetcher points parse");
+        let stride = prefetched.grid[0]
+            .stride_prefetch
+            .as_ref()
+            .expect("stride point");
+        assert_eq!((stride.table, stride.degree), (64, 2));
+        assert_eq!(stride.distance, None, "distance defaults downstream");
+        let stream = prefetched.grid[1]
+            .stream_prefetch
+            .as_ref()
+            .expect("stream point");
+        assert_eq!((stream.window, stream.degree), (16, 4));
+        assert_eq!(stream.streams, None, "stream count defaults downstream");
     }
 
     #[test]

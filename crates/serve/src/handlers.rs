@@ -21,6 +21,7 @@ use gmap_gpu::app::Application;
 use gmap_gpu::kernel::KernelDesc;
 use gmap_gpu::schedule::{WarpStream, WarpStreamEvent};
 use gmap_gpu::workloads;
+use gmap_memsim::prefetch::{StreamPrefetcherConfig, StridePrefetcherConfig};
 use gmap_memsim::CacheConfig;
 use gmap_trace::AccessKind;
 use serde::Serialize;
@@ -288,9 +289,15 @@ pub fn clone_model(
 /// Translates one grid point into a full simulation configuration over
 /// the Fermi baseline.
 ///
+/// Prefetcher attachments are validated here against the constructor
+/// envelopes ([`StridePrefetcherConfig::is_supported`],
+/// [`StreamPrefetcherConfig::is_supported`]) so an out-of-range request
+/// is a 400, not a worker panic on the direct simulation path.
+///
 /// # Errors
 ///
-/// 400 for invalid cache geometry or unknown policy/level names.
+/// 400 for invalid cache geometry, unknown policy/level names,
+/// prefetchers on the wrong level, or unsupported prefetcher parameters.
 pub fn grid_config(point: &GridPoint, seed: u64) -> Result<SimtConfig, ApiError> {
     let policy = api::parse_policy(point.policy.as_deref())?;
     let line = point.line.unwrap_or(128);
@@ -300,14 +307,61 @@ pub fn grid_config(point: &GridPoint, seed: u64) -> Result<SimtConfig, ApiError>
         seed,
         ..SimtConfig::default()
     };
-    match point.level.as_deref() {
-        None | Some("l1") => cfg.hierarchy.l1 = cache,
-        Some("l2") => cfg.hierarchy.l2 = cache,
+    let is_l1 = match point.level.as_deref() {
+        None | Some("l1") => {
+            cfg.hierarchy.l1 = cache;
+            true
+        }
+        Some("l2") => {
+            cfg.hierarchy.l2 = cache;
+            false
+        }
         Some(other) => {
             return Err(ApiError::bad_request(format!(
                 "unknown level {other:?} (expected l1 or l2)"
             )))
         }
+    };
+    if let Some(stride) = &point.stride_prefetch {
+        if !is_l1 {
+            return Err(ApiError::bad_request(
+                "stride_prefetch attaches to the L1 (level \"l1\")",
+            ));
+        }
+        let pf = StridePrefetcherConfig {
+            table_size: stride.table,
+            degree: stride.degree,
+            distance: stride.distance.unwrap_or(1),
+            min_confidence: stride.confidence.unwrap_or(2),
+        };
+        if !pf.is_supported() {
+            return Err(ApiError::bad_request(format!(
+                "unsupported stride prefetcher (table {} degree {} distance {}): \
+                 table must be a power of two <= 4096, degree 1-32, distance <= 64",
+                pf.table_size, pf.degree, pf.distance
+            )));
+        }
+        cfg.hierarchy.l1_prefetch = Some(pf);
+    }
+    if let Some(stream) = &point.stream_prefetch {
+        if is_l1 {
+            return Err(ApiError::bad_request(
+                "stream_prefetch attaches to the L2 (level \"l2\")",
+            ));
+        }
+        let pf = StreamPrefetcherConfig {
+            num_streams: stream.streams.unwrap_or(16),
+            window: stream.window,
+            degree: stream.degree,
+        };
+        if !pf.is_supported() {
+            return Err(ApiError::bad_request(format!(
+                "unsupported stream prefetcher (streams {} window {} degree {}): \
+                 streams 1-256, window 1-1024, degree 1-32",
+                pf.num_streams, pf.window, pf.degree
+            )));
+        }
+        cfg.hierarchy.l2_prefetch = Some(pf);
     }
     Ok(cfg)
 }
@@ -368,6 +422,19 @@ mod tests {
 
     fn fresh_cancel() -> AtomicBool {
         AtomicBool::new(false)
+    }
+
+    /// A default L1 grid point at the given geometry.
+    fn point(size_kb: u64, assoc: u32) -> GridPoint {
+        GridPoint {
+            level: None,
+            size_kb,
+            assoc,
+            line: None,
+            policy: None,
+            stride_prefetch: None,
+            stream_prefetch: None,
+        }
     }
 
     #[test]
@@ -471,22 +538,7 @@ mod tests {
             &fresh_cancel(),
         )
         .expect("profiles");
-        let grid = vec![
-            GridPoint {
-                level: None,
-                size_kb: 16,
-                assoc: 4,
-                line: None,
-                policy: None,
-            },
-            GridPoint {
-                level: None,
-                size_kb: 64,
-                assoc: 8,
-                line: None,
-                policy: None,
-            },
-        ];
+        let grid = vec![point(16, 4), point(64, 8)];
         let resp = evaluate(
             &store,
             &EvaluateRequest {
@@ -551,13 +603,7 @@ mod tests {
         );
         let mut missing = base.clone();
         missing.model_id = "feedbeef".into();
-        missing.grid = vec![GridPoint {
-            level: None,
-            size_kb: 16,
-            assoc: 4,
-            line: None,
-            policy: None,
-        }];
+        missing.grid = vec![point(16, 4)];
         assert_eq!(
             evaluate(&store, &missing, &fresh_cancel())
                 .expect_err("unknown id")
@@ -697,15 +743,103 @@ mod tests {
     }
 
     #[test]
-    fn fifo_grid_points_force_the_direct_path() {
-        let point = GridPoint {
-            level: None,
-            size_kb: 16,
-            assoc: 4,
-            line: None,
-            policy: Some("fifo".into()),
-        };
-        let cfg = grid_config(&point, 1).expect("valid");
+    fn fifo_grid_points_stay_on_the_single_pass_path() {
+        // FIFO used to force the direct path; the insertion-order
+        // stack-distance evaluator now plans it single-pass.
+        let mut fifo = point(16, 4);
+        fifo.policy = Some("fifo".into());
+        let cfg = grid_config(&fifo, 1).expect("valid");
+        let plan = gmap_bench::engine::plan_single_pass(&[cfg], Metric::L1MissPct)
+            .expect("FIFO grids plan single-pass");
+        assert_eq!(plan.groups.len(), 1);
+
+        // PLRU has no stack-distance evaluator and still falls back.
+        let mut plru = point(16, 4);
+        plru.policy = Some("plru".into());
+        let cfg = grid_config(&plru, 1).expect("valid");
         assert!(gmap_bench::engine::plan_single_pass(&[cfg], Metric::L1MissPct).is_none());
+    }
+
+    #[test]
+    fn prefetcher_grid_points_map_and_plan_single_pass() {
+        let mut stride = point(16, 4);
+        stride.stride_prefetch = Some(crate::api::StridePoint {
+            table: 64,
+            degree: 2,
+            distance: None,
+            confidence: None,
+        });
+        let cfg = grid_config(&stride, 1).expect("valid stride point");
+        let pf = cfg.hierarchy.l1_prefetch.expect("prefetcher attached");
+        assert_eq!((pf.table_size, pf.degree), (64, 2));
+        assert_eq!((pf.distance, pf.min_confidence), (1, 2), "defaults applied");
+        let plan = gmap_bench::engine::plan_single_pass(&[cfg], Metric::L1MissPct)
+            .expect("stride-prefetcher grids plan single-pass");
+        assert_eq!(plan.groups[0].l1_prefetch, Some(pf));
+
+        let mut stream = point(512, 8);
+        stream.level = Some("l2".into());
+        stream.stream_prefetch = Some(crate::api::StreamPoint {
+            streams: None,
+            window: 16,
+            degree: 4,
+        });
+        let cfg = grid_config(&stream, 1).expect("valid stream point");
+        let pf = cfg.hierarchy.l2_prefetch.expect("prefetcher attached");
+        assert_eq!((pf.num_streams, pf.window, pf.degree), (16, 16, 4));
+        let plan = gmap_bench::engine::plan_single_pass(&[cfg], Metric::L2MissPct)
+            .expect("stream-prefetcher grids plan single-pass");
+        assert_eq!(plan.groups[0].l2_prefetch, Some(pf));
+    }
+
+    #[test]
+    fn unsupported_or_misplaced_prefetchers_are_400s() {
+        // Out-of-envelope stride table (not a power of two).
+        let mut bad_table = point(16, 4);
+        bad_table.stride_prefetch = Some(crate::api::StridePoint {
+            table: 3,
+            degree: 2,
+            distance: None,
+            confidence: None,
+        });
+        let err = grid_config(&bad_table, 1).expect_err("rejected");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("power of two"), "{}", err.message);
+
+        // Stride prefetcher on an L2 point.
+        let mut wrong_level = point(512, 8);
+        wrong_level.level = Some("l2".into());
+        wrong_level.stride_prefetch = Some(crate::api::StridePoint {
+            table: 64,
+            degree: 2,
+            distance: None,
+            confidence: None,
+        });
+        let err = grid_config(&wrong_level, 1).expect_err("rejected");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("l1"), "{}", err.message);
+
+        // Stream prefetcher on an L1 point.
+        let mut wrong_level = point(16, 4);
+        wrong_level.stream_prefetch = Some(crate::api::StreamPoint {
+            streams: None,
+            window: 16,
+            degree: 4,
+        });
+        let err = grid_config(&wrong_level, 1).expect_err("rejected");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("l2"), "{}", err.message);
+
+        // Out-of-envelope stream degree.
+        let mut bad_degree = point(512, 8);
+        bad_degree.level = Some("l2".into());
+        bad_degree.stream_prefetch = Some(crate::api::StreamPoint {
+            streams: None,
+            window: 16,
+            degree: 99,
+        });
+        let err = grid_config(&bad_degree, 1).expect_err("rejected");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("degree"), "{}", err.message);
     }
 }

@@ -11,7 +11,7 @@
 use gmap_core::cachekey::canonical_json;
 use gmap_serve::api::{
     AnalyzeRequest, AnalyzeResponse, CloneRequest, CloneResponse, EvaluateRequest,
-    EvaluateResponse, GridPoint, ProfileRequest, ProfileResponse,
+    EvaluateResponse, GridPoint, ProfileRequest, ProfileResponse, StridePoint,
 };
 use gmap_serve::cache::ModelStore;
 use gmap_serve::metrics::{scrape, Metrics};
@@ -45,20 +45,53 @@ fn lru_grid() -> Vec<GridPoint> {
             assoc: 4,
             line: None,
             policy: None,
+            stride_prefetch: None,
+            stream_prefetch: None,
         })
         .collect()
 }
 
-fn fifo_grid(points: usize) -> Vec<GridPoint> {
+/// A slow grid for queue-saturation tests: PLRU has no stack-distance
+/// evaluator, so every point runs a full per-config simulation.
+fn slow_grid(points: usize) -> Vec<GridPoint> {
     (0..points)
         .map(|i| GridPoint {
             level: None,
             size_kb: 16 << (i as u64 % 4),
             assoc: 4,
             line: None,
-            policy: Some("fifo".into()),
+            policy: Some("plru".into()),
+            stride_prefetch: None,
+            stream_prefetch: None,
         })
         .collect()
+}
+
+/// A fig6c-shaped grid: three L1 sizes crossed with stride-prefetcher
+/// degrees and distances, all single-pass eligible.
+fn prefetch_grid() -> Vec<GridPoint> {
+    let mut grid = Vec::new();
+    for size_kb in [8u64, 16, 64] {
+        for degree in [1u32, 2, 4] {
+            for distance in [1u32, 2] {
+                grid.push(GridPoint {
+                    level: None,
+                    size_kb,
+                    assoc: 4,
+                    line: None,
+                    policy: None,
+                    stride_prefetch: Some(StridePoint {
+                        table: 64,
+                        degree,
+                        distance: Some(distance),
+                        confidence: None,
+                    }),
+                    stream_prefetch: None,
+                });
+            }
+        }
+    }
+    grid
 }
 
 /// Local "direct library call" oracle: the same handlers run in-process
@@ -234,13 +267,14 @@ fn queue_overflow_returns_429_without_hanging() {
     let model_id = model_id.model_id;
 
     // Occupy the single worker (and the single queue slot) with slow
-    // FIFO-policy evaluations that bypass the single-pass engine.
+    // PLRU-policy evaluations that bypass the single-pass engine (FIFO
+    // no longer qualifies — it plans single-pass now).
     let eval_body = canonical_json(&EvaluateRequest {
         model_id: model_id.clone(),
         kernel: None,
         metric: None,
         seed: None,
-        grid: fifo_grid(64),
+        grid: slow_grid(64),
     });
     let spawn_occupier = || {
         let addr = addr.clone();
@@ -330,7 +364,7 @@ fn graceful_shutdown_drains_every_accepted_request() {
         kernel: None,
         metric: None,
         seed: None,
-        grid: fifo_grid(32),
+        grid: slow_grid(32),
     });
     let clients: Vec<_> = (0..6)
         .map(|_| {
@@ -419,6 +453,63 @@ fn inadmissible_specs_are_rejected_422_before_the_queue() {
     let m = client::get(&addr, "/metrics").expect("metrics reachable");
     assert_eq!(scrape(&m.body, "gmap_analyze_rejects_total"), Some(1.0));
     assert_eq!(scrape(&m.body, "gmap_cache_misses_total"), Some(1.0));
+
+    handle.shutdown();
+}
+
+#[test]
+fn prefetcher_grids_evaluate_single_pass_and_match_direct_calls() {
+    let (handle, addr) = start(ServeConfig::default());
+
+    // Profile over HTTP and directly; same model id both ways.
+    let resp = client::post_json(&addr, "/v1/profile", &profile_req("kmeans", "tiny"))
+        .expect("server reachable");
+    assert_eq!(resp.status, 200, "profile failed: {}", resp.body);
+    let profiled: ProfileResponse = serde_json::from_str(&resp.body).expect("parses");
+
+    let oracle = Oracle::new();
+    let direct_profile = oracle.profile("kmeans");
+    assert_eq!(profiled.model_id, direct_profile.model_id);
+
+    // A fig6c-shaped stride-prefetcher grid: the served body must be
+    // byte-identical to the direct library call, and the metadata must
+    // show the single-pass engine handled it.
+    let want = oracle.evaluate(&direct_profile.model_id, prefetch_grid());
+    assert!(
+        want.single_pass,
+        "fig6c-shaped grids take the single-pass engine"
+    );
+    let body = canonical_json(&EvaluateRequest {
+        model_id: profiled.model_id.clone(),
+        kernel: None,
+        metric: None,
+        seed: None,
+        grid: prefetch_grid(),
+    });
+    let resp = client::post_json(&addr, "/v1/evaluate", &body).expect("evaluate request");
+    assert_eq!(resp.status, 200, "evaluate: {}", resp.body);
+    assert_eq!(
+        resp.body,
+        canonical_json(&want),
+        "served prefetcher evaluation must be byte-identical to the direct call"
+    );
+    let served: EvaluateResponse = serde_json::from_str(&resp.body).expect("parses");
+    assert!(served.single_pass, "single-pass flag survives the wire");
+    assert_eq!(served.values.len(), prefetch_grid().len());
+
+    // An out-of-envelope prefetcher is a 400, not a worker panic.
+    let mut bad = prefetch_grid();
+    bad[0].stride_prefetch.as_mut().expect("stride point").table = 3;
+    let body = canonical_json(&EvaluateRequest {
+        model_id: profiled.model_id,
+        kernel: None,
+        metric: None,
+        seed: None,
+        grid: bad,
+    });
+    let resp = client::post_json(&addr, "/v1/evaluate", &body).expect("evaluate request");
+    assert_eq!(resp.status, 400, "unsupported prefetcher: {}", resp.body);
+    assert!(resp.body.contains("power of two"), "{}", resp.body);
 
     handle.shutdown();
 }

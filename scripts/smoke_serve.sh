@@ -64,6 +64,21 @@ echo "smoke: clone ok"
     | grep -q '"values":'
 echo "smoke: evaluate ok"
 
+# A fig6c-shaped stride-prefetcher grid must ride the single-pass engine.
+"$GMAP" client evaluate --addr "$ADDR" --model "$MODEL" --grid 8:4,16:4,64:4 \
+    --stride-prefetch 64:2:1 \
+    | grep -q '"single_pass":true'
+echo "smoke: prefetcher evaluate single-pass ok"
+
+# An out-of-envelope prefetcher table is a structured 400, not a crash.
+if "$GMAP" client evaluate --addr "$ADDR" --model "$MODEL" --grid 16:4 \
+    --stride-prefetch 3:2 >"$WORK/pf.out" 2>&1; then
+    echo "smoke: unsupported prefetcher was not rejected" >&2
+    exit 1
+fi
+grep -q 'power of two' "$WORK/pf.out"
+echo "smoke: unsupported prefetcher rejected with 400"
+
 # Repeat profile must be a cache hit, visible in /metrics.
 "$GMAP" client profile --addr "$ADDR" --workload kmeans --scale tiny \
     | grep -q '"cached":true'

@@ -132,6 +132,8 @@ CLIENT ACTIONS (all need --addr HOST:PORT):
   evaluate --model ID --grid KB:ASSOC[:LINE[:POLICY]][,...]
            [--level l1|l2] [--kernel N] [--metric l1_miss_pct|l2_miss_pct]
            [--seed N]
+           [--stride-prefetch TABLE:DEGREE[:DISTANCE[:CONFIDENCE]]]  (l1 grids)
+           [--stream-prefetch WINDOW:DEGREE[:STREAMS]]               (l2 grids)
 "
     .to_owned()
 }
@@ -632,9 +634,51 @@ fn client_seed(args: &[String]) -> Result<Option<u64>, String> {
         .transpose()
 }
 
+/// Splits a colon-separated numeric spec into `lo..=hi` fields.
+fn numeric_fields(spec: &str, lo: usize, hi: usize, shape: &str) -> Result<Vec<u32>, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if !(lo..=hi).contains(&parts.len()) {
+        return Err(format!("bad spec {spec:?} (expected {shape})"));
+    }
+    parts
+        .iter()
+        .map(|p| {
+            p.parse()
+                .map_err(|e| format!("bad field {p:?} in {spec:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Parses `--stride-prefetch TABLE:DEGREE[:DISTANCE[:CONFIDENCE]]`.
+fn parse_stride_prefetch(spec: &str) -> Result<gmap::serve::api::StridePoint, String> {
+    let f = numeric_fields(spec, 2, 4, "TABLE:DEGREE[:DISTANCE[:CONFIDENCE]]")?;
+    Ok(gmap::serve::api::StridePoint {
+        table: f[0],
+        degree: f[1],
+        distance: f.get(2).copied(),
+        confidence: f.get(3).copied(),
+    })
+}
+
+/// Parses `--stream-prefetch WINDOW:DEGREE[:STREAMS]`.
+fn parse_stream_prefetch(spec: &str) -> Result<gmap::serve::api::StreamPoint, String> {
+    let f = numeric_fields(spec, 2, 3, "WINDOW:DEGREE[:STREAMS]")?;
+    Ok(gmap::serve::api::StreamPoint {
+        window: f[0],
+        degree: f[1],
+        streams: f.get(2).copied(),
+    })
+}
+
 /// Parses an evaluation grid: comma-separated `KB:ASSOC[:LINE[:POLICY]]`
-/// points, all applied to `level`.
-fn parse_grid(spec: &str, level: Option<&str>) -> Result<Vec<gmap::serve::api::GridPoint>, String> {
+/// points, all applied to `level`, each carrying the same optional
+/// prefetcher attachment.
+fn parse_grid(
+    spec: &str,
+    level: Option<&str>,
+    stride: Option<&gmap::serve::api::StridePoint>,
+    stream: Option<&gmap::serve::api::StreamPoint>,
+) -> Result<Vec<gmap::serve::api::GridPoint>, String> {
     spec.split(',')
         .map(|point| {
             let parts: Vec<&str> = point.split(':').collect();
@@ -656,6 +700,8 @@ fn parse_grid(spec: &str, level: Option<&str>) -> Result<Vec<gmap::serve::api::G
                     .map(|l| l.parse().map_err(|e| format!("bad line in {point:?}: {e}")))
                     .transpose()?,
                 policy: parts.get(3).map(|p| (*p).to_owned()),
+                stride_prefetch: stride.cloned(),
+                stream_prefetch: stream.cloned(),
             })
         })
         .collect()
@@ -723,16 +769,32 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             check_flags(
                 rest,
                 &[
-                    "--addr", "--model", "--grid", "--level", "--kernel", "--metric", "--seed",
+                    "--addr",
+                    "--model",
+                    "--grid",
+                    "--level",
+                    "--kernel",
+                    "--metric",
+                    "--seed",
+                    "--stride-prefetch",
+                    "--stream-prefetch",
                 ],
                 &[],
             )?;
             let kernel = flag(rest, &["--kernel"])
                 .map(|k| k.parse().map_err(|e| format!("bad --kernel {k:?}: {e}")))
                 .transpose()?;
+            let stride = flag(rest, &["--stride-prefetch"])
+                .map(parse_stride_prefetch)
+                .transpose()?;
+            let stream = flag(rest, &["--stream-prefetch"])
+                .map(parse_stream_prefetch)
+                .transpose()?;
             let grid = parse_grid(
                 flag(rest, &["--grid"]).ok_or("missing --grid SPEC")?,
                 flag(rest, &["--level"]),
+                stride.as_ref(),
+                stream.as_ref(),
             )?;
             let body = canonical_json(&api::EvaluateRequest {
                 model_id: flag(rest, &["--model"])
@@ -839,16 +901,45 @@ mod tests {
 
     #[test]
     fn grid_specs_parse() {
-        let grid = parse_grid("16:4,32:8:64:fifo", Some("l2")).expect("valid grid");
+        let grid = parse_grid("16:4,32:8:64:fifo", Some("l2"), None, None).expect("valid grid");
         assert_eq!(grid.len(), 2);
         assert_eq!((grid[0].size_kb, grid[0].assoc), (16, 4));
         assert_eq!(grid[0].line, None);
         assert_eq!(grid[1].line, Some(64));
         assert_eq!(grid[1].policy.as_deref(), Some("fifo"));
         assert_eq!(grid[1].level.as_deref(), Some("l2"));
-        assert!(parse_grid("16", None).is_err());
-        assert!(parse_grid("16:4:64:lru:extra", None).is_err());
-        assert!(parse_grid("a:b", None).is_err());
+        assert_eq!(grid[0].stride_prefetch, None);
+        assert_eq!(grid[0].stream_prefetch, None);
+        assert!(parse_grid("16", None, None, None).is_err());
+        assert!(parse_grid("16:4:64:lru:extra", None, None, None).is_err());
+        assert!(parse_grid("a:b", None, None, None).is_err());
+    }
+
+    #[test]
+    fn prefetch_specs_parse_and_attach_to_every_point() {
+        let stride = parse_stride_prefetch("64:2").expect("minimal stride");
+        assert_eq!((stride.table, stride.degree), (64, 2));
+        assert_eq!((stride.distance, stride.confidence), (None, None));
+        let full = parse_stride_prefetch("256:4:2:3").expect("full stride");
+        assert_eq!((full.distance, full.confidence), (Some(2), Some(3)));
+        assert!(parse_stride_prefetch("64").is_err());
+        assert!(parse_stride_prefetch("64:2:1:2:9").is_err());
+
+        let stream = parse_stream_prefetch("16:4").expect("minimal stream");
+        assert_eq!(
+            (stream.window, stream.degree, stream.streams),
+            (16, 4, None)
+        );
+        let full = parse_stream_prefetch("32:8:64").expect("full stream");
+        assert_eq!(full.streams, Some(64));
+        assert!(parse_stream_prefetch("x:y").is_err());
+
+        let grid = parse_grid("8:4,16:4", None, Some(&stride), None).expect("stride grid");
+        assert!(grid
+            .iter()
+            .all(|p| p.stride_prefetch == Some(stride.clone())));
+        let grid = parse_grid("512:8", Some("l2"), None, Some(&stream)).expect("stream grid");
+        assert_eq!(grid[0].stream_prefetch, Some(stream));
     }
 
     #[test]
