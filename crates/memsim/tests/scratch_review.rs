@@ -1,0 +1,28 @@
+use gmap_memsim::cache::{CacheConfig, ReplacementPolicy};
+use gmap_memsim::stackdist::{
+    evaluate_lru_prefetch_multi, replay_per_config_prefetch, LineAccess, PrefetchSchedule,
+    WriteMode,
+};
+
+#[test]
+fn candidate_equal_to_demand_line_stays_exact() {
+    // Single-set caches of assoc 1, 2, 3 (one set-count class).
+    let lru = |size: u64, assoc: u32| {
+        CacheConfig::new(size, assoc, 64, ReplacementPolicy::Lru).expect("valid")
+    };
+    let configs = [lru(64, 1), lru(128, 2), lru(192, 3)];
+    // Access 1 is a miss carrying a candidate equal to its own line
+    // (distance = 0 stride prefetcher emits exactly this).
+    let stream = vec![
+        LineAccess::new(9, false),
+        LineAccess::new(0, false),
+        LineAccess::new(9, false),
+    ];
+    let mut sched = PrefetchSchedule::new();
+    sched.push(&[]);
+    sched.push(&[0]);
+    sched.push(&[]);
+    let r = evaluate_lru_prefetch_multi(&configs, &stream, &sched, WriteMode::Allocate).unwrap();
+    let reference = replay_per_config_prefetch(&configs, &stream, Some(&sched), WriteMode::Allocate);
+    assert_eq!(r.counts, reference, "fell_back={}", r.fell_back);
+}
