@@ -1,10 +1,14 @@
 //! Minimal HTTP/1.1 framing over `std::net`.
 //!
-//! The service needs exactly one shape of conversation: read one request
-//! (line + headers + `Content-Length` body), write one response, close.
-//! This module implements that shape from the stdlib — no async runtime,
-//! no external HTTP crate — with hard limits on header and body size so a
-//! misbehaving peer cannot balloon memory.
+//! The service speaks one shape of conversation: read a request (line +
+//! headers + `Content-Length` body), write a response, and — since the
+//! resilience layer — *keep the connection* for the next request unless
+//! either side asks to close. This module implements that shape from the
+//! stdlib — no async runtime, no external HTTP crate — with hard limits
+//! on header and body size so a misbehaving peer cannot balloon memory,
+//! and with read errors classified finely enough for the server to pick
+//! the right response (400 for malformed bytes, 408 for a mid-request
+//! stall, 413 for an oversized body, silent close for an idle peer).
 
 use std::io::{self, BufRead, Read, Write};
 
@@ -37,6 +41,16 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Whether the client asked for the connection to close after this
+    /// request (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| {
+            v.to_ascii_lowercase()
+                .split(',')
+                .any(|t| t.trim() == "close")
+        })
+    }
+
     /// The body as UTF-8, or an error suitable for a 400 response.
     ///
     /// # Errors
@@ -52,17 +66,26 @@ impl Request {
 pub enum ReadError {
     /// The peer closed the connection before sending a request.
     Eof,
-    /// Transport-level failure (timeouts included).
+    /// Transport-level failure other than a timeout.
     Io(io::Error),
+    /// The read timed out; `mid_request` distinguishes a stalled sender
+    /// (answer 408) from an idle keep-alive connection (close silently).
+    Timeout {
+        /// Whether any request bytes had been consumed before the stall.
+        mid_request: bool,
+    },
     /// The bytes did not form an acceptable request; the message is safe
     /// to echo in a 400 response.
     Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`] (answer 413).
+    TooLarge(String),
 }
 
-impl From<io::Error> for ReadError {
-    fn from(e: io::Error) -> Self {
-        ReadError::Io(e)
-    }
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Reads one HTTP/1.1 request from `reader`.
@@ -71,14 +94,17 @@ impl From<io::Error> for ReadError {
 ///
 /// [`ReadError::Eof`] on a cleanly closed idle connection,
 /// [`ReadError::Malformed`] for protocol violations (oversized head,
-/// missing/bad `Content-Length`, bad request line), [`ReadError::Io`]
-/// for transport failures.
+/// missing/bad `Content-Length`, bad request line, a body cut short by
+/// the peer), [`ReadError::TooLarge`] for bodies over the limit,
+/// [`ReadError::Timeout`] when the transport timed out, and
+/// [`ReadError::Io`] for other transport failures.
 pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
     let mut head = Vec::new();
     // Read up to the blank line terminating the header block.
     loop {
+        let started = !head.is_empty();
         let mut line = Vec::new();
-        let n = read_crlf_line(reader, &mut line, MAX_HEAD_BYTES - head.len())?;
+        let n = read_crlf_line(reader, &mut line, MAX_HEAD_BYTES - head.len(), started)?;
         if n == 0 && head.is_empty() {
             return Err(ReadError::Eof);
         }
@@ -129,12 +155,19 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
         .transpose()?
         .unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::Malformed(format!(
+        return Err(ReadError::TooLarge(format!(
             "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
         )));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            // The peer promised Content-Length bytes and closed early.
+            ReadError::Malformed("request body truncated before Content-Length bytes".into())
+        } else {
+            classify_io(e, true)
+        }
+    })?;
     Ok(Request {
         method,
         path,
@@ -143,18 +176,32 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
     })
 }
 
+/// Classifies a transport error: timeouts become [`ReadError::Timeout`]
+/// (with the mid-request flag), everything else stays [`ReadError::Io`].
+fn classify_io(e: io::Error, mid_request: bool) -> ReadError {
+    if is_timeout(&e) {
+        ReadError::Timeout { mid_request }
+    } else {
+        ReadError::Io(e)
+    }
+}
+
 /// Reads one CRLF- (or bare-LF-) terminated line into `out`, without the
 /// terminator. Returns the number of bytes consumed (0 on EOF).
+/// `mid_request` labels a timeout here as stalling an in-progress
+/// request (vs. an idle connection).
 fn read_crlf_line<R: BufRead>(
     reader: &mut R,
     out: &mut Vec<u8>,
     limit: usize,
+    mid_request: bool,
 ) -> Result<usize, ReadError> {
     let mut raw = Vec::new();
     let n = reader
         .by_ref()
         .take(limit as u64 + 2)
-        .read_until(b'\n', &mut raw)?;
+        .read_until(b'\n', &mut raw)
+        .map_err(|e| classify_io(e, mid_request))?;
     if n > limit + 1 {
         return Err(ReadError::Malformed("line too long".into()));
     }
@@ -182,6 +229,26 @@ pub fn status_reason(status: u16) -> &'static str {
     }
 }
 
+/// Connection/header options for one response.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseOpts {
+    /// Emit `Connection: close` (and actually close afterwards) instead
+    /// of `Connection: keep-alive`.
+    pub close: bool,
+    /// Attach a `Retry-After: <seconds>` header (for 429/503 shedding).
+    pub retry_after: Option<u64>,
+}
+
+impl ResponseOpts {
+    /// The one-shot default: close after responding, no retry hint.
+    pub fn closing() -> Self {
+        ResponseOpts {
+            close: true,
+            retry_after: None,
+        }
+    }
+}
+
 /// Writes one complete `Connection: close` response.
 ///
 /// # Errors
@@ -193,13 +260,36 @@ pub fn write_response<W: Write>(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
+    write_response_opts(writer, status, content_type, body, ResponseOpts::closing())
+}
+
+/// Writes one complete response with explicit connection semantics.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response_opts<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    opts: ResponseOpts,
+) -> io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         status_reason(status),
         content_type,
         body.len(),
+    )?;
+    if let Some(secs) = opts.retry_after {
+        write!(writer, "Retry-After: {secs}\r\n")?;
+    }
+    write!(
+        writer,
+        "Connection: {}\r\n\r\n{}",
+        if opts.close { "close" } else { "keep-alive" },
         body
     )?;
     writer.flush()
@@ -264,16 +354,38 @@ mod tests {
         );
         assert!(matches!(
             parse(head.as_bytes()),
+            Err(ReadError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
             Err(ReadError::Malformed(_))
         ));
     }
 
     #[test]
-    fn truncated_body_is_an_io_error() {
-        assert!(matches!(
-            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
-            Err(ReadError::Io(_))
-        ));
+    fn connection_close_header_is_detected() {
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").expect("valid");
+        assert!(r.wants_close());
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n").expect("valid");
+        assert!(r.wants_close());
+        let r = parse(b"GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").expect("valid");
+        assert!(!r.wants_close());
+        let r = parse(b"GET / HTTP/1.1\r\n\r\n").expect("valid");
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn timeouts_are_classified_by_phase() {
+        let idle = classify_io(io::Error::from(io::ErrorKind::WouldBlock), false);
+        assert!(matches!(idle, ReadError::Timeout { mid_request: false }));
+        let mid = classify_io(io::Error::from(io::ErrorKind::TimedOut), true);
+        assert!(matches!(mid, ReadError::Timeout { mid_request: true }));
+        let other = classify_io(io::Error::from(io::ErrorKind::ConnectionReset), true);
+        assert!(matches!(other, ReadError::Io(_)));
     }
 
     #[test]
@@ -289,6 +401,26 @@ mod tests {
         let text = String::from_utf8(out).expect("ascii");
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+
+    #[test]
+    fn keep_alive_response_carries_retry_after() {
+        let mut out = Vec::new();
+        write_response_opts(
+            &mut out,
+            503,
+            "application/json",
+            "{}",
+            ResponseOpts {
+                close: false,
+                retry_after: Some(2),
+            },
+        )
+        .expect("write");
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 }

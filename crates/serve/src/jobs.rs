@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// A unit of queued work.
@@ -34,6 +35,7 @@ pub struct JobQueue {
     state: Mutex<QueueState>,
     cond: Condvar,
     capacity: usize,
+    panics: AtomicU64,
 }
 
 impl JobQueue {
@@ -47,7 +49,14 @@ impl JobQueue {
             }),
             cond: Condvar::new(),
             capacity: capacity.max(1),
+            panics: AtomicU64::new(0),
         }
+    }
+
+    /// Jobs whose execution panicked (the panic was contained and the
+    /// worker survived). Surfaced as `gmap_worker_panics_total`.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Enqueues a job, failing fast on a full queue or during shutdown.
@@ -100,8 +109,10 @@ impl JobQueue {
             };
             let Some(job) = job else { return };
             // Contain panics: the requester observes a disconnected
-            // channel and answers 500; the worker survives.
-            let _ = catch_unwind(AssertUnwindSafe(job));
+            // channel and answers a structured 500; the worker survives.
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+            }
             let mut state = self.state.lock().expect("queue lock poisoned");
             state.in_flight -= 1;
             drop(state);
@@ -231,6 +242,7 @@ mod tests {
         queue.shutdown();
         queue.wait_drained();
         assert_eq!(ran.load(Ordering::SeqCst), 1, "worker survived the panic");
+        assert_eq!(queue.panics(), 1, "contained panic was counted");
         for w in workers {
             w.join().expect("worker exits cleanly");
         }

@@ -14,15 +14,21 @@
 //!
 //! Architecture (one module each):
 //!
-//! * [`http`] — single-request HTTP/1.1 framing with size limits.
+//! * [`http`] — keep-alive HTTP/1.1 framing with size limits and
+//!   fine-grained error classification (idle vs mid-request timeouts).
 //! * [`api`] — wire types; bodies are canonical compact JSON.
-//! * [`jobs`] — bounded job queue: full ⇒ 429, shutdown drains fully.
-//! * [`cache`] — content-addressed model store (memory + optional disk),
-//!   keyed by the hash of the canonical workload spec.
+//! * [`jobs`] — bounded job queue: full ⇒ 429, shutdown drains fully,
+//!   panics contained and counted.
+//! * [`cache`] — content-addressed model store, keyed by the hash of
+//!   the canonical workload spec: bounded LRU memory tier + optional
+//!   checksummed disk tier with corruption quarantine.
 //! * [`metrics`] — atomics + [`gmap_trace::LatencyHistogram`] registry.
 //! * [`handlers`] — endpoint logic with cooperative cancellation.
-//! * [`server`] — accept loop, worker pool, deadlines, graceful shutdown.
-//! * [`client`] — the minimal client used by `gmap client` and tests.
+//! * [`server`] — accept loop, worker pool, deadlines, load shedding,
+//!   graceful shutdown.
+//! * [`client`] — the minimal client used by `gmap client` and tests,
+//!   with an idempotent-only retry wrapper (backoff + jitter).
+//! * [`faults`] — deterministic seeded fault injection for chaos tests.
 //!
 //! ```no_run
 //! let handle = gmap_serve::start(gmap_serve::ServeConfig::default())
@@ -43,6 +49,7 @@
 pub mod api;
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod handlers;
 pub mod http;
 pub mod jobs;

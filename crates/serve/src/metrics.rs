@@ -82,6 +82,34 @@ pub struct Metrics {
     /// Specs rejected with 422 by the static-analysis admission gate
     /// (before ever entering the job queue).
     pub analyze_rejects: AtomicU64,
+    /// Jobs whose deadline expired while still queued: answered 504
+    /// without the handler ever executing.
+    pub jobs_shed: AtomicU64,
+}
+
+/// Point-in-time values that live outside the counter registry (queue
+/// state, cache occupancy, fault-injection totals) and are sampled by
+/// the caller at render time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RuntimeStats {
+    /// Jobs waiting in the queue.
+    pub queue_depth: usize,
+    /// Jobs currently executing on workers.
+    pub jobs_in_flight: usize,
+    /// Models resident in the memory tier.
+    pub models_cached: usize,
+    /// Configured memory-tier bound.
+    pub cache_capacity: usize,
+    /// Open client connections.
+    pub active_connections: usize,
+    /// Memory-tier evictions so far.
+    pub cache_evictions: u64,
+    /// Disk entries quarantined after integrity failures.
+    pub cache_quarantined: u64,
+    /// Worker-pool jobs that panicked (contained).
+    pub worker_panics: u64,
+    /// Faults injected by the fault-injection layer (0 when disabled).
+    pub faults_injected: u64,
 }
 
 impl Metrics {
@@ -105,16 +133,10 @@ impl Metrics {
         self.endpoint(which).record(elapsed, status);
     }
 
-    /// Renders the Prometheus-style text exposition. Gauges that live
-    /// outside the registry (queue state, cache size, connections) are
-    /// passed in by the caller.
-    pub fn render(
-        &self,
-        queue_depth: usize,
-        jobs_in_flight: usize,
-        models_cached: usize,
-        active_connections: usize,
-    ) -> String {
+    /// Renders the Prometheus-style text exposition. Gauges and
+    /// externally-owned counters (queue state, cache occupancy, panic and
+    /// fault totals) are sampled by the caller into [`RuntimeStats`].
+    pub fn render(&self, rt: RuntimeStats) -> String {
         let mut out = String::with_capacity(2048);
         let endpoints = [
             Endpoint::Profile,
@@ -196,14 +218,23 @@ impl Metrics {
                 "gmap_analyze_rejects_total",
                 self.analyze_rejects.load(Ordering::Relaxed),
             ),
+            (
+                "gmap_jobs_shed_total",
+                self.jobs_shed.load(Ordering::Relaxed),
+            ),
+            ("gmap_cache_evictions_total", rt.cache_evictions),
+            ("gmap_cache_quarantined_total", rt.cache_quarantined),
+            ("gmap_worker_panics_total", rt.worker_panics),
+            ("gmap_faults_injected_total", rt.faults_injected),
         ] {
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
         }
         for (name, value) in [
-            ("gmap_queue_depth", queue_depth),
-            ("gmap_jobs_in_flight", jobs_in_flight),
-            ("gmap_models_cached", models_cached),
-            ("gmap_active_connections", active_connections),
+            ("gmap_queue_depth", rt.queue_depth),
+            ("gmap_jobs_in_flight", rt.jobs_in_flight),
+            ("gmap_models_cached", rt.models_cached),
+            ("gmap_cache_capacity", rt.cache_capacity),
+            ("gmap_active_connections", rt.active_connections),
         ] {
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
         }
@@ -238,26 +269,43 @@ mod tests {
         m.cache_hits.fetch_add(2, Ordering::Relaxed);
         m.rejected_full.fetch_add(7, Ordering::Relaxed);
         m.analyze_rejects.fetch_add(5, Ordering::Relaxed);
-        let text = m.render(4, 1, 3, 9);
+        m.jobs_shed.fetch_add(3, Ordering::Relaxed);
+        let text = m.render(RuntimeStats {
+            queue_depth: 4,
+            jobs_in_flight: 1,
+            models_cached: 3,
+            cache_capacity: 16,
+            active_connections: 9,
+            cache_evictions: 6,
+            cache_quarantined: 2,
+            worker_panics: 1,
+            faults_injected: 8,
+        });
         assert!(text.contains("gmap_requests_total{endpoint=\"profile\"} 2"));
         assert!(text.contains("gmap_request_errors_total{endpoint=\"profile\"} 1"));
         assert!(text.contains("gmap_request_latency_seconds_count{endpoint=\"profile\"} 2"));
         assert_eq!(scrape(&text, "gmap_cache_hits_total"), Some(2.0));
         assert_eq!(scrape(&text, "gmap_queue_rejected_total"), Some(7.0));
         assert_eq!(scrape(&text, "gmap_analyze_rejects_total"), Some(5.0));
+        assert_eq!(scrape(&text, "gmap_jobs_shed_total"), Some(3.0));
+        assert_eq!(scrape(&text, "gmap_cache_evictions_total"), Some(6.0));
+        assert_eq!(scrape(&text, "gmap_cache_quarantined_total"), Some(2.0));
+        assert_eq!(scrape(&text, "gmap_worker_panics_total"), Some(1.0));
+        assert_eq!(scrape(&text, "gmap_faults_injected_total"), Some(8.0));
         assert_eq!(scrape(&text, "gmap_queue_depth"), Some(4.0));
         assert_eq!(scrape(&text, "gmap_jobs_in_flight"), Some(1.0));
         assert_eq!(scrape(&text, "gmap_models_cached"), Some(3.0));
+        assert_eq!(scrape(&text, "gmap_cache_capacity"), Some(16.0));
         assert_eq!(scrape(&text, "gmap_active_connections"), Some(9.0));
     }
 
     #[test]
     fn quantiles_appear_once_latency_is_recorded() {
         let m = Metrics::new();
-        let empty = m.render(0, 0, 0, 0);
+        let empty = m.render(RuntimeStats::default());
         assert!(!empty.contains("quantile"));
         m.record_request(Endpoint::Evaluate, Duration::from_micros(800), 200);
-        let text = m.render(0, 0, 0, 0);
+        let text = m.render(RuntimeStats::default());
         assert!(
             text.contains("gmap_request_latency_seconds{endpoint=\"evaluate\",quantile=\"0.5\"}")
         );

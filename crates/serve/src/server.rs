@@ -1,33 +1,52 @@
-//! The HTTP server: accept loop, request routing, deadline enforcement,
-//! and drain-first graceful shutdown.
+//! The HTTP server: accept loop, keep-alive request routing, deadline
+//! enforcement, load shedding, and drain-first graceful shutdown.
 //!
 //! Threading model: one accept thread polls a non-blocking listener; each
-//! accepted connection gets a short-lived connection thread that parses
-//! the request, and — for the pipeline endpoints — submits a job to the
-//! bounded [`JobQueue`] and waits on a channel with a deadline. A fixed
-//! worker pool executes the jobs. `/healthz` and `/metrics` are answered
-//! directly on the connection thread so the service stays observable even
-//! when every worker is busy.
+//! accepted connection gets a connection thread that serves up to
+//! [`ServeConfig::keepalive_max`] requests over one socket, and — for the
+//! pipeline endpoints — submits a job to the bounded [`JobQueue`] and
+//! waits on a channel with a deadline. A fixed worker pool executes the
+//! jobs. `/healthz` and `/metrics` are answered directly on the
+//! connection thread so the service stays observable even when every
+//! worker is busy.
+//!
+//! Resilience properties (see DESIGN.md "Resilience"):
+//! - idle peers are closed silently after `idle_timeout`; a peer that
+//!   stalls *mid-request* gets a 408 and a close;
+//! - malformed or oversized input downgrades the connection to
+//!   `Connection: close` after the error response;
+//! - jobs whose deadline expired while still queued are shed (504, the
+//!   handler never runs);
+//! - 429/503 responses carry `Retry-After`;
+//! - a panicking handler is contained by the worker pool and mapped to a
+//!   structured 500 for the requester;
+//! - when a [`crate::faults`] spec is configured, the injector is armed
+//!   here and threaded through the cache, the request reader, the worker
+//!   path, and the response writer.
 //!
 //! Shutdown ordering guarantees that no *accepted* request is dropped:
 //! stop accepting → wait for connection threads (each waits for its job)
 //! → stop the queue → drain remaining jobs → join workers.
 
 use crate::api::{self, ApiError};
-use crate::cache::ModelStore;
+use crate::cache::{ModelStore, DEFAULT_MEM_CAPACITY};
+use crate::faults::{FaultInjector, FaultSpec, TruncatedReader};
 use crate::handlers;
-use crate::http::{self, ReadError, Request};
+use crate::http::{self, ReadError, Request, ResponseOpts};
 use crate::jobs::{JobQueue, SubmitError};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{Endpoint, Metrics, RuntimeStats};
 use gmap_core::cachekey::canonical_json;
 use serde::{Deserialize, Serialize};
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Seconds advertised in `Retry-After` on 429/503 responses.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -39,10 +58,21 @@ pub struct ServeConfig {
     /// Maximum number of *pending* jobs before submissions get 429.
     pub queue_capacity: usize,
     /// Per-request deadline; expired requests get 504 and their job is
-    /// cooperatively cancelled.
+    /// cooperatively cancelled (or shed before executing).
     pub deadline: Duration,
     /// Optional on-disk tier for the model cache.
     pub cache_dir: Option<PathBuf>,
+    /// Memory-tier bound of the model cache (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Requests served per connection before it is closed.
+    pub keepalive_max: usize,
+    /// How long a peer may stall *mid-request* before getting 408.
+    pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before being closed silently.
+    pub idle_timeout: Duration,
+    /// Deterministic fault-injection spec (`None` in production).
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +83,11 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             deadline: Duration::from_secs(60),
             cache_dir: None,
+            cache_capacity: DEFAULT_MEM_CAPACITY,
+            keepalive_max: 100,
+            read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
+            faults: None,
         }
     }
 }
@@ -66,7 +101,33 @@ pub struct ServerState {
     /// Metrics registry behind `/metrics`.
     pub metrics: Metrics,
     deadline: Duration,
+    keepalive_max: usize,
+    read_timeout: Duration,
+    idle_timeout: Duration,
+    faults: Option<Arc<FaultInjector>>,
     active_connections: AtomicUsize,
+}
+
+impl ServerState {
+    /// The armed fault injector, when a fault spec is configured.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Samples the point-in-time values rendered alongside the counters.
+    fn runtime_stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            queue_depth: self.queue.depth(),
+            jobs_in_flight: self.queue.in_flight(),
+            models_cached: self.store.len(),
+            cache_capacity: self.store.capacity(),
+            active_connections: self.active_connections.load(Ordering::SeqCst),
+            cache_evictions: self.store.evictions(),
+            cache_quarantined: self.store.quarantined(),
+            worker_panics: self.queue.panics(),
+            faults_injected: self.faults.as_ref().map_or(0, |f| f.injected_total()),
+        }
+    }
 }
 
 /// A running server; dropping the handle does *not* stop it — call
@@ -89,11 +150,24 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.listen)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let faults = config.faults.clone().map(|spec| {
+        let injector = Arc::new(FaultInjector::new(spec));
+        injector.set_armed(true);
+        injector
+    });
     let state = Arc::new(ServerState {
         queue: JobQueue::new(config.queue_capacity),
-        store: ModelStore::new(config.cache_dir.clone())?,
+        store: ModelStore::with_config(
+            config.cache_dir.clone(),
+            config.cache_capacity,
+            faults.clone(),
+        )?,
         metrics: Metrics::new(),
         deadline: config.deadline,
+        keepalive_max: config.keepalive_max.max(1),
+        read_timeout: config.read_timeout,
+        idle_timeout: config.idle_timeout,
+        faults,
         active_connections: AtomicUsize::new(0),
     });
     let worker_threads = (0..config.workers.max(1))
@@ -178,29 +252,71 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<Atom
     }
 }
 
-/// Routes one connection. Connection threads do the cheap work (parse,
-/// route, wait) and leave pipeline execution to the worker pool.
-fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let mut reader = BufReader::new(match stream.try_clone() {
+/// Serves one connection: up to `keepalive_max` requests over the same
+/// socket. Connection threads do the cheap work (parse, route, wait) and
+/// leave pipeline execution to the worker pool.
+///
+/// Timeout policy: between requests the socket runs under `idle_timeout`
+/// and an expiry closes the connection silently (the peer simply went
+/// quiet); once the request line has arrived the socket runs under
+/// `read_timeout` and a stall is answered with 408 before closing.
+/// Malformed or oversized input always downgrades to `Connection: close`.
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    // A `trunc_body` fault cuts the inbound byte stream for this whole
+    // connection, simulating a peer that dies mid-send.
+    let trunc_budget = state.faults.as_ref().and_then(|f| f.truncate_after());
+    let read_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
-    });
-    let request = match http::read_request(&mut reader) {
-        Ok(r) => r,
-        Err(ReadError::Eof) | Err(ReadError::Io(_)) => return,
-        Err(ReadError::Malformed(msg)) => {
-            respond(stream, 400, &ApiError::bad_request(msg).body());
+    };
+    let mut reader = BufReader::new(TruncatedReader::new(read_half, trunc_budget));
+    let mut served = 0usize;
+    while served < state.keepalive_max {
+        // Idle phase: wait for the first byte of the next request. The
+        // read timeout is set on `stream`, which shares the socket with
+        // the reader's clone.
+        if stream.set_read_timeout(Some(state.idle_timeout)).is_err() {
             return;
         }
-    };
-    let started = Instant::now();
-    let endpoint = classify(&request);
-    let (status, body, content_type) = route(&request, state);
-    state
-        .metrics
-        .record_request(endpoint, started.elapsed(), status);
-    respond_with_type(stream, status, content_type, &body);
+        match reader.fill_buf() {
+            Ok([]) => return, // peer closed cleanly
+            Ok(_) => {}
+            Err(_) => return, // idle timeout or transport error
+        }
+        let _ = stream.set_read_timeout(Some(state.read_timeout));
+        let request = match http::read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ReadError::Eof)
+            | Err(ReadError::Io(_))
+            | Err(ReadError::Timeout { mid_request: false }) => return,
+            Err(ReadError::Timeout { mid_request: true }) => {
+                let e = ApiError::new(408, "timed out reading request");
+                write_reply(&mut stream, state, 408, "application/json", &e.body(), true);
+                return;
+            }
+            Err(ReadError::Malformed(msg)) => {
+                let e = ApiError::bad_request(msg);
+                write_reply(&mut stream, state, 400, "application/json", &e.body(), true);
+                return;
+            }
+            Err(ReadError::TooLarge(msg)) => {
+                let e = ApiError::new(413, msg);
+                write_reply(&mut stream, state, 413, "application/json", &e.body(), true);
+                return;
+            }
+        };
+        served += 1;
+        let started = Instant::now();
+        let endpoint = classify(&request);
+        let (status, body, content_type) = route(&request, state);
+        state
+            .metrics
+            .record_request(endpoint, started.elapsed(), status);
+        let close = request.wants_close() || served >= state.keepalive_max;
+        if !write_reply(&mut stream, state, status, content_type, &body, close) || close {
+            return;
+        }
+    }
 }
 
 fn classify(request: &Request) -> Endpoint {
@@ -213,14 +329,37 @@ fn classify(request: &Request) -> Endpoint {
     }
 }
 
-fn respond(stream: TcpStream, status: u16, body: &str) {
-    respond_with_type(stream, status, "application/json", body);
-}
-
-fn respond_with_type(mut stream: TcpStream, status: u16, content_type: &str, body: &str) {
+/// Renders and writes one response. Returns `false` when the connection
+/// must not serve further requests (write failure or an injected reset).
+/// 429/503 responses carry a `Retry-After` hint for well-behaved clients.
+fn write_reply(
+    stream: &mut TcpStream,
+    state: &Arc<ServerState>,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+) -> bool {
+    let opts = ResponseOpts {
+        close,
+        retry_after: matches!(status, 429 | 503).then_some(RETRY_AFTER_SECS),
+    };
+    let mut buf = Vec::with_capacity(body.len() + 128);
+    if http::write_response_opts(&mut buf, status, content_type, body, opts).is_err() {
+        return false;
+    }
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let _ = http::write_response(&mut stream, status, content_type, body);
-    let _ = stream.flush();
+    // A `reset` fault drops the connection after a fault-chosen prefix of
+    // the response, simulating a mid-response network reset.
+    if let Some(f) = &state.faults {
+        if let Some(n) = f.reset_after(buf.len()) {
+            let _ = stream.write_all(&buf[..n]);
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return false;
+        }
+    }
+    stream.write_all(&buf).is_ok() && stream.flush().is_ok()
 }
 
 /// Dispatches a parsed request to its endpoint and renders the response
@@ -229,12 +368,7 @@ fn route(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static 
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string(), "application/json"),
         ("GET", "/metrics") => {
-            let text = state.metrics.render(
-                state.queue.depth(),
-                state.queue.in_flight(),
-                state.store.len(),
-                state.active_connections.load(Ordering::SeqCst),
-            );
+            let text = state.metrics.render(state.runtime_stats());
             (200, text, "text/plain; version=0.0.4")
         }
         ("POST", "/v1/profile") => profile_endpoint(request, state),
@@ -326,7 +460,27 @@ where
     let cancel = Arc::new(AtomicBool::new(false));
     let job_cancel = Arc::clone(&cancel);
     let job_state = Arc::clone(state);
+    let enqueued = Instant::now();
+    let deadline = state.deadline;
     let submitted = state.queue.submit(Box::new(move || {
+        // Load shedding: if the deadline expired while this job sat in
+        // the queue, the requester has already been answered 504 — do
+        // not burn a worker executing a result nobody will read.
+        if enqueued.elapsed() >= deadline {
+            job_state.metrics.jobs_shed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Err(ApiError::new(504, "deadline expired in queue")));
+            return;
+        }
+        if let Some(f) = &job_state.faults {
+            // Injected slow handler: occupies this worker like real
+            // heavy work would.
+            if let Some(pause) = f.slow_for() {
+                thread::sleep(pause);
+            }
+            // Injected handler panic: contained by the worker loop; the
+            // requester sees the channel close and answers 500.
+            f.maybe_panic();
+        }
         let result = handler(&job_state, parsed, &job_cancel).map(|resp| canonical_json(&resp));
         // The requester may have timed out and gone away; that's fine.
         let _ = tx.send(result);
@@ -358,7 +512,10 @@ where
                 (e.status, e.body())
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                let e = ApiError::new(500, "internal error: job worker failed");
+                // The job dropped `tx` without sending: the handler
+                // panicked and the worker pool contained it. Structured
+                // 500 instead of a hung or reset connection.
+                let e = ApiError::new(500, "internal error: handler panicked");
                 (e.status, e.body())
             }
         },

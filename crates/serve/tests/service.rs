@@ -14,8 +14,11 @@ use gmap_serve::api::{
     EvaluateResponse, GridPoint, ProfileRequest, ProfileResponse, StridePoint,
 };
 use gmap_serve::cache::ModelStore;
+use gmap_serve::faults::FaultSpec;
 use gmap_serve::metrics::{scrape, Metrics};
 use gmap_serve::{client, handlers, ServeConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::AtomicBool;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -537,6 +540,338 @@ fn malformed_and_unknown_requests_get_structured_errors() {
     let resp = client::get(&addr, "/healthz").expect("reachable");
     assert_eq!(resp.status, 200);
     assert_eq!(resp.body, "{\"status\":\"ok\"}");
+
+    handle.shutdown();
+}
+
+fn wait_for_metric(addr: &str, metric: &str, pred: impl Fn(f64) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let m = client::get(addr, "/metrics").expect("metrics reachable");
+        if pred(scrape(&m.body, metric).unwrap_or(f64::NAN)) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{metric} never satisfied the predicate; last exposition:\n{}",
+            m.body
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn panicking_handler_is_a_structured_500_and_the_worker_survives() {
+    // panic=1: every queued job panics while the injector is armed.
+    let (handle, addr) = start(ServeConfig {
+        workers: 1,
+        faults: Some(FaultSpec::parse("9:panic=1").expect("valid spec")),
+        ..ServeConfig::default()
+    });
+
+    let resp = client::post_json(&addr, "/v1/profile", &profile_req("kmeans", "tiny"))
+        .expect("panicked request still gets a response");
+    assert_eq!(resp.status, 500, "structured 500: {}", resp.body);
+    assert!(
+        resp.body.contains("handler panicked"),
+        "the body names the failure: {}",
+        resp.body
+    );
+
+    let m = client::get(&addr, "/metrics").expect("metrics reachable");
+    assert_eq!(scrape(&m.body, "gmap_worker_panics_total"), Some(1.0));
+
+    // Disarm and reuse the same single worker: it survived the panic.
+    handle
+        .state()
+        .fault_injector()
+        .expect("faults configured")
+        .set_armed(false);
+    let resp = client::post_json(&addr, "/v1/profile", &profile_req("kmeans", "tiny"))
+        .expect("server reachable");
+    assert_eq!(resp.status, 200, "worker still serves: {}", resp.body);
+
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_expired_in_queue_is_shed_without_executing() {
+    // One worker, every job slowed well past the deadline: the first job
+    // occupies the worker while the rest expire in the queue. No job may
+    // ever reach the profiler — `gmap_cache_misses_total` stays 0.
+    let (handle, addr) = start(ServeConfig {
+        workers: 1,
+        deadline: Duration::from_millis(150),
+        faults: Some(FaultSpec::parse("7:slow=1,slow_ms=400").expect("valid spec")),
+        ..ServeConfig::default()
+    });
+
+    let clients: Vec<_> = ["kmeans", "bfs", "hotspot"]
+        .iter()
+        .map(|w| {
+            let addr = addr.clone();
+            let body = profile_req(w, "tiny");
+            thread::spawn(move || {
+                client::post_json(&addr, "/v1/profile", &body).expect("request answered")
+            })
+        })
+        .collect();
+    for t in clients {
+        let resp = t.join().expect("client thread returns");
+        assert_eq!(resp.status, 504, "expired request: {}", resp.body);
+    }
+
+    // Let the queue drain, then check what actually executed.
+    wait_for_metric(&addr, "gmap_queue_depth", |v| v == 0.0);
+    wait_for_metric(&addr, "gmap_jobs_in_flight", |v| v == 0.0);
+    wait_for_metric(&addr, "gmap_jobs_shed_total", |v| v >= 1.0);
+    let m = client::get(&addr, "/metrics").expect("metrics reachable");
+    assert_eq!(
+        scrape(&m.body, "gmap_cache_misses_total"),
+        Some(0.0),
+        "no shed or cancelled job may run a simulation"
+    );
+    assert_eq!(scrape(&m.body, "gmap_deadline_timeouts_total"), Some(3.0));
+
+    handle.shutdown();
+}
+
+#[test]
+fn memory_tier_never_exceeds_its_configured_capacity() {
+    let (handle, addr) = start(ServeConfig {
+        cache_capacity: 2,
+        ..ServeConfig::default()
+    });
+
+    for w in WORKLOADS {
+        let resp = client::post_json(&addr, "/v1/profile", &profile_req(w, "tiny"))
+            .expect("server reachable");
+        assert_eq!(resp.status, 200, "profile {w}: {}", resp.body);
+        let m = client::get(&addr, "/metrics").expect("metrics reachable");
+        let cached = scrape(&m.body, "gmap_models_cached").expect("gauge exported");
+        assert!(
+            cached <= 2.0,
+            "memory tier exceeded its bound after {w}: {cached}"
+        );
+    }
+
+    let m = client::get(&addr, "/metrics").expect("metrics reachable");
+    assert_eq!(scrape(&m.body, "gmap_cache_capacity"), Some(2.0));
+    assert_eq!(
+        scrape(&m.body, "gmap_cache_evictions_total"),
+        Some((WORKLOADS.len() - 2) as f64),
+        "evictions are visible in /metrics"
+    );
+
+    handle.shutdown();
+}
+
+/// Reads one full response from a keep-alive connection; returns
+/// `(status, connection_header, body)`.
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("parseable status");
+    let mut content_length = 0usize;
+    let mut connection = String::new();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header line");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = header.split_once(':') {
+            match k.to_ascii_lowercase().as_str() {
+                "content-length" => content_length = v.trim().parse().expect("length"),
+                "connection" => connection = v.trim().to_string(),
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, connection, String::from_utf8(body).expect("utf8"))
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_then_caps_the_connection() {
+    let (handle, addr) = start(ServeConfig {
+        keepalive_max: 2,
+        ..ServeConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let request = format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\n\r\n");
+
+    // First request: served and kept alive.
+    stream.write_all(request.as_bytes()).expect("write");
+    let (status, connection, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "keep-alive");
+    assert_eq!(body, "{\"status\":\"ok\"}");
+
+    // Second request on the same socket: served, then capped (the
+    // per-connection request limit downgrades to `Connection: close`).
+    stream.write_all(request.as_bytes()).expect("write");
+    let (status, connection, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close");
+    assert_eq!(body, "{\"status\":\"ok\"}");
+
+    // And the server really closes: the next read sees EOF.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("EOF after cap");
+    assert!(rest.is_empty(), "no bytes after the capped response");
+
+    // A client that asks to close is honored immediately.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    stream
+        .write_all(
+            format!("GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .expect("write");
+    let (status, connection, _) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close");
+
+    handle.shutdown();
+}
+
+#[test]
+fn mid_request_stall_gets_408_and_oversized_body_gets_413() {
+    let (handle, addr) = start(ServeConfig {
+        read_timeout: Duration::from_millis(200),
+        idle_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+
+    // Truncated body: the head promises bytes that never arrive. After
+    // `read_timeout` the server answers 408 and closes.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(b"POST /v1/profile HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"wor")
+        .expect("write partial");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let (status, connection, body) = read_one_response(&mut reader);
+    assert_eq!(status, 408, "stalled mid-request: {body}");
+    assert_eq!(connection, "close");
+
+    // Oversized Content-Length: rejected up front with 413.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(b"POST /v1/profile HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+        .expect("write");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let (status, connection, _) = read_one_response(&mut reader);
+    assert_eq!(status, 413);
+    assert_eq!(connection, "close");
+
+    // An idle peer is closed silently (no 408 spam for quiet sockets).
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("clean close");
+    assert!(rest.is_empty(), "idle close sends nothing");
+
+    handle.shutdown();
+}
+
+#[test]
+fn backpressure_responses_carry_retry_after_and_the_client_honors_it() {
+    let (handle, addr) = start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        deadline: Duration::from_secs(120),
+        ..ServeConfig::default()
+    });
+
+    // Saturate the single worker and the single queue slot.
+    let resp = client::post_json(&addr, "/v1/profile", &profile_req("srad", "default"))
+        .expect("server reachable");
+    assert_eq!(resp.status, 200, "warmup failed: {}", resp.body);
+    let profile: ProfileResponse = serde_json::from_str(&resp.body).expect("parses");
+    let eval_body = canonical_json(&EvaluateRequest {
+        model_id: profile.model_id,
+        kernel: None,
+        metric: None,
+        seed: None,
+        grid: slow_grid(64),
+    });
+    // An 8-deep concurrent burst against one worker and one queue slot:
+    // most of it must bounce off the full queue with 429 + Retry-After.
+    let occupiers: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let body = eval_body.clone();
+            thread::spawn(move || {
+                client::post_json(&addr, "/v1/evaluate", &body).expect("evaluate request")
+            })
+        })
+        .collect();
+
+    // Meanwhile a retrying client keeps knocking: it may eat 429s while
+    // the burst drains (honoring Retry-After, clamped by the policy
+    // cap) but must eventually land the request.
+    let retrier = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            client::request_with_retry(
+                &addr,
+                "POST",
+                "/v1/profile",
+                Some(&profile_req("kmeans", "tiny")),
+                &client::RetryPolicy {
+                    max_retries: 120,
+                    base: Duration::from_millis(25),
+                    cap: Duration::from_millis(500),
+                    seed: 7,
+                },
+            )
+            .expect("retries land")
+        })
+    };
+
+    let mut saw_retry_after = 0;
+    for t in occupiers {
+        let resp = t.join().expect("occupier returns");
+        match resp.status {
+            200 => {}
+            429 => {
+                assert_eq!(resp.retry_after, Some(1), "429 carries Retry-After");
+                saw_retry_after += 1;
+            }
+            other => panic!("occupier: unexpected status {other}: {}", resp.body),
+        }
+    }
+    assert!(
+        saw_retry_after >= 1,
+        "the burst must overflow the single-slot queue at least once"
+    );
+    let retried = retrier.join().expect("retrier thread returns");
+    assert_eq!(retried.status, 200, "{}", retried.body);
 
     handle.shutdown();
 }

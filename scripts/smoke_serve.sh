@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke test for `gmap serve`: boots the service on an ephemeral port,
-# exercises a profile -> clone round trip through `gmap client`, and
-# checks that closing the server's stdin drains it cleanly.
+# exercises a profile -> clone round trip through `gmap client`, pokes
+# the HTTP edge cases (keep-alive, truncated and oversized bodies) with
+# raw sockets, and checks that closing the server's stdin drains it
+# cleanly.
 #
 # Usage: scripts/smoke_serve.sh [path-to-gmap-binary]
 set -euo pipefail
@@ -28,7 +30,10 @@ trap cleanup EXIT
 
 # Hold the fifo open on fd 9 so the server's stdin stays open until we
 # deliberately close it for graceful shutdown.
-"$GMAP" serve --listen 127.0.0.1:0 --workers 2 <"$WORK/stdin" >"$SERVER_OUT" &
+# Short read/idle timeouts keep the truncated-body case fast.
+"$GMAP" serve --listen 127.0.0.1:0 --workers 2 \
+    --read-timeout-ms 1500 --idle-timeout-ms 1500 \
+    <"$WORK/stdin" >"$SERVER_OUT" &
 SERVER_PID=$!
 exec 9>"$WORK/stdin"
 
@@ -104,6 +109,39 @@ fi
 grep -q '422' "$WORK/gate.err"
 "$GMAP" client metrics --addr "$ADDR" | grep -q '^gmap_analyze_rejects_total 1'
 echo "smoke: admission gate rejected inadmissible spec with 422"
+
+# Raw-socket edge cases via bash's /dev/tcp.
+HOST="${ADDR%:*}"
+PORT="${ADDR##*:}"
+
+# Keep-alive: two pipelined requests on one connection get two responses;
+# the second asks for close, so the server then hangs up.
+exec 8<>"/dev/tcp/$HOST/$PORT"
+printf 'GET /healthz HTTP/1.1\r\nHost: %s\r\n\r\nGET /healthz HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n' \
+    "$ADDR" "$ADDR" >&8
+KEEPALIVE="$(cat <&8)"
+exec 8<&- 8>&- 2>/dev/null || true
+if [[ "$(grep -c 'HTTP/1.1 200' <<<"$KEEPALIVE")" -ne 2 ]]; then
+    echo "smoke: keep-alive connection did not serve two responses" >&2
+    printf '%s\n' "$KEEPALIVE" >&2
+    exit 1
+fi
+echo "smoke: keep-alive serves two requests on one connection"
+
+# An absurd Content-Length is refused up front with 413 and a close.
+exec 8<>"/dev/tcp/$HOST/$PORT"
+printf 'POST /v1/profile HTTP/1.1\r\nHost: %s\r\nContent-Length: 99999999\r\n\r\n' "$ADDR" >&8
+head -n1 <&8 | grep -q '413'
+exec 8<&- 8>&- 2>/dev/null || true
+echo "smoke: oversized body rejected with 413"
+
+# A body shorter than its Content-Length stalls mid-request: after the
+# read timeout the server answers 408 instead of hanging forever.
+exec 8<>"/dev/tcp/$HOST/$PORT"
+printf 'POST /v1/profile HTTP/1.1\r\nHost: %s\r\nContent-Length: 50\r\n\r\n{"wor' "$ADDR" >&8
+head -n1 <&8 | grep -q '408'
+exec 8<&- 8>&- 2>/dev/null || true
+echo "smoke: truncated body answered with 408"
 
 # Graceful shutdown: close stdin and expect a clean exit with the drain
 # message on stdout.

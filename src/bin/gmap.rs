@@ -121,9 +121,17 @@ SERVE OPTIONS:
   --queue N                     pending-job capacity before 429 (default 64)
   --deadline-ms N               per-request deadline (default 60000)
   --cache-dir DIR               on-disk tier for the model cache
+  --cache-capacity N            memory-tier LRU bound (default 256 models)
+  --keepalive-max N             requests served per connection (default 100)
+  --read-timeout-ms N           mid-request stall budget, then 408 (default 10000)
+  --idle-timeout-ms N           keep-alive idle budget, then close (default 30000)
+  --faults SEED:SPEC            deterministic fault injection, e.g.
+                                7:disk_err=0.2,panic=0.1,slow_ms=50
+                                (also read from GMAP_FAULTS; flag wins)
   The server runs until stdin reaches EOF, then drains and exits.
 
-CLIENT ACTIONS (all need --addr HOST:PORT):
+CLIENT ACTIONS (all need --addr HOST:PORT; add --retries N to retry
+transient failures with exponential backoff — idempotent requests only):
   health                        GET /healthz
   metrics                       GET /metrics
   profile  (--workload NAME [--scale tiny|small|default] | --spec FILE)
@@ -583,6 +591,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--queue",
             "--deadline-ms",
             "--cache-dir",
+            "--cache-capacity",
+            "--keepalive-max",
+            "--read-timeout-ms",
+            "--idle-timeout-ms",
+            "--faults",
         ],
         &[],
     )?;
@@ -604,6 +617,39 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(dir) = flag(args, &["--cache-dir"]) {
         config.cache_dir = Some(dir.into());
+    }
+    if let Some(n) = flag(args, &["--cache-capacity"]) {
+        config.cache_capacity = n
+            .parse()
+            .map_err(|e| format!("bad --cache-capacity {n:?}: {e}"))?;
+    }
+    if let Some(n) = flag(args, &["--keepalive-max"]) {
+        config.keepalive_max = n
+            .parse()
+            .map_err(|e| format!("bad --keepalive-max {n:?}: {e}"))?;
+    }
+    if let Some(n) = flag(args, &["--read-timeout-ms"]) {
+        let ms: u64 = n
+            .parse()
+            .map_err(|e| format!("bad --read-timeout-ms {n:?}: {e}"))?;
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = flag(args, &["--idle-timeout-ms"]) {
+        let ms: u64 = n
+            .parse()
+            .map_err(|e| format!("bad --idle-timeout-ms {n:?}: {e}"))?;
+        config.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+    // --faults wins over the GMAP_FAULTS environment variable.
+    let fault_spec = flag(args, &["--faults"])
+        .map(str::to_owned)
+        .or_else(|| std::env::var("GMAP_FAULTS").ok().filter(|s| !s.is_empty()));
+    if let Some(spec) = fault_spec {
+        config.faults = Some(
+            gmap::serve::faults::FaultSpec::parse(&spec)
+                .map_err(|e| format!("bad fault spec {spec:?}: {e}"))?,
+        );
+        eprintln!("gmap-serve: fault injection enabled ({spec})");
     }
     let handle = gmap::serve::start(config).map_err(|e| format!("cannot start server: {e}"))?;
     println!("gmap-serve listening on {}", handle.addr());
@@ -716,17 +762,21 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         .ok_or("client needs an action: health, metrics, profile, analyze, clone, or evaluate")?
         .as_str();
     let rest = &args[1..];
-    let response = match action {
+    let (path, body): (&str, Option<String>) = match action {
         "health" => {
-            check_flags(rest, &["--addr"], &[])?;
-            client::get(client_addr(rest)?, "/healthz")
+            check_flags(rest, &["--addr", "--retries"], &[])?;
+            ("/healthz", None)
         }
         "metrics" => {
-            check_flags(rest, &["--addr"], &[])?;
-            client::get(client_addr(rest)?, "/metrics")
+            check_flags(rest, &["--addr", "--retries"], &[])?;
+            ("/metrics", None)
         }
         "profile" => {
-            check_flags(rest, &["--addr", "--workload", "--scale", "--spec"], &[])?;
+            check_flags(
+                rest,
+                &["--addr", "--workload", "--scale", "--spec", "--retries"],
+                &[],
+            )?;
             let spec = flag(rest, &["--spec"]).map(load_spec).transpose()?;
             if spec.is_none() && flag(rest, &["--workload"]).is_none() {
                 return Err("missing --workload NAME or --spec FILE".into());
@@ -736,10 +786,14 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 scale: flag(rest, &["--scale"]).map(str::to_owned),
                 spec,
             });
-            client::post_json(client_addr(rest)?, "/v1/profile", &body)
+            ("/v1/profile", Some(body))
         }
         "analyze" => {
-            check_flags(rest, &["--addr", "--workload", "--scale", "--spec"], &[])?;
+            check_flags(
+                rest,
+                &["--addr", "--workload", "--scale", "--spec", "--retries"],
+                &[],
+            )?;
             let spec = flag(rest, &["--spec"]).map(load_spec).transpose()?;
             if spec.is_none() && flag(rest, &["--workload"]).is_none() {
                 return Err("missing --workload NAME or --spec FILE".into());
@@ -749,10 +803,14 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 scale: flag(rest, &["--scale"]).map(str::to_owned),
                 spec,
             });
-            client::post_json(client_addr(rest)?, "/v1/analyze", &body)
+            ("/v1/analyze", Some(body))
         }
         "clone" => {
-            check_flags(rest, &["--addr", "--model", "--factor", "--seed"], &[])?;
+            check_flags(
+                rest,
+                &["--addr", "--model", "--factor", "--seed", "--retries"],
+                &[],
+            )?;
             let factor = flag(rest, &["--factor"])
                 .map(|f| f.parse().map_err(|e| format!("bad --factor {f:?}: {e}")))
                 .transpose()?;
@@ -763,7 +821,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 factor,
                 seed: client_seed(rest)?,
             });
-            client::post_json(client_addr(rest)?, "/v1/clone", &body)
+            ("/v1/clone", Some(body))
         }
         "evaluate" => {
             check_flags(
@@ -778,6 +836,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                     "--seed",
                     "--stride-prefetch",
                     "--stream-prefetch",
+                    "--retries",
                 ],
                 &[],
             )?;
@@ -805,10 +864,21 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 seed: client_seed(rest)?,
                 grid,
             });
-            client::post_json(client_addr(rest)?, "/v1/evaluate", &body)
+            ("/v1/evaluate", Some(body))
         }
         other => return Err(format!("unknown client action {other:?}")),
     };
+    let retries: u32 = flag(rest, &["--retries"])
+        .map(|n| n.parse().map_err(|e| format!("bad --retries {n:?}: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let policy = client::RetryPolicy {
+        max_retries: retries,
+        ..client::RetryPolicy::default()
+    };
+    let method = if body.is_some() { "POST" } else { "GET" };
+    let response =
+        client::request_with_retry(client_addr(rest)?, method, path, body.as_deref(), &policy);
     let response = response.map_err(|e| format!("request failed: {e}"))?;
     println!("{}", response.body.trim_end());
     if response.is_ok() {

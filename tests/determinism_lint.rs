@@ -10,8 +10,9 @@ use gmap::analyze::detlint::{lint_crates, parse_allowlist};
 use std::path::Path;
 
 /// The crates whose outputs are part of the deterministic contract:
-/// profiles, clone traces, and simulation statistics.
-const SIMULATION_CRATES: &[&str] = &["memsim", "gpu", "dram", "core"];
+/// profiles, clone traces, simulation statistics, and the service layer
+/// (responses must be byte-identical to direct library calls).
+const SIMULATION_CRATES: &[&str] = &["memsim", "gpu", "dram", "core", "serve"];
 
 #[test]
 fn simulation_crates_do_not_iterate_hash_maps() {
