@@ -11,7 +11,13 @@
 
 use gmap_bench::{engine, prepare, sweep_benchmark, sweeps, BenchData, ExperimentOpts, Metric};
 use gmap_core::SimtConfig;
-use gmap_trace::LatencyHistogram;
+use gmap_dram::mapping::{decompose, AddressMapping, DramGeometry, MappingPlan};
+use gmap_gpu::coalesce::coalesce_addrs_into;
+use gmap_memsim::cache::{CacheConfig, ReplacementPolicy};
+use gmap_memsim::stackdist::{evaluate_lru_multi_with_mode, LineAccess, WriteMode};
+use gmap_trace::batch::KernelMode;
+use gmap_trace::record::ByteAddr;
+use gmap_trace::{Histogram, LatencyHistogram, Rng};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -91,6 +97,193 @@ struct CaptureReuse {
     misses: u64,
 }
 
+/// Scalar-vs-batched timing of one dual-path hot kernel. The scalar side
+/// is the live reference implementation (the pre-batching code path), so
+/// the speedup column tracks exactly what the lane-unrolled kernels buy.
+#[derive(Debug, Serialize)]
+struct KernelTiming {
+    kernel: String,
+    scalar_secs: f64,
+    batched_secs: f64,
+    speedup: f64,
+}
+
+/// Best-of-`rounds` mean over `reps` calls — criterion-lite, enough to
+/// keep the JSON numbers stable across runs without minutes of sampling.
+fn time_best_of<F: FnMut()>(mut f: F, reps: usize, rounds: usize) -> f64 {
+    f(); // warm up caches and allocations outside the timed region
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+/// Times the four dual-path kernels on synthetic workloads shaped like
+/// what the engine feeds them (same shapes as `benches/kernels.rs`).
+fn kernel_microbench() -> Vec<KernelTiming> {
+    let mut out = Vec::new();
+    let mut push = |kernel: &str, scalar_secs: f64, batched_secs: f64| {
+        out.push(KernelTiming {
+            kernel: kernel.to_string(),
+            scalar_secs,
+            batched_secs,
+            speedup: scalar_secs / batched_secs.max(1e-12),
+        });
+    };
+
+    // Stack-distance counting: 100k-line stream with strided locality
+    // against a fig6a-shaped grid — two set-count classes with 15
+    // associativity points each, like the L1 sweep the engine runs.
+    let mut rng = Rng::seed_from(7);
+    let mut cursor = 0u64;
+    let stream: Vec<LineAccess> = (0..100_000)
+        .map(|i| {
+            cursor = if i % 7 == 0 {
+                rng.gen_range(4096)
+            } else {
+                (cursor + 1) % 4096
+            };
+            LineAccess::new(cursor, rng.gen_range(5) == 0)
+        })
+        .collect();
+    let mut configs = Vec::new();
+    for sets in [64u64, 256] {
+        for assoc in 1u32..=15 {
+            configs.push(
+                CacheConfig::new(
+                    sets * assoc as u64 * 128,
+                    assoc,
+                    128,
+                    ReplacementPolicy::Lru,
+                )
+                .expect("valid geometry"),
+            );
+        }
+    }
+    let time_stackdist = |kmode| {
+        time_best_of(
+            || {
+                let r = evaluate_lru_multi_with_mode(&configs, &stream, WriteMode::Allocate, kmode)
+                    .expect("valid grid");
+                assert_eq!(r.counts.len(), configs.len());
+            },
+            3,
+            5,
+        )
+    };
+    push(
+        "stackdist",
+        time_stackdist(KernelMode::Scalar),
+        time_stackdist(KernelMode::Batched),
+    );
+
+    // Histogram binning: profiler-shaped stride slices (short runs, few
+    // distinct values).
+    let mut rng = Rng::seed_from(11);
+    let slices: Vec<Vec<i64>> = (0..2_000)
+        .map(|_| {
+            let len = 8 + rng.gen_range(56) as usize;
+            (0..len)
+                .map(|_| (rng.gen_range(7) as i64 - 3) * 128)
+                .collect()
+        })
+        .collect();
+    let time_hist = |kmode| {
+        time_best_of(
+            || {
+                let mut h = Histogram::new();
+                for s in &slices {
+                    h.add_slice(s, kmode);
+                }
+                assert!(!h.is_empty());
+            },
+            20,
+            5,
+        )
+    };
+    push(
+        "histogram",
+        time_hist(KernelMode::Scalar),
+        time_hist(KernelMode::Batched),
+    );
+
+    // Warp coalescing: 2000 warps × 32 lanes, alternating unit-stride
+    // and scattered.
+    let mut rng = Rng::seed_from(13);
+    let warps: Vec<Vec<ByteAddr>> = (0..2_000)
+        .map(|w| {
+            if w % 2 == 0 {
+                let base = rng.gen_range(1 << 20);
+                (0..32).map(|i| ByteAddr(base + 4 * i)).collect()
+            } else {
+                (0..32).map(|_| ByteAddr(rng.gen_range(1 << 20))).collect()
+            }
+        })
+        .collect();
+    let time_coalesce = |kmode| {
+        let mut buf = Vec::new();
+        time_best_of(
+            || {
+                let mut txns = 0usize;
+                for addrs in &warps {
+                    coalesce_addrs_into(addrs, 128, kmode, &mut buf);
+                    txns += buf.len();
+                }
+                assert!(txns > 0);
+            },
+            60,
+            5,
+        )
+    };
+    push(
+        "coalesce",
+        time_coalesce(KernelMode::Scalar),
+        time_coalesce(KernelMode::Batched),
+    );
+
+    // DRAM decomposition: the scalar side is the original field-consuming
+    // `decompose` (per-call width derivation), the batched side the
+    // precompiled plan — that pair is exactly what the DRAM front-end
+    // switched between in this refactor.
+    let mut rng = Rng::seed_from(17);
+    let addrs: Vec<u64> = (0..100_000).map(|_| rng.gen_range(1 << 32)).collect();
+    let geom = DramGeometry::table2_baseline();
+    let mapping = AddressMapping::RoBaRaCoCh;
+    let plan = MappingPlan::new(&geom, mapping);
+    let scalar_dram = {
+        let mut buf = Vec::new();
+        time_best_of(
+            move || {
+                buf.clear();
+                buf.extend(addrs.iter().map(|&a| decompose(a, &geom, mapping)));
+                assert_eq!(buf.len(), 100_000);
+            },
+            50,
+            5,
+        )
+    };
+    let batched_dram = {
+        let mut rng = Rng::seed_from(17);
+        let addrs: Vec<u64> = (0..100_000).map(|_| rng.gen_range(1 << 32)).collect();
+        let mut buf = Vec::new();
+        time_best_of(
+            move || {
+                plan.decompose_batch(&addrs, KernelMode::Batched, &mut buf);
+                assert_eq!(buf.len(), 100_000);
+            },
+            50,
+            5,
+        )
+    };
+    push("dram_decompose", scalar_dram, batched_dram);
+    out
+}
+
 #[derive(Debug, Serialize)]
 struct PerfReport {
     scale: String,
@@ -105,6 +298,8 @@ struct PerfReport {
     /// Capture-cache counters of the cross-figure reuse pass (all five
     /// grids evaluated back to back without clearing).
     capture_reuse: CaptureReuse,
+    /// Scalar-vs-batched microbenchmarks of the four dual-path kernels.
+    kernels: Vec<KernelTiming>,
 }
 
 fn metric_name(m: Metric) -> &'static str {
@@ -141,6 +336,17 @@ fn smoke(opts: &ExperimentOpts) {
     println!(
         "=== sweep-engine smoke: planner coverage at scale {:?} ===",
         opts.scale
+    );
+    // The batched kernels must be the live default: CI runs this smoke
+    // with a clean environment, so a leaked GMAP_SCALAR_KERNELS (or a
+    // default regression) fails the gate here.
+    assert!(
+        gmap_trace::default_mode().is_batched(),
+        "batched kernels must be the default path (GMAP_SCALAR_KERNELS leaked into the environment?)"
+    );
+    println!(
+        "kernel mode: {:?} (default path)",
+        gmap_trace::default_mode()
     );
     for (name, configs, metric) in grids() {
         let plan = engine::plan_single_pass(&configs, metric)
@@ -184,6 +390,18 @@ fn main() {
     }
     if args.iter().any(|a| a == "--smoke") {
         smoke(&opts);
+        return;
+    }
+    if args.iter().any(|a| a == "--kernels") {
+        // Quick mode: just the per-kernel scalar-vs-batched timings,
+        // without touching BENCH_sweep.json.
+        println!("=== kernel microbenchmarks (scalar vs batched) ===");
+        for k in kernel_microbench() {
+            println!(
+                "{:<16} scalar {:9.6}s  batched {:9.6}s  speedup {:5.2}x",
+                k.kernel, k.scalar_secs, k.batched_secs, k.speedup
+            );
+        }
         return;
     }
     let out_path = args
@@ -266,6 +484,15 @@ fn main() {
     // Cross-figure reuse: all grids back to back share captures.
     let reuse = reuse_pass(&data);
 
+    println!("=== kernel microbenchmarks (scalar vs batched) ===");
+    let kernels = kernel_microbench();
+    for k in &kernels {
+        println!(
+            "{:<16} scalar {:9.6}s  batched {:9.6}s  speedup {:5.2}x",
+            k.kernel, k.scalar_secs, k.batched_secs, k.speedup
+        );
+    }
+
     let speedup = direct_total / single_total.max(1e-9);
     let report = PerfReport {
         scale: format!("{:?}", opts.scale).to_lowercase(),
@@ -280,6 +507,7 @@ fn main() {
             PhaseLatency::summarize("single_pass", &single_hist),
         ],
         capture_reuse: reuse,
+        kernels,
     };
     println!(
         "total: direct {direct_total:.3}s  single-pass {single_total:.3}s  speedup {speedup:.1}x"

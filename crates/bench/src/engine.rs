@@ -75,29 +75,29 @@ use gmap_memsim::stackdist::{
     PrefetchSchedule, WriteMode,
 };
 use gmap_trace::record::{AccessKind, ByteAddr, CoreId, Pc};
+use gmap_trace::soa::AccessColumns;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// One captured L1-level demand transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CapturedAccess {
-    /// Issuing core, folded onto the hierarchy's core count the same way
-    /// [`GpuHierarchy`] folds it.
-    pub core: u16,
-    /// Byte address of the coalesced transaction.
-    pub addr: u64,
-    /// Program counter of the issuing static instruction — the stride
-    /// prefetcher trains per PC, so prefetcher replay needs it.
-    pub pc: u64,
-    /// Store (`true`) or load (`false`).
-    pub is_write: bool,
-}
+/// One captured L1-level demand transaction, viewed row-wise.
+///
+/// The capture itself lives in a structure-of-arrays
+/// [`AccessColumns`]; this view (an alias of
+/// [`gmap_trace::soa::AccessRecord`]) preserves the old per-record API —
+/// `core` is the issuing core folded onto the hierarchy's core count,
+/// `addr` the coalesced byte address, `pc` the issuing static
+/// instruction (the stride prefetcher trains per PC), `is_write` the
+/// store flag.
+pub use gmap_trace::soa::AccessRecord as CapturedAccess;
 
 /// The L1 demand stream of one scheduled run, in global issue order.
 #[derive(Debug, Clone)]
 pub struct CapturedStream {
-    /// Every coalesced transaction the scheduler issued, in order.
-    pub accesses: Vec<CapturedAccess>,
+    /// Every coalesced transaction the scheduler issued, in order,
+    /// stored column-wise ([`AccessColumns`]). Iterating `&accesses`
+    /// yields [`CapturedAccess`] views, so record-oriented call sites
+    /// keep working; the hot passes read individual columns.
+    pub accesses: AccessColumns,
     /// Number of cores (= number of private L1s).
     pub cores: usize,
     /// Scheduling statistics of the capture run (`SchedP_self` feeds the
@@ -111,7 +111,7 @@ pub struct CapturedStream {
 struct Recorder {
     hier: GpuHierarchy,
     cores: usize,
-    log: Vec<CapturedAccess>,
+    log: AccessColumns,
 }
 
 impl MemoryModel for Recorder {
@@ -147,7 +147,7 @@ pub fn capture_stream(
     let mut rec = Recorder {
         hier,
         cores,
-        log: Vec::new(),
+        log: AccessColumns::new(),
     };
     let schedule = run_schedule(streams, launch, &cfg.gpu, cfg.policy, &mut rec, cfg.seed);
     CapturedStream {
@@ -407,10 +407,20 @@ fn schedule_from_trace(
 /// Splits the captured stream into per-core line streams at one line
 /// size. Private per-core L1s are evaluated core by core and the
 /// counters summed, exactly as the hierarchy merges per-core stats.
+///
+/// Columnar: the line addresses come out of the batched shift kernel over
+/// the address column, and the scatter touches only the core and write
+/// columns — the PC column never enters the cache.
 fn split_per_core(capture: &CapturedStream, shift: u32) -> Vec<Vec<LineAccess>> {
     let mut per_core: Vec<Vec<LineAccess>> = vec![Vec::new(); capture.cores];
-    for a in &capture.accesses {
-        per_core[a.core as usize].push(LineAccess::new(a.addr >> shift, a.is_write));
+    let mut lines: Vec<u64> = Vec::new();
+    capture
+        .accesses
+        .lines_into(shift, gmap_trace::default_mode(), &mut lines);
+    let cores = capture.accesses.cores();
+    let writes = capture.accesses.writes();
+    for i in 0..lines.len() {
+        per_core[cores[i] as usize].push(LineAccess::new(lines[i], writes[i]));
     }
     per_core
 }
@@ -484,8 +494,9 @@ fn eval_l1(plan: &SweepPlan, capture: &CapturedStream, configs: &[SimtConfig]) -
             .or_insert_with(|| split_per_core(capture, shift));
         let per_core_pcs = pcs_split.get_or_insert_with(|| {
             let mut pcs: Vec<Vec<u64>> = vec![Vec::new(); capture.cores];
-            for a in &capture.accesses {
-                pcs[a.core as usize].push(a.pc);
+            let cores = capture.accesses.cores();
+            for (&core, &pc) in cores.iter().zip(capture.accesses.pcs()) {
+                pcs[core as usize].push(pc);
             }
             pcs
         });

@@ -17,7 +17,7 @@ use gmap_gpu::kernel::KernelDesc;
 use gmap_gpu::schedule::{WarpStream, WarpStreamEvent};
 use gmap_trace::record::{AccessKind, ByteAddr, Pc};
 use gmap_trace::reuse::ReuseHistogram;
-use gmap_trace::Histogram;
+use gmap_trace::{default_mode, Histogram};
 use std::collections::{BTreeMap, HashMap};
 
 /// Profiler parameters.
@@ -201,6 +201,8 @@ pub fn profile_streams(
     let mut txn_span: Vec<Histogram<u64>> = vec![Histogram::new(); n];
     let mut last_first_addr: Vec<Option<u64>> = vec![None; n];
     let mut reuse: Vec<ReuseHistogram> = vec![ReuseHistogram::new(); reps.len()];
+    let kmode = default_mode();
+    let mut stride_scratch: Vec<i64> = Vec::new();
 
     for (w, raw) in raws.iter().enumerate() {
         // Inter-warp strides: first execution per slot vs the previous
@@ -217,13 +219,19 @@ pub fn profile_streams(
             }
             last_first_addr[slot] = Some(first);
             // Intra-warp strides: successive executions of the slot.
-            for (e, pair) in execs.windows(2).enumerate() {
-                let stride = raw.addrs[pair[1]] as i64 - raw.addrs[pair[0]] as i64;
-                intra_stride[slot].add(stride);
-                let votes = &mut stride_votes[slot];
-                if votes.len() <= e {
-                    votes.resize_with(e + 1, Histogram::new);
-                }
+            // Strides are materialized once so the slot-level histogram
+            // absorbs them through the batched sort+RLE kernel; the
+            // per-ordinal votes still want one add per ordinal.
+            stride_scratch.clear();
+            for pair in execs.windows(2) {
+                stride_scratch.push(raw.addrs[pair[1]] as i64 - raw.addrs[pair[0]] as i64);
+            }
+            intra_stride[slot].add_slice(&stride_scratch, kmode);
+            let votes = &mut stride_votes[slot];
+            if votes.len() < stride_scratch.len() {
+                votes.resize_with(stride_scratch.len(), Histogram::new);
+            }
+            for (e, &stride) in stride_scratch.iter().enumerate() {
                 votes[e].add(stride);
             }
             // PC-localized reuse: for every execution after the first,

@@ -6,7 +6,7 @@
 //! Figure 7: row-buffer locality, time-averaged controller queue length,
 //! and average read/write latency.
 
-use crate::mapping::{decompose, AddressMapping, DramGeometry};
+use crate::mapping::{AddressMapping, DramGeometry, DramLoc, MappingPlan};
 use crate::timing::DramTiming;
 use gmap_trace::record::{AccessKind, ByteAddr};
 use serde::{Deserialize, Serialize};
@@ -184,8 +184,14 @@ impl DramSystem {
     pub fn run(&mut self, requests: &[DramRequest]) -> DramMetrics {
         let geom = self.cfg.geometry;
         let mut per_channel: Vec<Vec<Pending>> = vec![Vec::new(); geom.channels as usize];
-        for (seq, r) in requests.iter().enumerate() {
-            let loc = decompose(r.addr.0, &geom, self.cfg.mapping);
+        // Front-end address decomposition runs as a batch kernel over the
+        // whole request stream; queue insertion stays scalar (it is a
+        // scatter keyed on the decomposed channel).
+        let plan = MappingPlan::new(&geom, self.cfg.mapping);
+        let addrs: Vec<u64> = requests.iter().map(|r| r.addr.0).collect();
+        let mut locs: Vec<DramLoc> = Vec::new();
+        plan.decompose_batch(&addrs, gmap_trace::default_mode(), &mut locs);
+        for (seq, (r, loc)) in requests.iter().zip(&locs).enumerate() {
             per_channel[loc.channel as usize].push(Pending {
                 arrival: r.cycle,
                 row: loc.row,

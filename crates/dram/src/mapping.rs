@@ -6,6 +6,7 @@
 //! bank, row and column — and therefore how much row-buffer locality and
 //! channel parallelism a given access stream exhibits.
 
+use gmap_trace::batch::{KernelMode, LANES};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -176,6 +177,139 @@ pub fn decompose(addr: u64, geom: &DramGeometry, mapping: AddressMapping) -> Dra
     }
 }
 
+/// Precompiled address-decomposition plan: one `(shift, mask)` pair per
+/// coordinate.
+///
+/// [`decompose`] re-derives field widths (`trailing_zeros` per field) and
+/// branches on the mapping for every call; on the DRAM front-end that is
+/// five data-independent recomputations per request. A plan folds the
+/// geometry and mapping into constants once, so [`MappingPlan::decompose`]
+/// is five shift-and-mask pairs with no branches — and
+/// [`MappingPlan::decompose_batch`] runs them 8 lanes at a time.
+///
+/// A plan always agrees bit-for-bit with [`decompose`] for the geometry
+/// and mapping it was built from (see the differential proptests in the
+/// tier-1 suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingPlan {
+    ch_shift: u32,
+    ch_mask: u64,
+    col_shift: u32,
+    col_mask: u64,
+    rank_shift: u32,
+    rank_mask: u64,
+    bank_shift: u32,
+    bank_mask: u64,
+    row_shift: u32,
+    row_mask: u64,
+}
+
+impl MappingPlan {
+    /// Compiles the `(geometry, mapping)` pair into shift/mask constants.
+    pub fn new(geom: &DramGeometry, mapping: AddressMapping) -> Self {
+        let cw = geom.channels.trailing_zeros();
+        let colw = geom.columns.trailing_zeros();
+        let rw = geom.ranks.trailing_zeros();
+        let bw = geom.banks.trailing_zeros();
+        let ch_mask = u64::from(geom.channels - 1);
+        let col_mask = u64::from(geom.columns - 1);
+        let rank_mask = u64::from(geom.ranks - 1);
+        let bank_mask = u64::from(geom.banks - 1);
+        match mapping {
+            AddressMapping::RoBaRaCoCh => {
+                let ch_shift = 7;
+                let col_shift = ch_shift + cw;
+                let rank_shift = col_shift + colw;
+                let bank_shift = rank_shift + rw;
+                let row_shift = bank_shift + bw;
+                MappingPlan {
+                    ch_shift,
+                    ch_mask,
+                    col_shift,
+                    col_mask,
+                    rank_shift,
+                    rank_mask,
+                    bank_shift,
+                    bank_mask,
+                    row_shift,
+                    // The row takes every remaining bit, exactly as the
+                    // field-consuming reference leaves them.
+                    row_mask: u64::MAX,
+                }
+            }
+            AddressMapping::ChRaBaRoCo => {
+                let col_shift = 7;
+                let row_shift = col_shift + colw;
+                let bank_shift = row_shift + 20;
+                let rank_shift = bank_shift + bw;
+                let ch_shift = rank_shift + rw;
+                MappingPlan {
+                    ch_shift,
+                    ch_mask,
+                    col_shift,
+                    col_mask,
+                    rank_shift,
+                    rank_mask,
+                    bank_shift,
+                    bank_mask,
+                    row_shift,
+                    // Rows are capped at 20 bits under ChRaBaRoCo (see
+                    // `decompose`).
+                    row_mask: (1 << 20) - 1,
+                }
+            }
+        }
+    }
+
+    /// Decomposes one byte address: five shift-and-mask pairs, no
+    /// branches, no per-call width derivation.
+    #[inline]
+    pub fn decompose(&self, addr: u64) -> DramLoc {
+        DramLoc {
+            channel: ((addr >> self.ch_shift) & self.ch_mask) as u32,
+            rank: ((addr >> self.rank_shift) & self.rank_mask) as u32,
+            bank: ((addr >> self.bank_shift) & self.bank_mask) as u32,
+            row: (addr >> self.row_shift) & self.row_mask,
+            column: ((addr >> self.col_shift) & self.col_mask) as u32,
+        }
+    }
+
+    /// Decomposes a batch of byte addresses into `out` (cleared first),
+    /// dispatching on `mode`. Both paths produce identical coordinates.
+    pub fn decompose_batch(&self, addrs: &[u64], mode: KernelMode, out: &mut Vec<DramLoc>) {
+        out.clear();
+        out.reserve(addrs.len());
+        match mode {
+            KernelMode::Scalar => {
+                for &a in addrs {
+                    out.push(self.decompose(a));
+                }
+            }
+            KernelMode::Batched => {
+                // 8 lanes per chunk; each lane is an independent
+                // shift/mask gather, so the chunk body has no
+                // cross-lane dependency and no branch.
+                let mut chunks = addrs.chunks_exact(LANES);
+                for c in &mut chunks {
+                    out.extend_from_slice(&[
+                        self.decompose(c[0]),
+                        self.decompose(c[1]),
+                        self.decompose(c[2]),
+                        self.decompose(c[3]),
+                        self.decompose(c[4]),
+                        self.decompose(c[5]),
+                        self.decompose(c[6]),
+                        self.decompose(c[7]),
+                    ]);
+                }
+                for &a in chunks.remainder() {
+                    out.push(self.decompose(a));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +385,56 @@ mod tests {
         let a = decompose(0, &g, AddressMapping::RoBaRaCoCh);
         let b = decompose(row_span, &g, AddressMapping::RoBaRaCoCh);
         assert_eq!(b.row, a.row + 1);
+    }
+
+    #[test]
+    fn plan_matches_reference_decompose() {
+        let geoms = [
+            DramGeometry::table2_baseline(),
+            DramGeometry {
+                channels: 4,
+                ranks: 2,
+                banks: 16,
+                bank_groups: 4,
+                columns: 64,
+                bus_width_bytes: 8,
+            },
+            DramGeometry {
+                channels: 1,
+                ranks: 1,
+                banks: 1,
+                bank_groups: 1,
+                columns: 1,
+                bus_width_bytes: 4,
+            },
+        ];
+        for g in &geoms {
+            for mapping in [AddressMapping::RoBaRaCoCh, AddressMapping::ChRaBaRoCo] {
+                let plan = MappingPlan::new(g, mapping);
+                for i in 0..4096u64 {
+                    let addr = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 16;
+                    assert_eq!(
+                        plan.decompose(addr),
+                        decompose(addr, g, mapping),
+                        "addr={addr:#x} geom={g:?} mapping={mapping}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_decompose_kernels_agree_for_all_tail_lengths() {
+        let g = DramGeometry::table2_baseline();
+        let plan = MappingPlan::new(&g, AddressMapping::RoBaRaCoCh);
+        for n in 0..(2 * LANES + 1) {
+            let addrs: Vec<u64> = (0..n as u64).map(|i| i * 333 * 128).collect();
+            let mut scalar = Vec::new();
+            let mut batched = Vec::new();
+            plan.decompose_batch(&addrs, KernelMode::Scalar, &mut scalar);
+            plan.decompose_batch(&addrs, KernelMode::Batched, &mut batched);
+            assert_eq!(scalar, batched, "n={n}");
+        }
     }
 
     #[test]

@@ -69,6 +69,7 @@
 //! under the write-through L1 model they never diverge.
 
 use crate::cache::{Cache, CacheConfig, ReplacementPolicy};
+use gmap_trace::batch::{KernelMode, LANES};
 use std::error::Error;
 use std::fmt;
 
@@ -274,26 +275,71 @@ struct SetClass {
     a_min: usize,
     /// Divergence hit this class; its geometries will be replayed.
     dirty: bool,
-    /// `num_sets × a_max` line slots, ordered within each set.
+    /// `num_sets × stride` recency-ordered line slots (way-position 0 =
+    /// MRU). Both layouts keep the same ordering and the same
+    /// `rotate_right` updates; they differ only in row width and scan
+    /// kernel.
     lines: Vec<u64>,
     /// Live entries per set.
     occ: Vec<u32>,
+    /// Chunked scan layout (the batched default): rows are padded to a
+    /// whole number of [`LANES`] and located with an 8-lane match mask
+    /// per chunk. The per-chunk early exit preserves the scalar scan's
+    /// O(1) cost on the shallow hits GPU streams are dominated by,
+    /// while misses compare a whole chunk per vector op instead of one
+    /// element per iteration.
+    chunked: bool,
+    /// Per-set row width: `a_max` in the scalar list layout,
+    /// `a_max.next_multiple_of(LANES)` in the chunked layout. Slots at
+    /// positions `>= occ` are dead — all zero, since evictions
+    /// overwrite in place and the padding tail is never written — and
+    /// both scan kernels reject them by occupancy.
+    stride: usize,
 }
 
 impl SetClass {
     /// Way-position of `line` within its set, or [`ABSENT`].
     fn locate(&self, line: u64) -> usize {
         let set = (line & self.mask) as usize;
-        let base = set * self.a_max;
-        self.lines[base..base + self.occ[set] as usize]
-            .iter()
-            .position(|&l| l == line)
-            .unwrap_or(ABSENT)
+        let base = set * self.stride;
+        let occ = self.occ[set] as usize;
+        if self.chunked {
+            // 8-lane match scan in recency order: each chunk ORs eight
+            // branch-free equality tests into a match mask. Entries are
+            // ordered and unique, so the first match is the answer —
+            // unless it lands in the dead tail (`>= occ`, all zero),
+            // in which case every later match is deeper in the tail
+            // and the line is absent. The per-chunk exit keeps shallow
+            // hits as cheap as the scalar scan; the occupancy bound
+            // stops a miss from touching padding-only chunks.
+            let row = &self.lines[base..base + self.stride];
+            let mut off = 0usize;
+            for c in row.chunks_exact(LANES) {
+                if off >= occ {
+                    break;
+                }
+                let mut m = 0u32;
+                for (lane, &l) in c.iter().enumerate() {
+                    m |= u32::from(l == line) << lane;
+                }
+                if m != 0 {
+                    let pos = off + m.trailing_zeros() as usize;
+                    return if pos < occ { pos } else { ABSENT };
+                }
+                off += LANES;
+            }
+            ABSENT
+        } else {
+            self.lines[base..base + occ]
+                .iter()
+                .position(|&l| l == line)
+                .unwrap_or(ABSENT)
+        }
     }
 
     /// Moves the entry at way-position `pos` of `line`'s set to the front.
     fn rotate_to_front(&mut self, line: u64, pos: usize) {
-        let base = (line & self.mask) as usize * self.a_max;
+        let base = (line & self.mask) as usize * self.stride;
         self.lines[base..=base + pos].rotate_right(1);
     }
 
@@ -301,7 +347,7 @@ impl SetClass {
     /// entry if the widest cache is full.
     fn insert_front(&mut self, line: u64) {
         let set = (line & self.mask) as usize;
-        let base = set * self.a_max;
+        let base = set * self.stride;
         let n = self.occ[set] as usize;
         if n < self.a_max {
             self.occ[set] += 1;
@@ -326,6 +372,26 @@ impl SetClass {
                 }
             }
         }
+    }
+
+    /// The demand fill of a line that missed the whole class *before* the
+    /// candidate fills ran. A candidate equal to the demand line may have
+    /// just inserted it, and `Cache::demand_fill` is a no-op on resident
+    /// lines (no recency touch) — so re-locate instead of inserting
+    /// unconditionally: absent everywhere → insert, resident everywhere →
+    /// skip, resident in only part of the class → divergent.
+    fn demand_fill_after_prefetches(&mut self, line: u64, cands: &[u64]) {
+        if !cands.is_empty() {
+            match self.locate(line) {
+                q if q == ABSENT => {}
+                q if q < self.a_min => return,
+                _ => {
+                    self.dirty = true;
+                    return;
+                }
+            }
+        }
+        self.insert_front(line);
     }
 }
 
@@ -360,7 +426,26 @@ pub fn evaluate_lru_multi(
     stream: &[LineAccess],
     mode: WriteMode,
 ) -> Result<MultiEvalResult, StackDistError> {
-    evaluate(configs, stream, None, mode, PassPolicy::Lru)
+    evaluate_lru_multi_with_mode(configs, stream, mode, gmap_trace::default_mode())
+}
+
+/// [`evaluate_lru_multi`] with an explicit [`KernelMode`]. The scalar
+/// path is the per-view reference loop; the batched path buckets
+/// way-positions into per-class histograms and runs the unrolled locate
+/// scan. Both produce identical counts (differential proptests in the
+/// tier-1 suite).
+///
+/// # Errors
+///
+/// Returns [`StackDistError`] if `configs` is empty, mixes line sizes, or
+/// contains a non-LRU policy.
+pub fn evaluate_lru_multi_with_mode(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    mode: WriteMode,
+    kmode: KernelMode,
+) -> Result<MultiEvalResult, StackDistError> {
+    evaluate(configs, stream, None, mode, PassPolicy::Lru, kmode)
 }
 
 /// Like [`evaluate_lru_multi`], but additionally replays the per-access
@@ -382,12 +467,45 @@ pub fn evaluate_lru_prefetch_multi(
     schedule: &PrefetchSchedule,
     mode: WriteMode,
 ) -> Result<MultiEvalResult, StackDistError> {
+    evaluate_lru_prefetch_multi_with_mode(
+        configs,
+        stream,
+        schedule,
+        mode,
+        gmap_trace::default_mode(),
+    )
+}
+
+/// [`evaluate_lru_prefetch_multi`] with an explicit [`KernelMode`].
+///
+/// # Panics
+///
+/// Panics if `schedule` does not cover exactly `stream.len()` accesses.
+///
+/// # Errors
+///
+/// Returns [`StackDistError`] if `configs` is empty, mixes line sizes, or
+/// contains a non-LRU policy.
+pub fn evaluate_lru_prefetch_multi_with_mode(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    schedule: &PrefetchSchedule,
+    mode: WriteMode,
+    kmode: KernelMode,
+) -> Result<MultiEvalResult, StackDistError> {
     assert_eq!(
         schedule.num_accesses(),
         stream.len(),
         "prefetch schedule must cover the demand stream"
     );
-    evaluate(configs, stream, Some(schedule), mode, PassPolicy::Lru)
+    evaluate(
+        configs,
+        stream,
+        Some(schedule),
+        mode,
+        PassPolicy::Lru,
+        kmode,
+    )
 }
 
 /// Evaluate every FIFO geometry in `configs` (which must share one line
@@ -405,7 +523,22 @@ pub fn evaluate_fifo_multi(
     stream: &[LineAccess],
     mode: WriteMode,
 ) -> Result<MultiEvalResult, StackDistError> {
-    evaluate(configs, stream, None, mode, PassPolicy::Fifo)
+    evaluate_fifo_multi_with_mode(configs, stream, mode, gmap_trace::default_mode())
+}
+
+/// [`evaluate_fifo_multi`] with an explicit [`KernelMode`].
+///
+/// # Errors
+///
+/// Returns [`StackDistError`] if `configs` is empty, mixes line sizes, or
+/// contains a non-FIFO policy.
+pub fn evaluate_fifo_multi_with_mode(
+    configs: &[CacheConfig],
+    stream: &[LineAccess],
+    mode: WriteMode,
+    kmode: KernelMode,
+) -> Result<MultiEvalResult, StackDistError> {
+    evaluate(configs, stream, None, mode, PassPolicy::Fifo, kmode)
 }
 
 fn evaluate(
@@ -414,9 +547,10 @@ fn evaluate(
     schedule: Option<&PrefetchSchedule>,
     mode: WriteMode,
     policy: PassPolicy,
+    kmode: KernelMode,
 ) -> Result<MultiEvalResult, StackDistError> {
     validate_configs(configs, policy)?;
-    let (mut counts, dirty) = single_pass(configs, stream, schedule, mode, policy);
+    let (mut counts, dirty) = single_pass(configs, stream, schedule, mode, policy, kmode);
     let fell_back = !dirty.is_empty();
     if fell_back {
         // Replay only the geometries whose set-count class diverged; the
@@ -460,12 +594,25 @@ const ABSENT: usize = usize::MAX;
 /// The shared single pass. Returns per-geometry counts plus the indices
 /// of configs whose set-count class hit a divergent access (their counts
 /// are garbage and must be recomputed by replay).
+///
+/// Counting strategy depends on `kmode`:
+///
+/// - **Scalar** (the reference): per access, one branchy compare per
+///   *geometry view* (`O(configs)` per access).
+/// - **Batched**: per access, one histogram bump per *set-count class* —
+///   `pos_hist[class][min(pos, a_max)] += 1`, where bucket `a_max` means
+///   "absent". A view of associativity `a` then hits exactly the accesses
+///   bucketed below `a`, so per-view hit counts fall out of an
+///   `O(configs × a_max)` prefix-sum epilogue, and reads/writes are
+///   counted once for the whole stream instead of once per view. The
+///   locate scan also switches to the unrolled match-mask kernel.
 fn single_pass(
     configs: &[CacheConfig],
     stream: &[LineAccess],
     schedule: Option<&PrefetchSchedule>,
     mode: WriteMode,
     policy: PassPolicy,
+    kmode: KernelMode,
 ) -> (Vec<GeomCounts>, Vec<usize>) {
     // Build the distinct set-count classes and per-geometry views.
     let mut classes: Vec<SetClass> = Vec::new();
@@ -487,25 +634,48 @@ fn single_pass(
                     dirty: false,
                     lines: Vec::new(),
                     occ: Vec::new(),
+                    chunked: false,
+                    stride: 0,
                 });
                 classes.len() - 1
             }
         };
         views.push(GeomView { class, assoc });
     }
+    let uniform_writes = mode == WriteMode::Allocate;
+    let batched = kmode.is_batched();
     for class in classes.iter_mut() {
         let sets = (class.mask + 1) as usize;
-        class.lines = vec![0; sets * class.a_max];
+        // Chunked scanning only pays once a row spans more than one
+        // vector: an `a_max <= LANES` row is at most one compare either
+        // way, while padding it to a full chunk would inflate the
+        // recency arrays (8x for direct-mapped classes — enough to push
+        // fig6b's 64k-set classes out of the host cache).
+        class.chunked = batched && class.a_max > LANES;
+        class.stride = if class.chunked {
+            class.a_max.next_multiple_of(LANES)
+        } else {
+            class.a_max
+        };
+        class.lines = vec![0; sets * class.stride];
         class.occ = vec![0; sets];
     }
-
-    let uniform_writes = mode == WriteMode::Allocate;
     let mut counts = vec![GeomCounts::default(); configs.len()];
     // Reused per-access scratch: the line's way-position per class.
     let mut positions = vec![ABSENT; classes.len()];
+    // Batched counting: per-class way-position histogram, bucket
+    // `min(pos, a_max)` (bucket a_max = absent). Flattened with one
+    // `a_max + 1`-wide row per class.
+    let hist_stride = classes.iter().map(|c| c.a_max).max().unwrap_or(0) + 1;
+    let mut pos_hist = if batched {
+        vec![0u64; classes.len() * hist_stride]
+    } else {
+        Vec::new()
+    };
 
     for (i, acc) in stream.iter().enumerate() {
-        // Phase 1: locate the line in each class's widest cache.
+        // Phase 1: locate the line in each class's widest cache (the
+        // layout — and with it the scan kernel — follows `kmode`).
         for (pos, class) in positions.iter_mut().zip(classes.iter()) {
             *pos = if class.dirty {
                 ABSENT
@@ -517,17 +687,25 @@ fn single_pass(
         // Phase 2: count. A way-position `p` hits every geometry of the
         // class with associativity > p. (Dirty-class counts are garbage
         // and get overwritten by the replay fallback.)
-        for (view, c) in views.iter().zip(counts.iter_mut()) {
-            c.accesses += 1;
-            if acc.is_write {
-                c.writes += 1;
-            } else {
-                c.reads += 1;
+        if batched {
+            // One bump per class; the per-view expansion happens in the
+            // epilogue below.
+            for (ci, (&pos, class)) in positions.iter().zip(classes.iter()).enumerate() {
+                pos_hist[ci * hist_stride + pos.min(class.a_max)] += 1;
             }
-            if positions[view.class] < view.assoc {
-                c.hits += 1;
-            } else {
-                c.misses += 1;
+        } else {
+            for (view, c) in views.iter().zip(counts.iter_mut()) {
+                c.accesses += 1;
+                if acc.is_write {
+                    c.writes += 1;
+                } else {
+                    c.reads += 1;
+                }
+                if positions[view.class] < view.assoc {
+                    c.hits += 1;
+                } else {
+                    c.misses += 1;
+                }
             }
         }
 
@@ -544,6 +722,23 @@ fn single_pass(
         }
     }
 
+    if batched {
+        // Epilogue: expand the class histograms into per-view counters.
+        // Reads/writes are stream-level facts, identical for every view.
+        let n = stream.len() as u64;
+        let writes = count_stream_writes(stream);
+        let reads = n - writes;
+        for (view, c) in views.iter().zip(counts.iter_mut()) {
+            let row = &pos_hist[view.class * hist_stride..(view.class + 1) * hist_stride];
+            let hits: u64 = row[..view.assoc.min(row.len())].iter().sum();
+            c.accesses = n;
+            c.hits = hits;
+            c.misses = n - hits;
+            c.reads = reads;
+            c.writes = writes;
+        }
+    }
+
     let dirty: Vec<usize> = views
         .iter()
         .enumerate()
@@ -551,6 +746,19 @@ fn single_pass(
         .map(|(i, _)| i)
         .collect();
     (counts, dirty)
+}
+
+/// Store count of a demand stream, 8 lanes at a time (branch-free lane
+/// body; `is_write` contributes 0 or 1 per lane).
+fn count_stream_writes(stream: &[LineAccess]) -> u64 {
+    let mut acc = [0u64; LANES];
+    let mut chunks = stream.chunks_exact(LANES);
+    for c in &mut chunks {
+        for lane in 0..LANES {
+            acc[lane] += u64::from(c[lane].is_write);
+        }
+    }
+    acc.iter().sum::<u64>() + chunks.remainder().iter().filter(|a| a.is_write).count() as u64
 }
 
 /// LRU state update for one access against one class.
@@ -583,7 +791,7 @@ fn update_lru(class: &mut SetClass, acc: &LineAccess, pos: usize, cands: &[u64],
         // prefetch candidates between the lookup and the demand fill.
         class.apply_prefetches(cands);
         if !class.dirty {
-            class.insert_front(acc.line);
+            class.demand_fill_after_prefetches(acc.line, cands);
         }
     } else if pos < class.a_min {
         // Hit everywhere: touch, then candidate fills land above.
@@ -621,7 +829,7 @@ fn update_fifo(class: &mut SetClass, acc: &LineAccess, pos: usize, cands: &[u64]
         // (candidate fills before the demand fill).
         class.apply_prefetches(cands);
         if !class.dirty {
-            class.insert_front(acc.line);
+            class.demand_fill_after_prefetches(acc.line, cands);
         }
     } else if pos < class.a_min {
         // Hit everywhere: FIFO hits leave the queue untouched.

@@ -6,6 +6,7 @@
 //! captured as a [`Histogram`] and replayed by weighted sampling through a
 //! [`HistSampler`].
 
+use crate::batch::{KernelMode, LANES};
 use crate::rng::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -63,6 +64,119 @@ impl<T: Ord + Copy> Histogram<T> {
         }
         *self.counts.entry(value).or_insert(0) += n;
         self.total += n;
+    }
+
+    /// Records one observation of every value in `values`.
+    ///
+    /// Dispatches on `mode`; both paths leave the histogram in an
+    /// identical state (a histogram is order-independent by construction).
+    /// The batched path accumulates into a small fixed registry with an
+    /// 8-lane match scan, so the `BTreeMap` sees one `add_n` per
+    /// *distinct* value instead of one tree probe per observation — on
+    /// hot profiling loops most slices are runs of a handful of distinct
+    /// strides. Distinct-heavy slices (more than `2 × LANES` values)
+    /// fall back to a sort + run-length-encode pass.
+    pub fn add_slice(&mut self, values: &[T], mode: KernelMode) {
+        match mode {
+            KernelMode::Scalar => self.add_slice_scalar(values),
+            KernelMode::Batched => self.add_slice_batched(values),
+        }
+    }
+
+    /// Scalar reference for [`Histogram::add_slice`]: one tree probe per
+    /// observation.
+    pub fn add_slice_scalar(&mut self, values: &[T]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    fn add_slice_batched(&mut self, values: &[T]) {
+        // Transposed registry fast path: a fixed array of (value, count)
+        // pairs. Each whole 8-value chunk is compared against every
+        // *live* registry slot — one broadcast-equality mask and a
+        // popcount per slot — so the common all-matched chunk costs
+        // `len` lane-wide compares for eight observations instead of
+        // eight probes. Registry values are distinct, so each lane
+        // matches at most one slot and the popcounts are exact. Lanes
+        // no slot matched are inserted one at a time, re-probing
+        // because an earlier unmatched lane of the same chunk may have
+        // just claimed the same value. Slices with more than `2 ×
+        // LANES` distinct values fall back to a sort + run-length
+        // encode pass; nothing is flushed before the fallback, so it
+        // re-counts the whole slice from scratch.
+        const REG: usize = 2 * LANES;
+        const ALL: u32 = (1 << LANES) - 1;
+        let Some(&first) = values.first() else {
+            return;
+        };
+        let mut reg_v = [first; REG];
+        let mut reg_n = [0u64; REG];
+        let mut len = 1usize;
+        let mut chunks = values.chunks_exact(LANES);
+        for c in &mut chunks {
+            let mut matched = 0u32;
+            for slot in 0..len {
+                let rv = reg_v[slot];
+                let mut m = 0u32;
+                for (lane, &v) in c.iter().enumerate() {
+                    m |= u32::from(v == rv) << lane;
+                }
+                reg_n[slot] += u64::from(m.count_ones());
+                matched |= m;
+            }
+            let mut miss = ALL & !matched;
+            while miss != 0 {
+                let lane = miss.trailing_zeros() as usize;
+                miss &= miss - 1;
+                if !registry_probe_insert(&mut reg_v, &mut reg_n, &mut len, c[lane]) {
+                    return self.add_slice_sorted_rle(values);
+                }
+            }
+        }
+        for &v in chunks.remainder() {
+            if !registry_probe_insert(&mut reg_v, &mut reg_n, &mut len, v) {
+                return self.add_slice_sorted_rle(values);
+            }
+        }
+        for slot in 0..len {
+            self.add_n(reg_v[slot], reg_n[slot]);
+        }
+    }
+
+    fn add_slice_sorted_rle(&mut self, values: &[T]) {
+        if values.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<T> = values.to_vec();
+        sorted.sort_unstable();
+        // Run-length encode: an 8-lane unrolled neighbor-inequality scan
+        // builds a boundary mask per chunk (branch-free lane body), then
+        // trailing_zeros walks the set bits to flush completed runs.
+        let n = sorted.len();
+        let mut run_start = 0usize;
+        let mut i = 1usize;
+        while i + LANES <= n {
+            let mut mask = 0u32;
+            for lane in 0..LANES {
+                mask |= u32::from(sorted[i + lane - 1] != sorted[i + lane]) << lane;
+            }
+            while mask != 0 {
+                let boundary = i + mask.trailing_zeros() as usize;
+                self.add_n(sorted[run_start], (boundary - run_start) as u64);
+                run_start = boundary;
+                mask &= mask - 1;
+            }
+            i += LANES;
+        }
+        while i < n {
+            if sorted[i - 1] != sorted[i] {
+                self.add_n(sorted[run_start], (i - run_start) as u64);
+                run_start = i;
+            }
+            i += 1;
+        }
+        self.add_n(sorted[run_start], (n - run_start) as u64);
     }
 
     /// Total number of observations.
@@ -185,6 +299,32 @@ impl<T: Ord + Copy> Histogram<T> {
         }
         HistSampler { values, cumulative }
     }
+}
+
+/// Scalar registry probe for [`Histogram::add_slice`]'s batched path:
+/// bump the matching slot's count or claim a new slot for `v`. Returns
+/// `false` when the registry is full, signalling the caller to fall
+/// back to the sort + RLE pass.
+#[inline]
+fn registry_probe_insert<T: Copy + PartialEq>(
+    reg_v: &mut [T],
+    reg_n: &mut [u64],
+    len: &mut usize,
+    v: T,
+) -> bool {
+    for slot in 0..*len {
+        if reg_v[slot] == v {
+            reg_n[slot] += 1;
+            return true;
+        }
+    }
+    if *len == reg_v.len() {
+        return false;
+    }
+    reg_v[*len] = v;
+    reg_n[*len] = 1;
+    *len += 1;
+    true
 }
 
 impl<T: Ord + Copy> FromIterator<T> for Histogram<T> {
@@ -387,6 +527,32 @@ mod tests {
         h.extend([7, 9]);
         assert_eq!(h.total(), 5);
         assert_eq!(h.count_of(7), 2);
+    }
+
+    #[test]
+    fn add_slice_kernels_agree_for_all_tail_lengths() {
+        let mut rng = Rng::seed_from(0xadd);
+        for n in 0..(2 * LANES + 1) {
+            let values: Vec<i64> = (0..n).map(|_| (rng.gen_range(7) as i64) - 3).collect();
+            let mut scalar = Histogram::new();
+            let mut batched = Histogram::new();
+            scalar.add_slice(&values, KernelMode::Scalar);
+            batched.add_slice(&values, KernelMode::Batched);
+            assert_eq!(scalar, batched, "n={n}");
+            assert_eq!(scalar.total(), n as u64);
+        }
+    }
+
+    #[test]
+    fn add_slice_matches_sequential_adds() {
+        let values = [5i64, -2, 5, 5, 9, -2, 0, 0, 5, 1, 1, 1, 1, 7];
+        let mut seq = Histogram::new();
+        for &v in &values {
+            seq.add(v);
+        }
+        let mut batched = Histogram::new();
+        batched.add_slice(&values, KernelMode::Batched);
+        assert_eq!(seq, batched);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! - [`rng`] — a small, seedable, deterministic PRNG so that every proxy
 //!   generation and experiment in the workspace is bit-reproducible.
 //! - [`io`] — plain-text and binary readers/writers for per-thread traces.
+//! - [`soa`] — structure-of-arrays storage for captured access streams
+//!   ([`AccessColumns`]) with a row-wise [`AccessRecord`] view shim.
+//! - [`batch`] — the [`KernelMode`] switch between the scalar reference
+//!   loops and the lane-unrolled batch kernels used by the hot passes.
 //!
 //! # Example
 //!
@@ -39,15 +43,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod histogram;
 pub mod io;
 pub mod record;
 pub mod reuse;
 pub mod rng;
+pub mod soa;
 pub mod stats;
 
+pub use batch::{default_mode, KernelMode};
 pub use histogram::{HistSampler, Histogram};
 pub use record::{AccessKind, ByteAddr, CoreId, LineAddr, MemAccess, Pc, ThreadId, WarpId};
 pub use reuse::{ReuseClass, ReuseComputer, ReuseHistogram};
 pub use rng::Rng;
+pub use soa::{AccessColumns, AccessRecord};
 pub use stats::LatencyHistogram;

@@ -51,7 +51,19 @@ if [[ -z "$ADDR" ]]; then
 fi
 echo "smoke: server up at $ADDR"
 
-"$GMAP" client health --addr "$ADDR" | grep -q '"status":"ok"'
+# Buffer a client command's stdout before grepping. Piping straight into
+# `grep -q` races under pipefail: grep exits at the first match, the
+# client's remaining stdout write takes EPIPE and panics, and the
+# pipeline's 101 fails the script (~40%% of runs on a slow host).
+expect() { # expect <pattern> <cmd...>
+    local pat="$1"; shift
+    local out
+    out="$("$@")"
+    grep -q "$pat" <<<"$out"
+}
+
+
+expect '"status":"ok"' "$GMAP" client health --addr "$ADDR"
 echo "smoke: health ok"
 
 PROFILE="$("$GMAP" client profile --addr "$ADDR" --workload kmeans --scale tiny)"
@@ -62,17 +74,15 @@ if [[ -z "$MODEL" ]]; then
     exit 1
 fi
 
-"$GMAP" client clone --addr "$ADDR" --model "$MODEL" --factor 2 | grep -q '"kernels":'
+expect '"kernels":' "$GMAP" client clone --addr "$ADDR" --model "$MODEL" --factor 2
 echo "smoke: clone ok"
 
-"$GMAP" client evaluate --addr "$ADDR" --model "$MODEL" --grid 16:4,32:4 \
-    | grep -q '"values":'
+expect '"values":' "$GMAP" client evaluate --addr "$ADDR" --model "$MODEL" --grid 16:4,32:4
 echo "smoke: evaluate ok"
 
 # A fig6c-shaped stride-prefetcher grid must ride the single-pass engine.
-"$GMAP" client evaluate --addr "$ADDR" --model "$MODEL" --grid 8:4,16:4,64:4 \
-    --stride-prefetch 64:2:1 \
-    | grep -q '"single_pass":true'
+expect '"single_pass":true' "$GMAP" client evaluate --addr "$ADDR" --model "$MODEL" \
+    --grid 8:4,16:4,64:4 --stride-prefetch 64:2:1
 echo "smoke: prefetcher evaluate single-pass ok"
 
 # An out-of-envelope prefetcher table is a structured 400, not a crash.
@@ -85,14 +95,12 @@ grep -q 'power of two' "$WORK/pf.out"
 echo "smoke: unsupported prefetcher rejected with 400"
 
 # Repeat profile must be a cache hit, visible in /metrics.
-"$GMAP" client profile --addr "$ADDR" --workload kmeans --scale tiny \
-    | grep -q '"cached":true'
-"$GMAP" client metrics --addr "$ADDR" | grep -q '^gmap_cache_hits_total 1'
+expect '"cached":true' "$GMAP" client profile --addr "$ADDR" --workload kmeans --scale tiny
+expect '^gmap_cache_hits_total 1' "$GMAP" client metrics --addr "$ADDR"
 echo "smoke: cache hit observed in metrics"
 
 # Static analysis over the wire: a named workload is admissible...
-"$GMAP" client analyze --addr "$ADDR" --workload kmeans --scale tiny \
-    | grep -q '"admissible":true'
+expect '"admissible":true' "$GMAP" client analyze --addr "$ADDR" --workload kmeans --scale tiny
 echo "smoke: analyze ok"
 
 # ...while an out-of-bounds spec is explained by /v1/analyze and then
@@ -100,14 +108,13 @@ echo "smoke: analyze ok"
 BAD_SPEC="$WORK/oob.json"
 "$GMAP" analyze --fixture oob-affine --dump-spec "$BAD_SPEC" >/dev/null 2>&1 || true
 [[ -s "$BAD_SPEC" ]] || { echo "smoke: --dump-spec wrote nothing" >&2; exit 1; }
-"$GMAP" client analyze --addr "$ADDR" --spec "$BAD_SPEC" \
-    | grep -q '"admissible":false'
+expect '"admissible":false' "$GMAP" client analyze --addr "$ADDR" --spec "$BAD_SPEC"
 if "$GMAP" client profile --addr "$ADDR" --spec "$BAD_SPEC" 2>"$WORK/gate.err"; then
     echo "smoke: inadmissible spec was not rejected" >&2
     exit 1
 fi
 grep -q '422' "$WORK/gate.err"
-"$GMAP" client metrics --addr "$ADDR" | grep -q '^gmap_analyze_rejects_total 1'
+expect '^gmap_analyze_rejects_total 1' "$GMAP" client metrics --addr "$ADDR"
 echo "smoke: admission gate rejected inadmissible spec with 422"
 
 # Raw-socket edge cases via bash's /dev/tcp.

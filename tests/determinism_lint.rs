@@ -11,8 +11,11 @@ use std::path::Path;
 
 /// The crates whose outputs are part of the deterministic contract:
 /// profiles, clone traces, simulation statistics, and the service layer
-/// (responses must be byte-identical to direct library calls).
-const SIMULATION_CRATES: &[&str] = &["memsim", "gpu", "dram", "core", "serve"];
+/// (responses must be byte-identical to direct library calls). `trace`
+/// joined the list with the SoA capture columns and batch kernels — the
+/// columns feed every downstream hit-rate count, so ordering there is
+/// load-bearing too.
+const SIMULATION_CRATES: &[&str] = &["memsim", "gpu", "dram", "core", "serve", "trace"];
 
 #[test]
 fn simulation_crates_do_not_iterate_hash_maps() {

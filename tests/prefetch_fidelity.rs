@@ -1,0 +1,123 @@
+//! Single-pass prefetch fidelity regressions (tier-1 gated).
+//!
+//! The first test is the review scratch case that caught the
+//! candidate-equals-demand-line bug: a stride-0 prefetcher emits a
+//! candidate identical to the demand line of a missing load, and the
+//! single pass used to insert the line twice (candidate fill + demand
+//! fill), displacing every other line by one way position. The exact
+//! semantics — `Cache::demand_fill` is a no-op on resident lines — are
+//! now modeled by re-locating the demand line after the candidate fills.
+//! The remaining tests harden the surrounding dedup/merge paths.
+
+use gmap_memsim::cache::{CacheConfig, ReplacementPolicy};
+use gmap_memsim::stackdist::{
+    evaluate_lru_prefetch_multi, replay_per_config_prefetch, LineAccess, PrefetchSchedule,
+    WriteMode,
+};
+
+fn lru(size: u64, assoc: u32) -> CacheConfig {
+    CacheConfig::new(size, assoc, 64, ReplacementPolicy::Lru).expect("valid")
+}
+
+#[test]
+fn candidate_equal_to_demand_line_stays_exact() {
+    // Single-set caches of assoc 1, 2, 3 (one set-count class).
+    let configs = [lru(64, 1), lru(128, 2), lru(192, 3)];
+    // Access 1 is a miss carrying a candidate equal to its own line
+    // (distance = 0 stride prefetcher emits exactly this).
+    let stream = vec![
+        LineAccess::new(9, false),
+        LineAccess::new(0, false),
+        LineAccess::new(9, false),
+    ];
+    let mut sched = PrefetchSchedule::new();
+    sched.push(&[]);
+    sched.push(&[0]);
+    sched.push(&[]);
+    let r = evaluate_lru_prefetch_multi(&configs, &stream, &sched, WriteMode::Allocate).unwrap();
+    let reference =
+        replay_per_config_prefetch(&configs, &stream, Some(&sched), WriteMode::Allocate);
+    assert_eq!(r.counts, reference, "fell_back={}", r.fell_back);
+}
+
+#[test]
+fn candidate_list_containing_demand_line_twice_stays_exact() {
+    let configs = [lru(64, 1), lru(128, 2), lru(192, 3)];
+    let stream = vec![
+        LineAccess::new(5, false),
+        LineAccess::new(1, false),
+        LineAccess::new(5, false),
+    ];
+    let mut sched = PrefetchSchedule::new();
+    sched.push(&[]);
+    sched.push(&[1, 1]); // duplicate candidates, both equal to the demand
+    sched.push(&[]);
+    for mode in [WriteMode::Allocate, WriteMode::NoAllocate] {
+        let r = evaluate_lru_prefetch_multi(&configs, &stream, &sched, mode).unwrap();
+        let reference = replay_per_config_prefetch(&configs, &stream, Some(&sched), mode);
+        assert_eq!(r.counts, reference, "mode={mode:?}");
+    }
+}
+
+#[test]
+fn demand_line_pushed_down_by_later_candidates_stays_exact() {
+    // The candidate equal to the demand line fills first, then further
+    // candidates stack above it: the demand line's final way position is
+    // below MRU, and the (no-op) demand fill must not hoist it back.
+    let configs = [lru(64, 1), lru(128, 2), lru(192, 3), lru(256, 4)];
+    let stream = vec![
+        LineAccess::new(7, false),
+        LineAccess::new(2, false),
+        LineAccess::new(7, false),
+        LineAccess::new(3, false),
+    ];
+    let mut sched = PrefetchSchedule::new();
+    sched.push(&[]);
+    sched.push(&[2, 3, 4]); // demand line 2 fills, then 3 and 4 land above
+    sched.push(&[]);
+    sched.push(&[]);
+    for mode in [WriteMode::Allocate, WriteMode::NoAllocate] {
+        let r = evaluate_lru_prefetch_multi(&configs, &stream, &sched, mode).unwrap();
+        let reference = replay_per_config_prefetch(&configs, &stream, Some(&sched), mode);
+        assert_eq!(r.counts, reference, "mode={mode:?}");
+    }
+}
+
+#[test]
+fn store_carrying_self_candidate_stays_exact() {
+    // Stores apply their state effect before the candidate fills, so a
+    // candidate equal to the store's line must see it already resident.
+    let configs = [lru(64, 1), lru(128, 2)];
+    let stream = vec![LineAccess::new(4, true), LineAccess::new(6, false)];
+    let mut sched = PrefetchSchedule::new();
+    sched.push(&[4]);
+    sched.push(&[]);
+    for mode in [WriteMode::Allocate, WriteMode::NoAllocate] {
+        let r = evaluate_lru_prefetch_multi(&configs, &stream, &sched, mode).unwrap();
+        let reference = replay_per_config_prefetch(&configs, &stream, Some(&sched), mode);
+        assert_eq!(r.counts, reference, "mode={mode:?}");
+    }
+}
+
+#[test]
+fn multi_set_class_with_self_candidates_stays_exact() {
+    // Two set counts → two classes; self-candidates land in both.
+    let configs = [lru(128, 1), lru(256, 2), lru(256, 1), lru(512, 2)];
+    let stream: Vec<LineAccess> = [9u64, 0, 9, 2, 0, 9, 4]
+        .iter()
+        .map(|&l| LineAccess::new(l, false))
+        .collect();
+    let mut sched = PrefetchSchedule::new();
+    for (i, acc) in stream.iter().enumerate() {
+        if i % 2 == 1 {
+            sched.push(&[acc.line, acc.line + 1]);
+        } else {
+            sched.push(&[]);
+        }
+    }
+    for mode in [WriteMode::Allocate, WriteMode::NoAllocate] {
+        let r = evaluate_lru_prefetch_multi(&configs, &stream, &sched, mode).unwrap();
+        let reference = replay_per_config_prefetch(&configs, &stream, Some(&sched), mode);
+        assert_eq!(r.counts, reference, "mode={mode:?}");
+    }
+}
