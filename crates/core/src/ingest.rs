@@ -10,9 +10,16 @@
 //!
 //! Divergence is handled by majority: when lane fronts disagree on the
 //! next PC, the most common front PC forms the instruction with the lanes
-//! that agree; the rest wait. This reconstructs exactly the SIMT order for
-//! traces produced by lockstep execution, and degrades gracefully for
-//! approximately-ordered traces.
+//! that agree; the rest wait. Equal lane counts are broken deterministically
+//! toward the **lowest PC** (see [`pop_warp_instruction`]). This
+//! reconstructs exactly the SIMT order for traces produced by lockstep
+//! execution, and degrades gracefully for approximately-ordered traces.
+//!
+//! The per-warp step ([`pop_warp_instruction`]) and the geometry mapping
+//! ([`warp_lane_of`], [`live_lanes`]) are public so the streaming ingest
+//! path (`gmap-ingest`) can drive the *same* reconstruction incrementally;
+//! the differential guarantee (streaming byte-identical to materialized)
+//! rests on both paths sharing this code.
 
 use crate::error::GmapError;
 use crate::profile::GmapProfile;
@@ -21,8 +28,77 @@ use gmap_gpu::coalesce::coalesce_addrs;
 use gmap_gpu::hierarchy::LaunchConfig;
 use gmap_gpu::schedule::{CoalescedAccess, WarpStream, WarpStreamEvent};
 use gmap_trace::io::TraceEntry;
-use gmap_trace::record::{ByteAddr, Pc, WarpId};
+use gmap_trace::record::{ByteAddr, MemAccess, Pc, WarpId};
 use std::collections::{HashMap, VecDeque};
+
+/// Maps a global thread id to its `(warp, lane)` under the launch
+/// geometry, or `None` when the tid falls outside it.
+///
+/// Warp numbering is global and block-major: warp = `block *
+/// warps_per_block + in_block_tid / warp_size`, lane = `in_block_tid %
+/// warp_size` — the same mapping the execution substrate uses.
+pub fn warp_lane_of(tid: u32, launch: &LaunchConfig, warp_size: u32) -> Option<(u32, usize)> {
+    let tid = tid as u64;
+    if tid >= launch.total_threads() {
+        return None;
+    }
+    let tpb = launch.threads_per_block();
+    let block = (tid / tpb as u64) as u32;
+    let in_block = (tid % tpb as u64) as u32;
+    let warp = block * launch.warps_per_block(warp_size) + in_block / warp_size;
+    Some((warp, (in_block % warp_size) as usize))
+}
+
+/// Number of lanes of `warp` that map to real threads of the launch (the
+/// final warp of a block is partial when `threads_per_block` is not a
+/// multiple of `warp_size`).
+pub fn live_lanes(warp: u32, launch: &LaunchConfig, warp_size: u32) -> u32 {
+    let wpb = launch.warps_per_block(warp_size);
+    let tpb = launch.threads_per_block();
+    if warp / wpb >= launch.num_blocks() {
+        return 0;
+    }
+    let base = (warp % wpb) * warp_size;
+    tpb.saturating_sub(base).min(warp_size)
+}
+
+/// Pops the next warp-level dynamic instruction from a warp's per-lane
+/// access queues, or `None` once every lane is drained.
+///
+/// The front PC of each non-empty lane votes; the PC with the most lanes
+/// forms the instruction, those lanes pop, and their addresses are
+/// coalesced into line transactions. **Tie-break:** when two front PCs tie
+/// on lane count, the *lowest* PC wins — `max_by_key((count,
+/// Reverse(pc)))` — so reconstruction never depends on hash-map iteration
+/// order (the determinism contract covers warp streams).
+pub fn pop_warp_instruction(
+    queues: &mut [VecDeque<MemAccess>],
+    line_size: u64,
+) -> Option<CoalescedAccess> {
+    let mut votes: HashMap<Pc, u32> = HashMap::new();
+    for q in queues.iter() {
+        if let Some(a) = q.front() {
+            *votes.entry(a.pc).or_insert(0) += 1;
+        }
+    }
+    let (&pc, _) = votes
+        .iter()
+        .max_by_key(|(pc, &c)| (c, std::cmp::Reverse(pc.0)))?;
+    let mut addrs = Vec::new();
+    let mut kind = None;
+    for q in queues.iter_mut() {
+        if q.front().is_some_and(|a| a.pc == pc) {
+            let a = q.pop_front().expect("front checked");
+            addrs.push(a.addr);
+            kind.get_or_insert(a.kind);
+        }
+    }
+    Some(CoalescedAccess {
+        pc,
+        kind: kind.expect("at least one lane participated"),
+        lines: coalesce_addrs(&addrs, line_size),
+    })
+}
 
 /// Reconstructs coalesced warp streams from flat per-thread entries.
 ///
@@ -36,64 +112,30 @@ pub fn warp_streams_from_entries(
     line_size: u64,
 ) -> Vec<WarpStream> {
     let wpb = launch.warps_per_block(warp_size);
-    let tpb = launch.threads_per_block();
-    let total_threads = launch.total_threads();
     // Per-warp, per-lane access queues.
-    let mut lanes: HashMap<u32, Vec<VecDeque<&TraceEntry>>> = HashMap::new();
-    for e in entries {
-        let tid = e.0 .0 as u64;
-        if tid >= total_threads {
+    let mut lanes: HashMap<u32, Vec<VecDeque<MemAccess>>> = HashMap::new();
+    for (tid, acc) in entries {
+        let Some((warp, lane)) = warp_lane_of(tid.0, launch, warp_size) else {
             continue;
-        }
-        let block = (tid / tpb as u64) as u32;
-        let in_block = (tid % tpb as u64) as u32;
-        let warp = block * wpb + in_block / warp_size;
-        let lane = (in_block % warp_size) as usize;
+        };
         lanes
             .entry(warp)
             .or_insert_with(|| vec![VecDeque::new(); warp_size as usize])[lane]
-            .push_back(e);
+            .push_back(*acc);
     }
     let mut warps: Vec<u32> = lanes.keys().copied().collect();
     warps.sort_unstable();
     warps
         .into_iter()
         .map(|w| {
-            let block = w / wpb;
             let mut queues = lanes.remove(&w).expect("key from map");
             let mut events = Vec::new();
-            loop {
-                // Majority PC among lane fronts.
-                let mut votes: HashMap<Pc, u32> = HashMap::new();
-                for q in &queues {
-                    if let Some(e) = q.front() {
-                        *votes.entry(e.1.pc).or_insert(0) += 1;
-                    }
-                }
-                let Some((&pc, _)) = votes
-                    .iter()
-                    .max_by_key(|(pc, &c)| (c, std::cmp::Reverse(pc.0)))
-                else {
-                    break;
-                };
-                let mut addrs = Vec::new();
-                let mut kind = None;
-                for q in &mut queues {
-                    if q.front().is_some_and(|e| e.1.pc == pc) {
-                        let e = q.pop_front().expect("front checked");
-                        addrs.push(e.1.addr);
-                        kind.get_or_insert(e.1.kind);
-                    }
-                }
-                events.push(WarpStreamEvent::Access(CoalescedAccess {
-                    pc,
-                    kind: kind.expect("at least one lane participated"),
-                    lines: coalesce_addrs(&addrs, line_size),
-                }));
+            while let Some(access) = pop_warp_instruction(&mut queues, line_size) {
+                events.push(WarpStreamEvent::Access(access));
             }
             WarpStream {
                 warp: WarpId(w),
-                block,
+                block: w / wpb,
                 events,
             }
         })
@@ -150,6 +192,7 @@ pub fn footprint_lines(streams: &[WarpStream], line_size: u64) -> u64 {
 mod tests {
     use super::*;
     use gmap_trace::record::{AccessKind, MemAccess, ThreadId};
+    use proptest::prelude::*;
 
     fn entry(tid: u32, pc: u64, addr: u64) -> TraceEntry {
         (
@@ -220,6 +263,41 @@ mod tests {
     }
 
     #[test]
+    fn equal_lane_counts_break_toward_lowest_pc() {
+        // 16 lanes front PC 0x50, 16 lanes front PC 0x20: a perfect tie.
+        // The lowest PC must win regardless of lane order.
+        let mut entries = Vec::new();
+        for tid in 0..32u32 {
+            let pc = if tid % 2 == 0 { 0x50 } else { 0x20 };
+            entries.push(entry(tid, pc, 0x4000 + tid as u64 * 4));
+        }
+        let launch = LaunchConfig::new(1u32, 32u32);
+        let streams = warp_streams_from_entries(&entries, &launch, 32, 128);
+        let pcs: Vec<Pc> = streams[0]
+            .events
+            .iter()
+            .map(|e| match e {
+                WarpStreamEvent::Access(a) => a.pc,
+                WarpStreamEvent::Sync => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pcs, vec![Pc(0x20), Pc(0x50)]);
+    }
+
+    #[test]
+    fn geometry_helpers_agree_with_reconstruction() {
+        let launch = LaunchConfig::new(2u32, 48u32); // 2 warps/block, 2nd partial
+        assert_eq!(warp_lane_of(0, &launch, 32), Some((0, 0)));
+        assert_eq!(warp_lane_of(47, &launch, 32), Some((1, 15)));
+        assert_eq!(warp_lane_of(48, &launch, 32), Some((2, 0)));
+        assert_eq!(warp_lane_of(96, &launch, 32), None);
+        assert_eq!(live_lanes(0, &launch, 32), 32);
+        assert_eq!(live_lanes(1, &launch, 32), 16);
+        assert_eq!(live_lanes(3, &launch, 32), 16);
+        assert_eq!(live_lanes(4, &launch, 32), 0, "beyond the grid");
+    }
+
+    #[test]
     fn out_of_range_threads_ignored() {
         let launch = LaunchConfig::new(1u32, 32u32);
         let mut entries = lockstep_entries(); // tids up to 63
@@ -260,5 +338,40 @@ mod tests {
         let a = warp_streams_from_entries(&entries, &launch, 32, 128);
         let b = warp_streams_from_entries(&back, &launch, 32, 128);
         assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// The first reconstructed instruction is always the majority front
+        /// PC, with equal counts broken toward the lowest PC — for *any*
+        /// assignment of two PCs across the 32 lanes. This pins the
+        /// tie-break as lane-order independent.
+        #[test]
+        fn majority_vote_and_tie_break_are_deterministic(
+            mask in proptest::any::<u32>(),
+            lo in 1..1000u64,
+            delta in 1..1000u64,
+        ) {
+            let hi = lo + delta;
+            let entries: Vec<TraceEntry> = (0..32u32)
+                .map(|tid| {
+                    let pc = if mask & (1 << tid) != 0 { hi } else { lo };
+                    entry(tid, pc, 0x1000 + tid as u64 * 4)
+                })
+                .collect();
+            let hi_count = mask.count_ones();
+            let lo_count = 32 - hi_count;
+            let expected = match hi_count.cmp(&lo_count) {
+                std::cmp::Ordering::Greater => hi,
+                std::cmp::Ordering::Less => lo,
+                std::cmp::Ordering::Equal => lo, // tie: lowest PC wins
+            };
+            let launch = LaunchConfig::new(1u32, 32u32);
+            let streams = warp_streams_from_entries(&entries, &launch, 32, 128);
+            let first = match &streams[0].events[0] {
+                WarpStreamEvent::Access(a) => a.pc,
+                WarpStreamEvent::Sync => unreachable!(),
+            };
+            prop_assert_eq!(first, Pc(expected));
+        }
     }
 }

@@ -1,0 +1,448 @@
+//! The push-based streaming ingestor.
+//!
+//! [`Ingestor`] accepts raw trace bytes chunk by chunk and produces, in a
+//! single pass, the same [`GmapProfile`] the materializing
+//! `read_* → profile_thread_trace` path produces — byte-identical — plus
+//! the online classifier verdicts and the heat-map report, while keeping
+//! the resident *trace* buffer bounded:
+//!
+//! - the chunk parser holds at most one partial line/record;
+//! - per-thread entries go straight into per-warp, per-lane queues;
+//! - a warp-level instruction is popped (via the shared
+//!   [`pop_warp_instruction`] step) as soon as **every geometry-live lane
+//!   of the warp has a queued access** — safe because the front of a
+//!   non-empty queue can never change (arrivals only append), so the
+//!   majority vote is exactly the one the materialized path would take at
+//!   the same step. Lanes the trace never exercises stall this rule;
+//!   those queues drain at [`Ingestor::finish`] with the identical loop,
+//!   so the result is still exact.
+//!
+//! For lane-interleaved traces (the order lockstep tracers emit) the
+//! queues stay O(1) deep. Thread-major traces (all of thread 0, then
+//! thread 1, ...) would buffer a whole warp's worth of accesses, so each
+//! lane queue is bounded by `max_lane_queue` with an [`OverflowPolicy`]:
+//!
+//! - [`OverflowPolicy::ForceDrain`] (default) pops a majority instruction
+//!   among the currently non-empty lanes. For single-lane-per-warp traces
+//!   (e.g. `gmap clone` output, which attributes each warp transaction to
+//!   lane 0) this is still exact — majority-of-one pops entries in order.
+//!   For genuinely divergent thread-major traces it degrades gracefully,
+//!   mirroring the module-level majority semantics; `forced_drains` in
+//!   [`IngestStats`] reports when it happened.
+//! - [`OverflowPolicy::Error`] is strict backpressure: fail the ingest
+//!   instead of approximating.
+//!
+//! What stays bounded is the *raw trace*: the reconstructed coalesced
+//! warp streams (the profiler's input, typically 32× smaller than the
+//! per-thread trace and independent of its interleaving) are still
+//! materialized, because `profile_streams` is multi-pass.
+
+use crate::classify::{ClassifierConfig, OnlineClassifier};
+use crate::reader::{ChunkParser, TraceFormat};
+use crate::report::{build_arrays, AdaptiveHeat, TraceReport};
+use gmap_core::ingest::{live_lanes, pop_warp_instruction, warp_lane_of};
+use gmap_core::profile::GmapProfile;
+use gmap_core::profiler::{profile_streams, ProfilerConfig};
+use gmap_core::GmapError;
+use gmap_gpu::hierarchy::LaunchConfig;
+use gmap_gpu::schedule::{WarpStream, WarpStreamEvent};
+use gmap_trace::io::{ParseTraceError, TraceEntry};
+use gmap_trace::record::{MemAccess, WarpId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// What to do when a lane queue hits `max_lane_queue`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Pop a majority instruction among the non-empty lanes (exact for
+    /// single-lane-per-warp traces; approximate otherwise).
+    ForceDrain,
+    /// Fail the ingest with [`IngestError::LaneQueueOverflow`].
+    Error,
+}
+
+/// Configuration for an ingest pass.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Threads per warp (the profiler contract is 32).
+    pub warp_size: u32,
+    /// Profiler settings; `profiler.line_size` also drives coalescing.
+    pub profiler: ProfilerConfig,
+    /// Bound on each per-warp lane queue, in entries.
+    pub max_lane_queue: usize,
+    /// Behaviour at the bound.
+    pub overflow: OverflowPolicy,
+    /// Classifier bounds.
+    pub classifier: ClassifierConfig,
+    /// Initial heat-histogram page size as a shift (12 → 4 KiB pages).
+    pub heat_page_shift: u32,
+    /// Heat-histogram page budget before coarsening.
+    pub heat_max_pages: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            warp_size: 32,
+            profiler: ProfilerConfig::default(),
+            max_lane_queue: 4096,
+            overflow: OverflowPolicy::ForceDrain,
+            classifier: ClassifierConfig::default(),
+            heat_page_shift: 12,
+            heat_max_pages: 2048,
+        }
+    }
+}
+
+/// Errors an ingest pass can produce.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The byte stream failed to parse.
+    Parse(ParseTraceError),
+    /// A lane queue hit the bound under [`OverflowPolicy::Error`].
+    LaneQueueOverflow {
+        /// The warp whose lane overflowed.
+        warp: u32,
+        /// The overflowing lane.
+        lane: usize,
+        /// The configured bound.
+        bound: usize,
+    },
+    /// Profiling failed (e.g. no entry fell inside the launch geometry).
+    Profile(GmapError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Parse(e) => write!(f, "trace parse failed: {e}"),
+            IngestError::LaneQueueOverflow { warp, lane, bound } => write!(
+                f,
+                "lane queue overflow: warp {warp} lane {lane} exceeded {bound} \
+                 buffered accesses (trace interleaving too skewed for strict mode)"
+            ),
+            IngestError::Profile(e) => write!(f, "profiling failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Parse(e) => Some(e),
+            IngestError::Profile(e) => Some(e),
+            IngestError::LaneQueueOverflow { .. } => None,
+        }
+    }
+}
+
+impl From<ParseTraceError> for IngestError {
+    fn from(e: ParseTraceError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+impl From<GmapError> for IngestError {
+    fn from(e: GmapError) -> Self {
+        IngestError::Profile(e)
+    }
+}
+
+/// Counters describing one ingest pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Raw bytes pushed.
+    pub bytes: u64,
+    /// Entries parsed.
+    pub entries: u64,
+    /// Entries outside the launch geometry.
+    pub skipped: u64,
+    /// Peak resident trace buffer: queued lane entries plus parser carry
+    /// bytes (in entries-equivalents, see `peak_buffered_entries`).
+    pub peak_buffered_entries: u64,
+    /// Instructions popped by the overflow policy before their warp was
+    /// fully fed.
+    pub forced_drains: u64,
+}
+
+/// Everything one streaming pass produces.
+#[derive(Debug)]
+pub struct IngestOutcome {
+    /// The statistical profile — byte-identical to the materialized path.
+    pub profile: GmapProfile,
+    /// Classifier verdicts + heat map.
+    pub report: TraceReport,
+    /// Pass counters.
+    pub stats: IngestStats,
+}
+
+#[derive(Debug)]
+struct WarpState {
+    lanes: Vec<VecDeque<MemAccess>>,
+    events: Vec<WarpStreamEvent>,
+    live: u32,
+}
+
+/// Push-based streaming trace profiler. See the module docs.
+#[derive(Debug)]
+pub struct Ingestor {
+    name: String,
+    launch: LaunchConfig,
+    cfg: IngestConfig,
+    parser: ChunkParser,
+    warps: BTreeMap<u32, WarpState>,
+    classifier: OnlineClassifier,
+    heat: AdaptiveHeat,
+    buffered: u64,
+    instructions: u64,
+    transactions: u64,
+    stats: IngestStats,
+}
+
+impl Ingestor {
+    /// A fresh ingestor profiling under `launch`.
+    pub fn new(name: impl Into<String>, launch: LaunchConfig, cfg: IngestConfig) -> Self {
+        Ingestor {
+            name: name.into(),
+            launch,
+            classifier: OnlineClassifier::new(cfg.classifier.clone()),
+            heat: AdaptiveHeat::new(cfg.heat_page_shift, cfg.heat_max_pages),
+            cfg,
+            parser: ChunkParser::new(),
+            warps: BTreeMap::new(),
+            buffered: 0,
+            instructions: 0,
+            transactions: 0,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Bytes accepted so far.
+    pub fn bytes(&self) -> u64 {
+        self.stats.bytes
+    }
+
+    /// Entries parsed so far.
+    pub fn entries(&self) -> u64 {
+        self.stats.entries
+    }
+
+    /// Current resident trace buffer in entries (lane queues; the parser
+    /// carry adds at most one line/record).
+    pub fn buffered_entries(&self) -> u64 {
+        self.buffered
+    }
+
+    /// Peak of [`buffered_entries`](Self::buffered_entries) over the pass.
+    pub fn peak_buffered_entries(&self) -> u64 {
+        self.stats.peak_buffered_entries
+    }
+
+    /// The detected trace format, once sniffed.
+    pub fn format(&self) -> Option<TraceFormat> {
+        self.parser.format()
+    }
+
+    /// Feeds one chunk of raw trace bytes (any size, any alignment).
+    ///
+    /// # Errors
+    ///
+    /// Parse failures and, under [`OverflowPolicy::Error`], lane-queue
+    /// overflow. The ingestor is unusable after an error.
+    pub fn push_bytes(&mut self, chunk: &[u8]) -> Result<(), IngestError> {
+        self.stats.bytes += chunk.len() as u64;
+        self.parser.push(chunk)?;
+        let entries: Vec<TraceEntry> = self.parser.drain().collect();
+        for e in entries {
+            self.push_entry(e)?;
+        }
+        Ok(())
+    }
+
+    /// Feeds one already-parsed entry (for callers that do their own
+    /// decoding).
+    ///
+    /// # Errors
+    ///
+    /// Lane-queue overflow under [`OverflowPolicy::Error`].
+    pub fn push_entry(&mut self, (tid, acc): TraceEntry) -> Result<(), IngestError> {
+        self.stats.entries += 1;
+        let Some((warp, lane)) = warp_lane_of(tid.0, &self.launch, self.cfg.warp_size) else {
+            self.stats.skipped += 1;
+            return Ok(());
+        };
+        let warp_size = self.cfg.warp_size;
+        let launch = self.launch;
+        let st = self.warps.entry(warp).or_insert_with(|| WarpState {
+            lanes: vec![VecDeque::new(); warp_size as usize],
+            events: Vec::new(),
+            live: live_lanes(warp, &launch, warp_size),
+        });
+        st.lanes[lane].push_back(acc);
+        self.buffered += 1;
+        if st.lanes[lane].len() > self.cfg.max_lane_queue {
+            match self.cfg.overflow {
+                OverflowPolicy::Error => {
+                    return Err(IngestError::LaneQueueOverflow {
+                        warp,
+                        lane,
+                        bound: self.cfg.max_lane_queue,
+                    });
+                }
+                OverflowPolicy::ForceDrain => {
+                    let bound = self.cfg.max_lane_queue;
+                    while self.warps[&warp].lanes[lane].len() > bound {
+                        self.pop_one(warp);
+                        self.stats.forced_drains += 1;
+                    }
+                }
+            }
+        }
+        self.drain_ready(warp);
+        self.stats.peak_buffered_entries = self.stats.peak_buffered_entries.max(self.buffered);
+        Ok(())
+    }
+
+    /// Pops while every live lane of `warp` has a queued access — the
+    /// exact-prefix rule from the module docs.
+    fn drain_ready(&mut self, warp: u32) {
+        loop {
+            let st = self.warps.get(&warp).expect("warp exists");
+            let ready = st.lanes[..st.live as usize].iter().all(|q| !q.is_empty());
+            if !ready {
+                return;
+            }
+            self.pop_one(warp);
+        }
+    }
+
+    /// Pops exactly one warp-level instruction and feeds the classifier
+    /// and heat map.
+    fn pop_one(&mut self, warp: u32) {
+        let st = self.warps.get_mut(&warp).expect("warp exists");
+        // Count the would-be participants before popping: the winning
+        // PC's lane count is not exposed by the shared step function.
+        let fronts: Vec<Option<gmap_trace::record::Pc>> =
+            st.lanes.iter().map(|q| q.front().map(|a| a.pc)).collect();
+        let Some(access) = pop_warp_instruction(&mut st.lanes, self.cfg.profiler.line_size) else {
+            return;
+        };
+        let participants = fronts
+            .iter()
+            .flatten()
+            .filter(|&&pc| pc == access.pc)
+            .count() as u32;
+        self.buffered -= u64::from(participants);
+        self.instructions += 1;
+        self.transactions += access.lines.len() as u64;
+        let lines: Vec<u64> = access.lines.iter().map(|l| l.0).collect();
+        for &l in &lines {
+            self.heat.observe(l, 1);
+        }
+        self.classifier.observe(
+            warp,
+            access.pc.0,
+            access.kind.is_write(),
+            &lines,
+            participants,
+            st.live,
+        );
+        st.events.push(WarpStreamEvent::Access(access));
+    }
+
+    /// Ends the stream: flushes the parser, drains every warp with the
+    /// materialized loop, profiles, and assembles the report.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors from the final partial line/record, and
+    /// [`GmapError::EmptyProfile`] when no entry fell inside the
+    /// geometry.
+    pub fn finish(mut self) -> Result<IngestOutcome, IngestError> {
+        self.parser.finish()?;
+        let entries: Vec<TraceEntry> = self.parser.drain().collect();
+        for e in entries {
+            self.push_entry(e)?;
+        }
+        // Drain the tails: from here the queues hold exactly what the
+        // materialized path would still have, so the same loop finishes
+        // the job identically.
+        let warps: Vec<u32> = self.warps.keys().copied().collect();
+        for w in warps {
+            while self.warps[&w].lanes.iter().any(|q| !q.is_empty()) {
+                self.pop_one(w);
+            }
+        }
+        let wpb = self.launch.warps_per_block(self.cfg.warp_size);
+        let mut streams = Vec::with_capacity(self.warps.len());
+        for (w, st) in std::mem::take(&mut self.warps) {
+            streams.push(WarpStream {
+                warp: WarpId(w),
+                block: w / wpb,
+                events: st.events,
+            });
+        }
+        let profile = profile_streams(
+            &self.name,
+            &streams,
+            &self.launch,
+            self.cfg.warp_size,
+            &self.cfg.profiler,
+        )?;
+        let pcs = self.classifier.finish();
+        let untracked: u64 = self.instructions - pcs.iter().map(|p| p.instructions).sum::<u64>();
+        let arrays = build_arrays(&self.heat, &pcs);
+        let report = TraceReport {
+            name: self.name.clone(),
+            format: self
+                .parser
+                .format()
+                .unwrap_or(TraceFormat::Text)
+                .label()
+                .to_string(),
+            bytes: self.stats.bytes,
+            entries: self.stats.entries,
+            skipped: self.stats.skipped,
+            warps: streams.len() as u64,
+            instructions: self.instructions,
+            transactions: self.transactions,
+            page_bytes: self.heat.page_bytes(),
+            arrays,
+            pcs,
+            untracked_instructions: untracked,
+        };
+        Ok(IngestOutcome {
+            profile,
+            report,
+            stats: self.stats,
+        })
+    }
+}
+
+/// Streams a whole `Read` source through an [`Ingestor`] in
+/// `chunk_size`-byte chunks.
+///
+/// # Errors
+///
+/// I/O errors surface as [`IngestError::Parse`]; see
+/// [`Ingestor::push_bytes`] and [`Ingestor::finish`] for the rest.
+pub fn ingest_reader<R: std::io::Read>(
+    name: &str,
+    mut reader: R,
+    launch: &LaunchConfig,
+    cfg: IngestConfig,
+    chunk_size: usize,
+) -> Result<IngestOutcome, IngestError> {
+    let mut ing = Ingestor::new(name, *launch, cfg);
+    let mut buf = vec![0u8; chunk_size.max(1)];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => ing.push_bytes(&buf[..n])?,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(IngestError::Parse(ParseTraceError::Io(e))),
+        }
+    }
+    ing.finish()
+}

@@ -88,6 +88,82 @@ pub struct ProfileResponse {
     pub stats: ProfileStats,
 }
 
+/// Parsed query parameters of `POST /v1/ingest`.
+///
+/// Ingest carries the launch geometry in the query string because the
+/// body *is* the raw trace (text or binary), streamed and never
+/// materialized — there is no JSON envelope to put parameters in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestQuery {
+    /// Workload name for the resulting model (default `"ingest"`).
+    pub name: String,
+    /// Blocks per grid.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+}
+
+/// Parses the query string of an ingest request path
+/// (`/v1/ingest?grid=2&block=64&name=wl`).
+///
+/// # Errors
+///
+/// 400 for missing/zero `grid` or `block`, unparseable values, or
+/// unknown parameters.
+pub fn parse_ingest_query(path: &str) -> Result<IngestQuery, ApiError> {
+    let query = path.split_once('?').map_or("", |(_, q)| q);
+    let mut name = None;
+    let mut grid = None;
+    let mut block = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| ApiError::bad_request(format!("bad query parameter {pair:?}")))?;
+        let parse_u32 = |key: &str| {
+            value.parse::<u32>().map_err(|e| {
+                ApiError::bad_request(format!("bad value for {key:?}: {value:?}: {e}"))
+            })
+        };
+        match key {
+            "name" => name = Some(value.to_string()),
+            "grid" => grid = Some(parse_u32("grid")?),
+            "block" => block = Some(parse_u32("block")?),
+            other => {
+                return Err(ApiError::bad_request(format!(
+                    "unknown query parameter {other:?} (expected grid, block, name)"
+                )))
+            }
+        }
+    }
+    let grid =
+        grid.ok_or_else(|| ApiError::bad_request("missing required query parameter \"grid\""))?;
+    let block =
+        block.ok_or_else(|| ApiError::bad_request("missing required query parameter \"block\""))?;
+    if grid == 0 || block == 0 {
+        return Err(ApiError::bad_request("grid and block must be positive"));
+    }
+    Ok(IngestQuery {
+        name: name.unwrap_or_else(|| "ingest".into()),
+        grid,
+        block,
+    })
+}
+
+/// `POST /v1/ingest` response: the profiled model plus the streaming
+/// pass's classification report and counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestResponse {
+    /// Content-addressed model id (hash of the resulting model itself —
+    /// two traces producing identical models share an id).
+    pub model_id: String,
+    /// Deterministic model statistics (same shape as `/v1/profile`).
+    pub stats: ProfileStats,
+    /// Heat-map + per-PC classification report from the streaming pass.
+    pub report: gmap_ingest::TraceReport,
+    /// Ingest counters (bytes, entries, peak buffered entries, ...).
+    pub ingest: gmap_ingest::IngestStats,
+}
+
 /// `POST /v1/clone` body: synthesize proxy streams from a cached model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CloneRequest {
@@ -372,6 +448,35 @@ mod tests {
             gmap_bench::Metric::L2MissPct
         );
         assert_eq!(parse_metric(Some("ipc")).expect_err("bad").status, 400);
+    }
+
+    #[test]
+    fn ingest_query_parses_and_validates() {
+        let q = parse_ingest_query("/v1/ingest?grid=2&block=64&name=wl").expect("full query");
+        assert_eq!(
+            q,
+            IngestQuery {
+                name: "wl".into(),
+                grid: 2,
+                block: 64
+            }
+        );
+        let q = parse_ingest_query("/v1/ingest?grid=1&block=32").expect("name defaults");
+        assert_eq!(q.name, "ingest");
+        for bad in [
+            "/v1/ingest",                         // no query at all
+            "/v1/ingest?grid=2",                  // missing block
+            "/v1/ingest?grid=0&block=32",         // zero grid
+            "/v1/ingest?grid=two&block=32",       // unparseable
+            "/v1/ingest?grid=1&block=32&foo=bar", // unknown parameter
+            "/v1/ingest?grid",                    // no '='
+        ] {
+            assert_eq!(
+                parse_ingest_query(bad).expect_err("rejected").status,
+                400,
+                "query {bad:?} must be a 400"
+            );
+        }
     }
 
     #[test]

@@ -197,6 +197,49 @@ pub fn post_json(addr: &str, path: &str, json: &str) -> std::io::Result<Response
     request(addr, "POST", path, Some(json))
 }
 
+/// `POST` with a `Transfer-Encoding: chunked` body streamed from
+/// `reader` in `chunk_size`-byte pieces — for `/v1/ingest`, where the
+/// body is a raw trace that may be too large to hold in memory. Each
+/// piece is framed (`<hex len>\r\n<data>\r\n`) and written immediately,
+/// so the client's resident buffer is one chunk regardless of trace
+/// size.
+///
+/// # Errors
+///
+/// Transport failures and unparseable responses surface as `io::Error`.
+pub fn post_chunked<R: Read>(
+    addr: &str,
+    path: &str,
+    reader: &mut R,
+    chunk_size: usize,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/octet-stream\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    );
+    write_all_looping(&mut stream, head.as_bytes())?;
+    let mut buf = vec![0u8; chunk_size.max(1)];
+    loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        write_all_looping(&mut stream, format!("{n:x}\r\n").as_bytes())?;
+        write_all_looping(&mut stream, &buf[..n])?;
+        write_all_looping(&mut stream, b"\r\n")?;
+    }
+    write_all_looping(&mut stream, b"0\r\n\r\n")?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
 fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let text = String::from_utf8_lossy(raw);

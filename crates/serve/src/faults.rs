@@ -97,7 +97,7 @@ impl FaultKind {
 pub struct FaultSpec {
     /// Seed of the decision stream.
     pub seed: u64,
-    /// Injection probability per kind, indexed by [`FaultKind::index`].
+    /// Injection probability per kind, indexed by `FaultKind::index`.
     pub rates: [f64; 6],
     /// Sleep injected by the `slow` kind.
     pub slow: Duration,

@@ -8,7 +8,8 @@
 
 use crate::api::{
     self, AnalyzeRequest, AnalyzeResponse, ApiError, CloneRequest, CloneResponse, EvaluateRequest,
-    EvaluateResponse, GridPoint, KernelCloneStats, ProfileRequest, ProfileResponse, ProfileStats,
+    EvaluateResponse, GridPoint, IngestResponse, KernelCloneStats, ProfileRequest, ProfileResponse,
+    ProfileStats,
 };
 use crate::cache::{ModelStore, StoredModel};
 use crate::metrics::Metrics;
@@ -214,6 +215,40 @@ pub fn profile(
         model_id,
         cached: false,
         stats: profile_stats(&stored.model),
+    })
+}
+
+/// `POST /v1/ingest` finalization: the connection thread has already
+/// streamed the whole trace body into `ing`; this runs on a worker and
+/// does the heavy lifting — warp-tail drain, profile construction, and
+/// report assembly — then stores the model content-addressed by its own
+/// hash (two traces producing identical models share a cache entry).
+///
+/// # Errors
+///
+/// 400 when the trace yields no in-geometry accesses, 504 on
+/// cancellation.
+pub fn ingest_finalize(
+    store: &ModelStore,
+    ing: gmap_ingest::Ingestor,
+    cancel: &AtomicBool,
+) -> Result<IngestResponse, ApiError> {
+    check_cancel(cancel)?;
+    let outcome = ing
+        .finish()
+        .map_err(|e| ApiError::bad_request(format!("trace rejected: {e}")))?;
+    check_cancel(cancel)?;
+    let model = gmap_core::application::AppProfile {
+        name: outcome.profile.name.clone(),
+        kernels: vec![outcome.profile],
+    };
+    let model_id = cachekey::key_of(&model);
+    let stored = store.insert(&model_id, model);
+    Ok(IngestResponse {
+        model_id,
+        stats: profile_stats(&stored.model),
+        report: outcome.report,
+        ingest: outcome.stats,
     })
 }
 

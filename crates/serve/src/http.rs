@@ -1,7 +1,8 @@
 //! Minimal HTTP/1.1 framing over `std::net`.
 //!
-//! The service speaks one shape of conversation: read a request (line +
-//! headers + `Content-Length` body), write a response, and — since the
+//! The service speaks one shape of conversation: read a request head
+//! (line + headers), read the body — `Content-Length` or
+//! `Transfer-Encoding: chunked` — write a response, and — since the
 //! resilience layer — *keep the connection* for the next request unless
 //! either side asks to close. This module implements that shape from the
 //! stdlib — no async runtime, no external HTTP crate — with hard limits
@@ -9,6 +10,12 @@
 //! and with read errors classified finely enough for the server to pick
 //! the right response (400 for malformed bytes, 408 for a mid-request
 //! stall, 413 for an oversized body, silent close for an idle peer).
+//!
+//! The head and body phases are split ([`read_request_head`] +
+//! [`BodyReader`]) so the streaming-ingest endpoint can consume an
+//! arbitrarily large chunked body piece by piece without ever
+//! materializing it; [`read_request`] composes the two phases back into
+//! the materialized [`Request`] every other endpoint uses.
 
 use std::io::{self, BufRead, Read, Write};
 
@@ -17,6 +24,53 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Maximum accepted request body bytes (profiles are a few KB; grids are
 /// smaller).
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Maximum bytes accepted on the *streaming* ingest path. Far above
+/// [`MAX_BODY_BYTES`] — the stream is profiled incrementally and never
+/// materialized — but still bounded so a runaway peer cannot occupy a
+/// connection thread forever.
+pub const MAX_INGEST_BODY_BYTES: u64 = 1 << 30;
+/// Longest accepted chunk-size line in a chunked body (hex digits plus
+/// optional extensions).
+const MAX_CHUNK_LINE_BYTES: usize = 256;
+
+/// The head of an HTTP request: request line plus headers, body not yet
+/// consumed.
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// Request method, uppercased (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RequestHead {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// request (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| {
+            v.to_ascii_lowercase()
+                .split(',')
+                .any(|t| t.trim() == "close")
+        })
+    }
+
+    /// The path with any query string stripped (`/v1/ingest?grid=2` →
+    /// `/v1/ingest`), for routing.
+    pub fn route_path(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -27,11 +81,22 @@ pub struct Request {
     pub path: String,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
-    /// Raw request body (empty unless `Content-Length` was sent).
+    /// Raw request body (empty unless `Content-Length` or a chunked body
+    /// was sent).
     pub body: Vec<u8>,
 }
 
 impl Request {
+    /// Assembles a request from its already-read head and body.
+    pub fn from_parts(head: RequestHead, body: Vec<u8>) -> Self {
+        Request {
+            method: head.method,
+            path: head.path,
+            headers: head.headers,
+            body,
+        }
+    }
+
     /// First value of a header, by case-insensitive name.
     pub fn header(&self, name: &str) -> Option<&str> {
         let name = name.to_ascii_lowercase();
@@ -88,17 +153,17 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-/// Reads one HTTP/1.1 request from `reader`.
+/// Reads the request line and headers of one HTTP/1.1 request, leaving
+/// the body unconsumed on `reader`.
 ///
 /// # Errors
 ///
 /// [`ReadError::Eof`] on a cleanly closed idle connection,
-/// [`ReadError::Malformed`] for protocol violations (oversized head,
-/// missing/bad `Content-Length`, bad request line, a body cut short by
-/// the peer), [`ReadError::TooLarge`] for bodies over the limit,
-/// [`ReadError::Timeout`] when the transport timed out, and
-/// [`ReadError::Io`] for other transport failures.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
+/// [`ReadError::Malformed`] for protocol violations (oversized head, bad
+/// request line, bad header lines), [`ReadError::Timeout`] when the
+/// transport timed out, and [`ReadError::Io`] for other transport
+/// failures.
+pub fn read_request_head<R: BufRead>(reader: &mut R) -> Result<RequestHead, ReadError> {
     let mut head = Vec::new();
     // Read up to the blank line terminating the header block.
     loop {
@@ -144,36 +209,262 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
+    Ok(RequestHead {
+        method,
+        path,
+        headers,
+    })
+}
 
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
+/// How a request's body is framed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyKind {
+    /// Exactly this many bytes follow (`Content-Length`, possibly 0).
+    Length(u64),
+    /// `Transfer-Encoding: chunked` framing.
+    Chunked,
+}
+
+/// Determines how the body following `head` is framed.
+///
+/// # Errors
+///
+/// [`ReadError::Malformed`] for an unsupported `Transfer-Encoding` or an
+/// unparseable `Content-Length`.
+pub fn body_kind(head: &RequestHead) -> Result<BodyKind, ReadError> {
+    if let Some(te) = head.header("transfer-encoding") {
+        if te
+            .to_ascii_lowercase()
+            .split(',')
+            .any(|t| t.trim() == "chunked")
+        {
+            return Ok(BodyKind::Chunked);
+        }
+        return Err(ReadError::Malformed(format!(
+            "unsupported Transfer-Encoding {te:?} (only chunked)"
+        )));
+    }
+    let content_length = head
+        .header("content-length")
+        .map(|v| {
+            v.parse::<u64>()
                 .map_err(|e| ReadError::Malformed(format!("bad Content-Length {v:?}: {e}")))
         })
         .transpose()?
         .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(ReadError::TooLarge(format!(
-            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-        )));
+    Ok(BodyKind::Length(content_length))
+}
+
+/// Incremental body reader: yields the body in caller-sized pieces
+/// without ever holding more than one piece, decoding chunked framing
+/// transparently. The streaming-ingest endpoint drives this directly;
+/// [`read_request`] drives it to materialize small bodies.
+#[derive(Debug)]
+pub struct BodyReader<'a, R: BufRead> {
+    reader: &'a mut R,
+    state: BodyState,
+    consumed: u64,
+    limit: u64,
+}
+
+#[derive(Debug)]
+enum BodyState {
+    /// Plain body: this many bytes left to read.
+    Length(u64),
+    /// Chunked body: bytes left in the current chunk (0 = a size line is
+    /// due next).
+    Chunk(u64),
+    /// All body bytes (and, for chunked, the trailer) consumed.
+    Done,
+}
+
+impl<'a, R: BufRead> BodyReader<'a, R> {
+    /// Starts reading a body of the given kind, enforcing `limit` total
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::TooLarge`] immediately when a declared
+    /// `Content-Length` exceeds `limit`.
+    pub fn new(reader: &'a mut R, kind: BodyKind, limit: u64) -> Result<Self, ReadError> {
+        let state = match kind {
+            BodyKind::Length(0) => BodyState::Done,
+            BodyKind::Length(n) if n > limit => {
+                return Err(ReadError::TooLarge(format!(
+                    "body of {n} bytes exceeds the {limit}-byte limit"
+                )));
+            }
+            BodyKind::Length(n) => BodyState::Length(n),
+            BodyKind::Chunked => BodyState::Chunk(0),
+        };
+        Ok(BodyReader {
+            reader,
+            state,
+            consumed: 0,
+            limit,
+        })
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            // The peer promised Content-Length bytes and closed early.
-            ReadError::Malformed("request body truncated before Content-Length bytes".into())
-        } else {
-            classify_io(e, true)
+
+    /// Total body bytes yielded so far (excluding chunk framing).
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Reads the next piece of the body into `buf`. Returns 0 exactly
+    /// once the body (and any chunked trailer) is fully consumed, so the
+    /// connection is positioned at the next request.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::Malformed`] for truncated bodies and bad chunk
+    /// framing, [`ReadError::TooLarge`] when the running total passes the
+    /// limit, [`ReadError::Timeout`]/[`ReadError::Io`] for transport
+    /// failures.
+    pub fn next_piece(&mut self, buf: &mut [u8]) -> Result<usize, ReadError> {
+        loop {
+            match self.state {
+                BodyState::Done => return Ok(0),
+                BodyState::Length(remaining) => {
+                    let want = buf
+                        .len()
+                        .min(usize::try_from(remaining).unwrap_or(usize::MAX));
+                    let n = self.read_some(&mut buf[..want])?;
+                    if n == 0 {
+                        return Err(ReadError::Malformed(
+                            "request body truncated before Content-Length bytes".into(),
+                        ));
+                    }
+                    self.state = match remaining - n as u64 {
+                        0 => BodyState::Done,
+                        left => BodyState::Length(left),
+                    };
+                    return self.account(n);
+                }
+                BodyState::Chunk(0) => {
+                    let size = self.read_chunk_size()?;
+                    if size == 0 {
+                        self.read_trailer()?;
+                        self.state = BodyState::Done;
+                        return Ok(0);
+                    }
+                    self.state = BodyState::Chunk(size);
+                }
+                BodyState::Chunk(remaining) => {
+                    let want = buf
+                        .len()
+                        .min(usize::try_from(remaining).unwrap_or(usize::MAX));
+                    let n = self.read_some(&mut buf[..want])?;
+                    if n == 0 {
+                        return Err(ReadError::Malformed(
+                            "request body truncated mid-chunk".into(),
+                        ));
+                    }
+                    if remaining == n as u64 {
+                        // Chunk data is followed by its own CRLF.
+                        let mut terminator = Vec::new();
+                        read_crlf_line(self.reader, &mut terminator, 2, true)?;
+                        if !terminator.is_empty() {
+                            return Err(ReadError::Malformed(
+                                "missing CRLF after chunk data".into(),
+                            ));
+                        }
+                        self.state = BodyState::Chunk(0);
+                    } else {
+                        self.state = BodyState::Chunk(remaining - n as u64);
+                    }
+                    return self.account(n);
+                }
+            }
         }
-    })?;
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
+    }
+
+    fn account(&mut self, n: usize) -> Result<usize, ReadError> {
+        self.consumed += n as u64;
+        if self.consumed > self.limit {
+            return Err(ReadError::TooLarge(format!(
+                "body exceeds the {}-byte limit",
+                self.limit
+            )));
+        }
+        Ok(n)
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, ReadError> {
+        loop {
+            match self.reader.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(classify_io(e, true)),
+            }
+        }
+    }
+
+    fn read_chunk_size(&mut self) -> Result<u64, ReadError> {
+        let mut line = Vec::new();
+        let n = read_crlf_line(self.reader, &mut line, MAX_CHUNK_LINE_BYTES, true)?;
+        if n == 0 {
+            return Err(ReadError::Malformed(
+                "request body truncated before chunk size".into(),
+            ));
+        }
+        let text = String::from_utf8_lossy(&line);
+        // Chunk extensions (";name=value") are tolerated and ignored.
+        let digits = text.split(';').next().unwrap_or("").trim();
+        u64::from_str_radix(digits, 16)
+            .map_err(|e| ReadError::Malformed(format!("bad chunk size {digits:?}: {e}")))
+    }
+
+    /// Consumes trailer lines after the final 0-size chunk, up to and
+    /// including the blank terminator line.
+    fn read_trailer(&mut self) -> Result<(), ReadError> {
+        loop {
+            let mut line = Vec::new();
+            let n = read_crlf_line(self.reader, &mut line, MAX_HEAD_BYTES, true)?;
+            if n == 0 {
+                return Err(ReadError::Malformed(
+                    "request body truncated in chunked trailer".into(),
+                ));
+            }
+            if line.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Materializes the body following `head`, bounded by [`MAX_BODY_BYTES`].
+///
+/// # Errors
+///
+/// See [`BodyReader::next_piece`]; a declared or running length over the
+/// limit is [`ReadError::TooLarge`].
+pub fn read_body<R: BufRead>(reader: &mut R, head: &RequestHead) -> Result<Vec<u8>, ReadError> {
+    let kind = body_kind(head)?;
+    let mut body_reader = BodyReader::new(reader, kind, MAX_BODY_BYTES as u64)?;
+    let mut body = Vec::new();
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        match body_reader.next_piece(&mut buf)? {
+            0 => return Ok(body),
+            n => body.extend_from_slice(&buf[..n]),
+        }
+    }
+}
+
+/// Reads one HTTP/1.1 request from `reader`, materializing the body.
+///
+/// # Errors
+///
+/// [`ReadError::Eof`] on a cleanly closed idle connection,
+/// [`ReadError::Malformed`] for protocol violations (oversized head,
+/// missing/bad `Content-Length`, bad request line, bad chunk framing, a
+/// body cut short by the peer), [`ReadError::TooLarge`] for bodies over
+/// the limit, [`ReadError::Timeout`] when the transport timed out, and
+/// [`ReadError::Io`] for other transport failures.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ReadError> {
+    let head = read_request_head(reader)?;
+    let body = read_body(reader, &head)?;
+    Ok(Request::from_parts(head, body))
 }
 
 /// Classifies a transport error: timeouts become [`ReadError::Timeout`]
@@ -376,6 +667,108 @@ mod tests {
         assert!(!r.wants_close());
         let r = parse(b"GET / HTTP/1.1\r\n\r\n").expect("valid");
         assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn chunked_body_is_decoded_and_materialized() {
+        let r = parse(
+            b"POST /v1/ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n",
+        )
+        .expect("valid chunked request");
+        assert_eq!(r.body, b"Wikipedia");
+    }
+
+    #[test]
+    fn chunked_extensions_and_trailers_are_tolerated() {
+        let r = parse(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              3;ext=1\r\nabc\r\n0\r\nX-Trailer: t\r\n\r\n",
+        )
+        .expect("valid");
+        assert_eq!(r.body, b"abc");
+    }
+
+    #[test]
+    fn chunked_keeps_the_connection_positioned_for_the_next_request() {
+        let bytes: &[u8] = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              2\r\nhi\r\n0\r\n\r\n\
+              GET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(bytes);
+        let first = read_request(&mut reader).expect("chunked request");
+        assert_eq!(first.body, b"hi");
+        let second = read_request(&mut reader).expect("next request parses");
+        assert_eq!(second.path, "/healthz");
+    }
+
+    #[test]
+    fn bad_chunk_framing_is_malformed() {
+        for bytes in [
+            // Non-hex size line.
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nab\r\n0\r\n\r\n"[..],
+            // Missing CRLF after chunk data.
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nabXX\r\n0\r\n\r\n"[..],
+            // Truncated mid-chunk.
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n8\r\nab"[..],
+            // Truncated before the terminal chunk.
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nab\r\n"[..],
+            // Unsupported encoding.
+            &b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(parse(bytes), Err(ReadError::Malformed(_))),
+                "expected malformed for {:?}",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_body_over_the_limit_is_too_large() {
+        // One declared chunk larger than the materialized-body limit; the
+        // limit trips as soon as the running total passes it, long before
+        // the declared bytes arrive.
+        let mut bytes = format!(
+            "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n{:x}\r\n",
+            MAX_BODY_BYTES + 2
+        )
+        .into_bytes();
+        bytes.extend_from_slice(&vec![b'x'; MAX_BODY_BYTES + 2]);
+        bytes.extend_from_slice(b"\r\n0\r\n\r\n");
+        assert!(matches!(parse(&bytes), Err(ReadError::TooLarge(_))));
+    }
+
+    #[test]
+    fn body_reader_streams_pieces_without_materializing() {
+        let bytes: &[u8] = b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let mut reader = BufReader::new(bytes);
+        let mut body = BodyReader::new(&mut reader, BodyKind::Chunked, 1024).expect("under limit");
+        let mut buf = [0u8; 4];
+        let mut collected = Vec::new();
+        loop {
+            match body.next_piece(&mut buf).expect("well-formed") {
+                0 => break,
+                n => collected.extend_from_slice(&buf[..n]),
+            }
+        }
+        assert_eq!(collected, b"hello world");
+        assert_eq!(body.consumed(), 11);
+    }
+
+    #[test]
+    fn route_path_strips_query_strings() {
+        let head = RequestHead {
+            method: "POST".into(),
+            path: "/v1/ingest?grid=2&block=64".into(),
+            headers: vec![],
+        };
+        assert_eq!(head.route_path(), "/v1/ingest");
+        let plain = RequestHead {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            headers: vec![],
+        };
+        assert_eq!(plain.route_path(), "/healthz");
     }
 
     #[test]

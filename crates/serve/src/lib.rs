@@ -9,13 +9,16 @@
 //! | `POST /v1/profile` | Profile a named workload into an application model     |
 //! | `POST /v1/clone`   | Generate (optionally miniaturized) proxy-stream stats  |
 //! | `POST /v1/evaluate`| Run a hierarchy-config grid via the sweep engine       |
+//! | `POST /v1/ingest`  | Stream a raw trace (chunked) into a profiled model     |
 //! | `GET /healthz`     | Liveness probe                                         |
 //! | `GET /metrics`     | Prometheus-style counters, gauges, latency quantiles   |
 //!
 //! Architecture (one module each):
 //!
 //! * [`http`] — keep-alive HTTP/1.1 framing with size limits and
-//!   fine-grained error classification (idle vs mid-request timeouts).
+//!   fine-grained error classification (idle vs mid-request timeouts);
+//!   the head/body phases are split so `/v1/ingest` can stream chunked
+//!   bodies without materializing them.
 //! * [`api`] — wire types; bodies are canonical compact JSON.
 //! * [`jobs`] — bounded job queue: full ⇒ 429, shutdown drains fully,
 //!   panics contained and counted.

@@ -24,6 +24,8 @@ pub enum Endpoint {
     Evaluate,
     /// `POST /v1/analyze` (answered on the connection thread).
     Analyze,
+    /// `POST /v1/ingest` (streaming trace ingestion).
+    Ingest,
     /// Everything else (`/healthz`, `/metrics`, unknown routes).
     Other,
 }
@@ -35,6 +37,7 @@ impl Endpoint {
             Endpoint::Clone => "clone",
             Endpoint::Evaluate => "evaluate",
             Endpoint::Analyze => "analyze",
+            Endpoint::Ingest => "ingest",
             Endpoint::Other => "other",
         }
     }
@@ -68,6 +71,7 @@ pub struct Metrics {
     clone_op: EndpointStats,
     evaluate: EndpointStats,
     analyze: EndpointStats,
+    ingest: EndpointStats,
     other: EndpointStats,
     /// Model-cache hits (`/v1/profile` served without re-profiling).
     pub cache_hits: AtomicU64,
@@ -85,6 +89,11 @@ pub struct Metrics {
     /// Jobs whose deadline expired while still queued: answered 504
     /// without the handler ever executing.
     pub jobs_shed: AtomicU64,
+    /// Trace bytes consumed by the streaming `/v1/ingest` endpoint
+    /// (body bytes, excluding chunk framing).
+    pub ingest_bytes: AtomicU64,
+    /// Trace streams fully received by `/v1/ingest`.
+    pub ingest_streams: AtomicU64,
 }
 
 /// Point-in-time values that live outside the counter registry (queue
@@ -124,6 +133,7 @@ impl Metrics {
             Endpoint::Clone => &self.clone_op,
             Endpoint::Evaluate => &self.evaluate,
             Endpoint::Analyze => &self.analyze,
+            Endpoint::Ingest => &self.ingest,
             Endpoint::Other => &self.other,
         }
     }
@@ -143,6 +153,7 @@ impl Metrics {
             Endpoint::Clone,
             Endpoint::Evaluate,
             Endpoint::Analyze,
+            Endpoint::Ingest,
             Endpoint::Other,
         ];
         out.push_str("# TYPE gmap_requests_total counter\n");
@@ -222,6 +233,14 @@ impl Metrics {
                 "gmap_jobs_shed_total",
                 self.jobs_shed.load(Ordering::Relaxed),
             ),
+            (
+                "gmap_ingest_bytes_total",
+                self.ingest_bytes.load(Ordering::Relaxed),
+            ),
+            (
+                "gmap_ingest_streams_total",
+                self.ingest_streams.load(Ordering::Relaxed),
+            ),
             ("gmap_cache_evictions_total", rt.cache_evictions),
             ("gmap_cache_quarantined_total", rt.cache_quarantined),
             ("gmap_worker_panics_total", rt.worker_panics),
@@ -270,6 +289,9 @@ mod tests {
         m.rejected_full.fetch_add(7, Ordering::Relaxed);
         m.analyze_rejects.fetch_add(5, Ordering::Relaxed);
         m.jobs_shed.fetch_add(3, Ordering::Relaxed);
+        m.ingest_bytes.fetch_add(4096, Ordering::Relaxed);
+        m.ingest_streams.fetch_add(2, Ordering::Relaxed);
+        m.record_request(Endpoint::Ingest, Duration::from_millis(2), 200);
         let text = m.render(RuntimeStats {
             queue_depth: 4,
             jobs_in_flight: 1,
@@ -288,6 +310,9 @@ mod tests {
         assert_eq!(scrape(&text, "gmap_queue_rejected_total"), Some(7.0));
         assert_eq!(scrape(&text, "gmap_analyze_rejects_total"), Some(5.0));
         assert_eq!(scrape(&text, "gmap_jobs_shed_total"), Some(3.0));
+        assert!(text.contains("gmap_requests_total{endpoint=\"ingest\"} 1"));
+        assert_eq!(scrape(&text, "gmap_ingest_bytes_total"), Some(4096.0));
+        assert_eq!(scrape(&text, "gmap_ingest_streams_total"), Some(2.0));
         assert_eq!(scrape(&text, "gmap_cache_evictions_total"), Some(6.0));
         assert_eq!(scrape(&text, "gmap_cache_quarantined_total"), Some(2.0));
         assert_eq!(scrape(&text, "gmap_worker_panics_total"), Some(1.0));

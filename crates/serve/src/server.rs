@@ -32,10 +32,11 @@ use crate::api::{self, ApiError};
 use crate::cache::{ModelStore, DEFAULT_MEM_CAPACITY};
 use crate::faults::{FaultInjector, FaultSpec, TruncatedReader};
 use crate::handlers;
-use crate::http::{self, ReadError, Request, ResponseOpts};
+use crate::http::{self, ReadError, Request, RequestHead, ResponseOpts};
 use crate::jobs::{JobQueue, SubmitError};
 use crate::metrics::{Endpoint, Metrics, RuntimeStats};
 use gmap_core::cachekey::canonical_json;
+use gmap_gpu::hierarchy::LaunchConfig;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -284,8 +285,8 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             Err(_) => return, // idle timeout or transport error
         }
         let _ = stream.set_read_timeout(Some(state.read_timeout));
-        let request = match http::read_request(&mut reader) {
-            Ok(r) => r,
+        let head = match http::read_request_head(&mut reader) {
+            Ok(h) => h,
             Err(ReadError::Eof)
             | Err(ReadError::Io(_))
             | Err(ReadError::Timeout { mid_request: false }) => return,
@@ -307,6 +308,50 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
         };
         served += 1;
         let started = Instant::now();
+
+        // Streaming ingest: the body is consumed piece by piece *inside*
+        // the endpoint (it may be far larger than any materialized-body
+        // limit), so it bypasses the read-whole-body path below.
+        if head.method == "POST" && head.route_path() == "/v1/ingest" {
+            let Some((status, body, consumed)) =
+                ingest_endpoint(&head, &mut reader, state, started)
+            else {
+                return; // transport failed mid-body; nothing to answer
+            };
+            state
+                .metrics
+                .record_request(Endpoint::Ingest, started.elapsed(), status);
+            // Keep-alive is only sound when the body was fully consumed —
+            // otherwise unread trace bytes would be parsed as the next
+            // request head.
+            let close = !consumed || head.wants_close() || served >= state.keepalive_max;
+            if !write_reply(&mut stream, state, status, "application/json", &body, close) || close {
+                return;
+            }
+            continue;
+        }
+
+        let request = match http::read_body(&mut reader, &head) {
+            Ok(body) => Request::from_parts(head, body),
+            Err(ReadError::Eof)
+            | Err(ReadError::Io(_))
+            | Err(ReadError::Timeout { mid_request: false }) => return,
+            Err(ReadError::Timeout { mid_request: true }) => {
+                let e = ApiError::new(408, "timed out reading request");
+                write_reply(&mut stream, state, 408, "application/json", &e.body(), true);
+                return;
+            }
+            Err(ReadError::Malformed(msg)) => {
+                let e = ApiError::bad_request(msg);
+                write_reply(&mut stream, state, 400, "application/json", &e.body(), true);
+                return;
+            }
+            Err(ReadError::TooLarge(msg)) => {
+                let e = ApiError::new(413, msg);
+                write_reply(&mut stream, state, 413, "application/json", &e.body(), true);
+                return;
+            }
+        };
         let endpoint = classify(&request);
         let (status, body, content_type) = route(&request, state);
         state
@@ -327,6 +372,81 @@ fn classify(request: &Request) -> Endpoint {
         "/v1/analyze" => Endpoint::Analyze,
         _ => Endpoint::Other,
     }
+}
+
+/// `POST /v1/ingest`: stream the request body — the raw trace, text or
+/// binary, usually chunked — into an [`gmap_ingest::Ingestor`] on the
+/// connection thread, then finalize (drain, profile, report) on a worker
+/// through the normal queue/deadline machinery.
+///
+/// Returns `(status, body, body_fully_consumed)`, or `None` when the
+/// transport died mid-body and no response can be delivered. The third
+/// element gates keep-alive: an error that abandons the body forces a
+/// close.
+fn ingest_endpoint<R: BufRead>(
+    head: &RequestHead,
+    reader: &mut R,
+    state: &Arc<ServerState>,
+    started: Instant,
+) -> Option<(u16, String, bool)> {
+    let err = |e: ApiError| Some((e.status, e.body(), false));
+    let query = match api::parse_ingest_query(&head.path) {
+        Ok(q) => q,
+        Err(e) => return err(e),
+    };
+    let kind = match http::body_kind(head) {
+        Ok(k) => k,
+        Err(ReadError::Malformed(msg)) => return err(ApiError::bad_request(msg)),
+        Err(_) => return None,
+    };
+    let mut body = match http::BodyReader::new(reader, kind, http::MAX_INGEST_BODY_BYTES) {
+        Ok(b) => b,
+        Err(ReadError::TooLarge(msg)) => return err(ApiError::new(413, msg)),
+        Err(_) => return None,
+    };
+    let launch = LaunchConfig::new(query.grid, query.block);
+    let mut ing =
+        gmap_ingest::Ingestor::new(&query.name, launch, gmap_ingest::IngestConfig::default());
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        // The deadline covers the whole request, including a slow
+        // uploader: a stream that cannot finish in time is cut off here
+        // rather than occupying the connection thread indefinitely.
+        if started.elapsed() >= state.deadline {
+            state
+                .metrics
+                .deadline_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            return err(ApiError::new(
+                504,
+                "deadline exceeded while streaming trace",
+            ));
+        }
+        let n = match body.next_piece(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(ReadError::Malformed(msg)) => return err(ApiError::bad_request(msg)),
+            Err(ReadError::TooLarge(msg)) => return err(ApiError::new(413, msg)),
+            Err(ReadError::Timeout { .. }) => {
+                return err(ApiError::new(408, "timed out reading trace body"))
+            }
+            Err(ReadError::Eof) | Err(ReadError::Io(_)) => return None,
+        };
+        state
+            .metrics
+            .ingest_bytes
+            .fetch_add(n as u64, Ordering::Relaxed);
+        if let Err(e) = ing.push_bytes(&buf[..n]) {
+            // Parse or overflow error: the rest of the body is abandoned,
+            // so the connection must close after the error response.
+            return err(ApiError::bad_request(format!("trace rejected: {e}")));
+        }
+    }
+    state.metrics.ingest_streams.fetch_add(1, Ordering::Relaxed);
+    let (status, response) = run_job(state, ing, |state, ing, cancel| {
+        handlers::ingest_finalize(&state.store, ing, cancel)
+    });
+    Some((status, response, true))
 }
 
 /// Renders and writes one response. Returns `false` when the connection

@@ -875,3 +875,144 @@ fn backpressure_responses_carry_retry_after_and_the_client_honors_it() {
 
     handle.shutdown();
 }
+
+/// A deterministic multi-warp text trace: 2 blocks x 64 threads (4
+/// warps), `steps` instructions per thread in step-major order, three
+/// PCs with per-step strides.
+fn ingest_trace(steps: u64) -> String {
+    let mut trace = String::new();
+    for step in 0..steps {
+        for tid in 0..128u32 {
+            let pc = 0x10 + (step % 3) * 0x10;
+            let addr = 0x1_0000 + u64::from(tid) * 4 + step * 0x2000;
+            let kind = if step % 3 == 2 { "W" } else { "R" };
+            trace.push_str(&format!("{tid} {pc:#x} {kind} {addr:#x}\n"));
+        }
+    }
+    trace
+}
+
+#[test]
+fn streaming_ingest_is_byte_identical_to_materialized_profiling() {
+    use gmap_core::application::AppProfile;
+    use gmap_core::profiler::ProfilerConfig;
+    use gmap_gpu::hierarchy::LaunchConfig;
+    use gmap_serve::api::IngestResponse;
+
+    let (handle, addr) = start(ServeConfig::default());
+    let trace = ingest_trace(50);
+
+    // Stream the trace with chunked transfer encoding in small pieces.
+    let resp = client::post_chunked(
+        &addr,
+        "/v1/ingest?grid=2&block=64&name=wl",
+        &mut trace.as_bytes(),
+        777,
+    )
+    .expect("chunked ingest");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed: IngestResponse = serde_json::from_str(&resp.body).expect("response parses");
+
+    // The served model must hash identically to the local
+    // materialize-then-profile path over the same bytes.
+    let entries = gmap_trace::io::read_text(trace.as_bytes()).expect("trace parses");
+    let launch = LaunchConfig::new(2u32, 64u32);
+    let profile = gmap_core::ingest::profile_thread_trace(
+        "wl",
+        &entries,
+        &launch,
+        &ProfilerConfig::default(),
+    )
+    .expect("non-empty trace");
+    let local = AppProfile {
+        name: "wl".into(),
+        kernels: vec![profile],
+    };
+    let local_key = gmap_core::cachekey::key_of(&local);
+    assert_eq!(parsed.model_id, local_key, "content-addressed by the model");
+    assert_eq!(parsed.stats.content_key, local_key);
+    assert_eq!(parsed.stats.kernels, 1);
+
+    // The streaming pass's own report: every entry seen, all 4 warps,
+    // and the affine access pattern classified per PC.
+    assert_eq!(parsed.ingest.bytes, trace.len() as u64);
+    assert_eq!(parsed.ingest.entries, 50 * 128);
+    assert_eq!(parsed.report.warps, 4);
+    assert!(!parsed.report.arrays.is_empty(), "arrays detected");
+    assert_eq!(parsed.report.pcs.len(), 3, "three PCs classified");
+
+    // A Content-Length upload of the same trace lands on the same model.
+    let plain = client::request(
+        &addr,
+        "POST",
+        "/v1/ingest?grid=2&block=64&name=wl",
+        Some(&trace),
+    )
+    .expect("content-length ingest");
+    assert_eq!(plain.status, 200, "{}", plain.body);
+    let plain: IngestResponse = serde_json::from_str(&plain.body).expect("response parses");
+    assert_eq!(plain.model_id, parsed.model_id, "framing does not matter");
+
+    // The stored model is immediately usable by the rest of the API.
+    let eval = client::post_json(
+        &addr,
+        "/v1/evaluate",
+        &canonical_json(&EvaluateRequest {
+            model_id: parsed.model_id.clone(),
+            kernel: None,
+            metric: None,
+            seed: None,
+            grid: lru_grid(),
+        }),
+    )
+    .expect("evaluate ingested model");
+    assert_eq!(eval.status, 200, "{}", eval.body);
+
+    // Ingest metrics: two full streams, body bytes counted exactly.
+    let metrics = client::get(&addr, "/metrics").expect("metrics").body;
+    assert_eq!(scrape(&metrics, "gmap_ingest_streams_total"), Some(2.0));
+    assert_eq!(
+        scrape(&metrics, "gmap_ingest_bytes_total"),
+        Some(2.0 * trace.len() as f64)
+    );
+    assert!(metrics.contains("gmap_requests_total{endpoint=\"ingest\"} 2"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn ingest_rejects_bad_queries_and_malformed_traces() {
+    let (handle, addr) = start(ServeConfig::default());
+
+    // Missing launch geometry: rejected before any body is consumed.
+    let resp = client::post_chunked(&addr, "/v1/ingest?grid=2", &mut &b"0 0x1 R 0x100\n"[..], 16)
+        .expect("responds");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("block"), "names the missing parameter");
+
+    // Malformed trace entry mid-stream: 400 with the 1-based position.
+    let resp = client::post_chunked(
+        &addr,
+        "/v1/ingest?grid=1&block=32",
+        &mut &b"0 0x1 R 0x100\n1 0x1 Z 0x104\n"[..],
+        64,
+    )
+    .expect("responds");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(
+        resp.body.contains("entry 2") && resp.body.contains("kind"),
+        "carries position and field: {}",
+        resp.body
+    );
+
+    // An empty trace profiles to nothing: structured 400, not a panic.
+    let resp = client::post_chunked(&addr, "/v1/ingest?grid=1&block=32", &mut &b""[..], 16)
+        .expect("responds");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // GET on the ingest route is not a thing.
+    let resp = client::get(&addr, "/v1/ingest?grid=1&block=32").expect("responds");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+
+    handle.shutdown();
+}

@@ -9,6 +9,12 @@
 //!   produce from any tracing tool.
 //! - **Binary**: a `GMTR` magic, a little-endian record count, then fixed
 //!   21-byte records. Compact and fast for large traces.
+//!
+//! Besides the materializing `read_text`/`read_binary` readers, the
+//! building blocks of both formats ([`parse_text_line`], [`decode_record`],
+//! the [`MAGIC`]/[`HEADER_BYTES`]/[`RECORD_BYTES`] framing constants) are
+//! public so that streaming consumers (`gmap-ingest`) can parse chunk by
+//! chunk with byte-identical semantics.
 
 use crate::record::{AccessKind, ByteAddr, MemAccess, Pc, ThreadId};
 use std::error::Error;
@@ -23,11 +29,17 @@ pub type TraceEntry = (ThreadId, MemAccess);
 pub enum ParseTraceError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A malformed line or record, with 1-based line/record index and a
-    /// description.
+    /// A malformed line or record, with 1-based line/record index, the
+    /// offending field, and a description.
     Malformed {
-        /// 1-based index of the offending line or record.
+        /// 1-based index of the offending entry. For text traces this is
+        /// the *physical line number* (comments and blank lines count);
+        /// for binary traces it is the 1-based record number.
         index: usize,
+        /// The field that failed to parse (`"tid"`, `"pc"`, `"kind"`,
+        /// `"addr"`), or a framing pseudo-field (`"line"`, `"record"`,
+        /// `"magic"`, `"count"`).
+        field: &'static str,
         /// What was wrong with it.
         reason: String,
     },
@@ -35,12 +47,26 @@ pub enum ParseTraceError {
     BadMagic,
 }
 
+impl ParseTraceError {
+    fn malformed(index: usize, field: &'static str, reason: impl Into<String>) -> Self {
+        ParseTraceError::Malformed {
+            index,
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
-            ParseTraceError::Malformed { index, reason } => {
-                write!(f, "malformed trace entry {index}: {reason}")
+            ParseTraceError::Malformed {
+                index,
+                field,
+                reason,
+            } => {
+                write!(f, "malformed trace entry {index} ({field}): {reason}")
             }
             ParseTraceError::BadMagic => f.write_str("not a gmap binary trace (bad magic)"),
         }
@@ -80,70 +106,110 @@ pub fn write_text<W: Write>(mut w: W, entries: &[TraceEntry]) -> io::Result<()> 
     Ok(())
 }
 
+/// Parses one line of the text format.
+///
+/// `index` is the 1-based physical line number, used verbatim in errors.
+/// Returns `Ok(None)` for blank lines and `#` comments.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::Malformed`] (carrying `index` and the
+/// offending field) when the line does not have four fields of the
+/// expected shape.
+pub fn parse_text_line(line: &str, index: usize) -> Result<Option<TraceEntry>, ParseTraceError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    let mut next = |what: &'static str| {
+        fields
+            .next()
+            .ok_or_else(|| ParseTraceError::malformed(index, what, format!("missing {what} field")))
+    };
+    let tid: u32 = next("tid")?
+        .parse()
+        .map_err(|e| ParseTraceError::malformed(index, "tid", format!("bad tid: {e}")))?;
+    let pc = parse_hex(next("pc")?, index, "pc")?;
+    let kind = match next("kind")? {
+        "R" => AccessKind::Read,
+        "W" => AccessKind::Write,
+        other => {
+            return Err(ParseTraceError::malformed(
+                index,
+                "kind",
+                format!("bad kind {other:?} (expected R or W)"),
+            ))
+        }
+    };
+    let addr = parse_hex(next("addr")?, index, "addr")?;
+    Ok(Some((
+        ThreadId(tid),
+        MemAccess {
+            pc: Pc(pc),
+            addr: ByteAddr(addr),
+            kind,
+        },
+    )))
+}
+
 /// Reads a trace in the text format.
 ///
 /// # Errors
 ///
 /// Returns [`ParseTraceError::Malformed`] on any line that does not have
-/// four fields of the expected shape, and propagates I/O errors.
+/// four fields of the expected shape — with the 1-based line number and
+/// the offending field — and propagates I/O errors.
 pub fn read_text<R: BufRead>(r: R) -> Result<Vec<TraceEntry>, ParseTraceError> {
     let mut out = Vec::new();
     for (i, line) in r.lines().enumerate() {
         let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        if let Some(entry) = parse_text_line(&line, i + 1)? {
+            out.push(entry);
         }
-        let index = i + 1;
-        let mut fields = line.split_whitespace();
-        let mut next = |what: &str| {
-            fields.next().ok_or_else(|| ParseTraceError::Malformed {
-                index,
-                reason: format!("missing {what} field"),
-            })
-        };
-        let tid: u32 = next("tid")?
-            .parse()
-            .map_err(|e| ParseTraceError::Malformed {
-                index,
-                reason: format!("bad tid: {e}"),
-            })?;
-        let pc = parse_hex(next("pc")?, index, "pc")?;
-        let kind = match next("kind")? {
-            "R" => AccessKind::Read,
-            "W" => AccessKind::Write,
-            other => {
-                return Err(ParseTraceError::Malformed {
-                    index,
-                    reason: format!("bad kind {other:?} (expected R or W)"),
-                })
-            }
-        };
-        let addr = parse_hex(next("addr")?, index, "addr")?;
-        out.push((
-            ThreadId(tid),
-            MemAccess {
-                pc: Pc(pc),
-                addr: ByteAddr(addr),
-                kind,
-            },
-        ));
     }
     Ok(out)
 }
 
-fn parse_hex(s: &str, index: usize, what: &str) -> Result<u64, ParseTraceError> {
+fn parse_hex(s: &str, index: usize, what: &'static str) -> Result<u64, ParseTraceError> {
     let stripped = s
         .strip_prefix("0x")
         .or_else(|| s.strip_prefix("0X"))
         .unwrap_or(s);
-    u64::from_str_radix(stripped, 16).map_err(|e| ParseTraceError::Malformed {
-        index,
-        reason: format!("bad {what}: {e}"),
-    })
+    u64::from_str_radix(stripped, 16)
+        .map_err(|e| ParseTraceError::malformed(index, what, format!("bad {what}: {e}")))
 }
 
-const MAGIC: &[u8; 4] = b"GMTR";
+/// The binary-format magic bytes.
+pub const MAGIC: &[u8; 4] = b"GMTR";
+
+/// Size of the binary header: magic plus little-endian `u64` record count.
+pub const HEADER_BYTES: usize = 12;
+
+/// Size of one fixed binary record: `u32` tid, `u64` pc, `u64` addr,
+/// `u8` is-write flag.
+pub const RECORD_BYTES: usize = 21;
+
+/// Decodes one fixed-size binary record. Infallible: every bit pattern of
+/// the numeric fields is a valid entry (a nonzero flag byte means write).
+pub fn decode_record(rec: &[u8; RECORD_BYTES]) -> TraceEntry {
+    let tid = u32::from_le_bytes(rec[0..4].try_into().expect("fixed slice"));
+    let pc = u64::from_le_bytes(rec[4..12].try_into().expect("fixed slice"));
+    let addr = u64::from_le_bytes(rec[12..20].try_into().expect("fixed slice"));
+    let kind = if rec[20] != 0 {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    (
+        ThreadId(tid),
+        MemAccess {
+            pc: Pc(pc),
+            addr: ByteAddr(addr),
+            kind,
+        },
+    )
+}
 
 /// Writes a trace in the binary format.
 ///
@@ -167,48 +233,53 @@ pub fn write_binary<W: Write>(mut w: W, entries: &[TraceEntry]) -> io::Result<()
 /// # Errors
 ///
 /// Returns [`ParseTraceError::BadMagic`] if the stream does not start with
-/// `GMTR`, [`ParseTraceError::Malformed`] on a truncated record, and
-/// propagates I/O errors.
+/// `GMTR`, and [`ParseTraceError::Malformed`] on a truncated header, a
+/// truncated record (including a partial *final* record), or trailing
+/// bytes beyond the declared record count. Other I/O errors propagate as
+/// [`ParseTraceError::Io`].
 pub fn read_binary<R: Read>(mut r: R) -> Result<Vec<TraceEntry>, ParseTraceError> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic)
+        .map_err(|e| eof_as_malformed(e, 0, "magic", "truncated header (magic)"))?;
     if &magic != MAGIC {
         return Err(ParseTraceError::BadMagic);
     }
     let mut len = [0u8; 8];
-    r.read_exact(&mut len)?;
+    r.read_exact(&mut len)
+        .map_err(|e| eof_as_malformed(e, 0, "count", "truncated header (record count)"))?;
     let count = u64::from_le_bytes(len) as usize;
     let mut out = Vec::with_capacity(count.min(1 << 24));
-    let mut rec = [0u8; 21];
+    let mut rec = [0u8; RECORD_BYTES];
     for i in 0..count {
-        r.read_exact(&mut rec).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                ParseTraceError::Malformed {
-                    index: i + 1,
-                    reason: "truncated record".into(),
-                }
-            } else {
-                ParseTraceError::Io(e)
-            }
-        })?;
-        let tid = u32::from_le_bytes(rec[0..4].try_into().expect("fixed slice"));
-        let pc = u64::from_le_bytes(rec[4..12].try_into().expect("fixed slice"));
-        let addr = u64::from_le_bytes(rec[12..20].try_into().expect("fixed slice"));
-        let kind = if rec[20] != 0 {
-            AccessKind::Write
-        } else {
-            AccessKind::Read
-        };
-        out.push((
-            ThreadId(tid),
-            MemAccess {
-                pc: Pc(pc),
-                addr: ByteAddr(addr),
-                kind,
-            },
-        ));
+        r.read_exact(&mut rec)
+            .map_err(|e| eof_as_malformed(e, i + 1, "record", "truncated record"))?;
+        out.push(decode_record(&rec));
     }
-    Ok(out)
+    // A well-formed trace ends exactly at the declared count; stray bytes
+    // mean the header lied or the stream was corrupted mid-write.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => Ok(out),
+        Ok(_) => Err(ParseTraceError::malformed(
+            count + 1,
+            "record",
+            "trailing data after declared record count",
+        )),
+        Err(e) => Err(ParseTraceError::Io(e)),
+    }
+}
+
+fn eof_as_malformed(
+    e: io::Error,
+    index: usize,
+    field: &'static str,
+    reason: &'static str,
+) -> ParseTraceError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        ParseTraceError::malformed(index, field, reason)
+    } else {
+        ParseTraceError::Io(e)
+    }
 }
 
 #[cfg(test)]
@@ -257,7 +328,14 @@ mod tests {
     fn text_rejects_missing_field() {
         let err = read_text("0 0x10 R\n".as_bytes()).unwrap_err();
         assert!(
-            matches!(err, ParseTraceError::Malformed { index: 1, .. }),
+            matches!(
+                err,
+                ParseTraceError::Malformed {
+                    index: 1,
+                    field: "addr",
+                    ..
+                }
+            ),
             "got {err}"
         );
     }
@@ -265,6 +343,10 @@ mod tests {
     #[test]
     fn text_rejects_bad_kind() {
         let err = read_text("0 0x10 X 0x80\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(&err, ParseTraceError::Malformed { field: "kind", .. }),
+            "got {err}"
+        );
         let msg = err.to_string();
         assert!(msg.contains("bad kind"), "got {msg}");
     }
@@ -272,7 +354,29 @@ mod tests {
     #[test]
     fn text_rejects_bad_number() {
         let err = read_text("zebra 0x10 R 0x80\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(&err, ParseTraceError::Malformed { field: "tid", .. }),
+            "got {err}"
+        );
         assert!(err.to_string().contains("bad tid"));
+    }
+
+    #[test]
+    fn text_errors_carry_physical_line_numbers() {
+        // Comments and blank lines still advance the reported line number.
+        let src = "# header\n\n0 0x10 R 0x80\n0 0x10 Q 0x80\n";
+        let err = read_text(src.as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ParseTraceError::Malformed {
+                    index: 4,
+                    field: "kind",
+                    ..
+                }
+            ),
+            "got {err}"
+        );
     }
 
     #[test]
@@ -298,9 +402,54 @@ mod tests {
         buf.truncate(buf.len() - 5);
         let err = read_binary(&buf[..]).unwrap_err();
         assert!(
-            matches!(err, ParseTraceError::Malformed { .. }),
+            matches!(
+                err,
+                ParseTraceError::Malformed {
+                    index: 3,
+                    field: "record",
+                    ..
+                }
+            ),
+            "truncated final record must be reported, got {err}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_truncated_header() {
+        let err = read_binary(&b"GMTR\x01\x00"[..]).unwrap_err();
+        assert!(
+            matches!(&err, ParseTraceError::Malformed { field: "count", .. }),
             "got {err}"
         );
+        let err = read_binary(&b"GM"[..]).unwrap_err();
+        assert!(
+            matches!(&err, ParseTraceError::Malformed { field: "magic", .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn binary_rejects_trailing_bytes() {
+        let entries = sample_entries();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &entries).expect("write");
+        buf.push(0xFF);
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert!(
+            matches!(err, ParseTraceError::Malformed { index: 4, .. }),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("trailing data"), "got {err}");
+    }
+
+    #[test]
+    fn decode_record_matches_writer_layout() {
+        let entry = (ThreadId(7), MemAccess::write(Pc(0xabc), ByteAddr(0xdef0)));
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &[entry]).expect("write");
+        assert_eq!(buf.len(), HEADER_BYTES + RECORD_BYTES);
+        let rec: [u8; RECORD_BYTES] = buf[HEADER_BYTES..].try_into().expect("fixed slice");
+        assert_eq!(decode_record(&rec), entry);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 # Workspace determinism lint, as a standalone CI gate.
 #
 # Runs the `determinism_lint` integration test, which lints the
-# simulation crates (memsim, gpu, dram, core) for order-sensitive
-# iteration over HashMap/HashSet — hash order is nondeterministic, and
+# simulation crates (memsim, gpu, dram, core, serve, trace, ingest)
+# for order-sensitive iteration over HashMap/HashSet — hash order is
+# nondeterministic, and
 # the deterministic-output contract (bit-identical profiles, clones,
 # and statistics across runs) is part of the public API. Justified
 # sites live in scripts/determinism_allowlist.txt.

@@ -7,9 +7,10 @@
 //! gmap simulate (--workload NAME | -p profile.json | --trace trace.bin)
 //!               [--l1 16384:4:128] [--l2 1048576:8:128] [--policy lrr|gto]
 //!               [--seed 7] [--dram]
+//! gmap analyze  --trace trace.txt --grid 24 --block 128 [--json]
 //! gmap list
 //! gmap serve    [--listen 127.0.0.1:0] [--workers 4] [--queue 64]
-//! gmap client   <profile|clone|evaluate|health|metrics> --addr HOST:PORT ...
+//! gmap client   <profile|clone|evaluate|ingest|health|metrics> --addr HOST:PORT ...
 //! ```
 //!
 //! The binary wraps the library pipeline so a memory-system architect can
@@ -73,8 +74,10 @@ fn usage() -> String {
 USAGE:
   gmap list                                     list bundled workload models
   gmap profile (--workload NAME | --trace FILE --grid B --block T) [OPTS] -o FILE
-  gmap analyze (--workload NAME | --spec FILE | --fixture NAME | --all)
-                                                statically verify a kernel spec
+  gmap analyze (--workload NAME | --spec FILE | --fixture NAME | --all
+                | --trace FILE --grid B --block T)
+                                                statically verify a kernel spec,
+                                                or heat-map an external trace
   gmap info -p FILE                             summarize a profile
   gmap clone -p FILE [OPTS] -o FILE             regenerate a clone trace
   gmap simulate SOURCE [OPTS]                   run the memory hierarchy
@@ -85,8 +88,12 @@ USAGE:
 PROFILE OPTIONS:
   --scale tiny|small|default    workload size (default: small)
   --rebase HEX                  shift base addresses (obfuscation)
+  External traces stream through gmap-ingest in bounded memory; the
+  printed content key equals the model id POST /v1/ingest returns for
+  the same trace and name.
 
-ANALYZE OPTIONS (exactly one source: --workload, --spec, --fixture, --all):
+ANALYZE OPTIONS (exactly one source: --workload, --spec, --fixture, --all,
+or --trace):
   --workload NAME               analyze a bundled workload model
   --spec FILE                   analyze a kernel spec from a JSON file
   --fixture NAME                analyze a named defect fixture (oob-affine,
@@ -96,6 +103,11 @@ ANALYZE OPTIONS (exactly one source: --workload, --spec, --fixture, --all):
                                 if any has error findings
   --scale tiny|small|default    workload size (default: small)
   --dump-spec FILE              also write the resolved spec as JSON
+  --trace FILE                  stream an external trace (text or binary) and
+                                print its per-array/per-PC heat-map report
+                                instead of static analysis; needs --grid
+                                BLOCKS and --block THREADS
+  --json                        emit the heat-map report as JSON
   Exits nonzero when the analyzer reports error-severity findings.
 
 CLONE OPTIONS:
@@ -136,6 +148,10 @@ transient failures with exponential backoff — idempotent requests only):
   metrics                       GET /metrics
   profile  (--workload NAME [--scale tiny|small|default] | --spec FILE)
   analyze  (--workload NAME [--scale tiny|small|default] | --spec FILE)
+  ingest   --trace FILE --grid B --block T [--name N] [--chunk BYTES]
+           stream a raw trace to POST /v1/ingest (chunked transfer
+           encoding; the service profiles it as it arrives and answers
+           with the model id, stats, and heat-map report)
   clone    --model ID [--factor F] [--seed N]
   evaluate --model ID --grid KB:ASSOC[:LINE[:POLICY]][,...]
            [--level l1|l2] [--kernel N] [--metric l1_miss_pct|l2_miss_pct]
@@ -253,30 +269,19 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         }
         (None, Some(path)) => {
             // External per-thread trace: needs the launch geometry.
-            let grid: u32 = flag(args, &["--grid"])
-                .ok_or("external traces need --grid BLOCKS")?
-                .parse()
-                .map_err(|e| format!("bad --grid: {e}"))?;
-            let block: u32 = flag(args, &["--block"])
-                .ok_or("external traces need --block THREADS")?
-                .parse()
-                .map_err(|e| format!("bad --block: {e}"))?;
-            let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            // Binary magic first; fall back to the text format.
-            let entries = gmap::trace::io::read_binary(&raw[..])
-                .or_else(|_| gmap::trace::io::read_text(&raw[..]))
-                .map_err(|e| format!("cannot parse {path}: {e}"))?;
-            let launch = gmap::gpu::hierarchy::LaunchConfig::new(grid, block);
-            let name = std::path::Path::new(path)
-                .file_stem()
-                .map_or("trace", |s| s.to_str().unwrap_or("trace"));
-            gmap::core::ingest::profile_thread_trace(
-                name,
-                &entries,
+            // Streamed through gmap-ingest, so arbitrarily large traces
+            // profile in bounded memory (format is auto-detected).
+            let (launch, name) = trace_geometry(args, path)?;
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let outcome = gmap::ingest::ingest_reader(
+                &name,
+                BufReader::new(file),
                 &launch,
-                &ProfilerConfig::default(),
+                gmap::ingest::IngestConfig::default(),
+                gmap::ingest::DEFAULT_CHUNK_BYTES,
             )
-            .map_err(|e| e.to_string())?
+            .map_err(|e| format!("cannot profile {path}: {e}"))?;
+            outcome.profile
         }
         _ => return Err("pass exactly one of --workload NAME or --trace FILE".into()),
     };
@@ -296,7 +301,34 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         profile.profiles.len(),
         profile.total_warp_accesses
     );
+    // The content key matches the model id `POST /v1/ingest` returns for
+    // the same trace, so local and served profiling can be diffed.
+    let key = gmap::core::cachekey::key_of(&gmap::core::AppProfile {
+        name,
+        kernels: vec![profile],
+    });
+    println!("content key: {key}");
     Ok(())
+}
+
+/// Launch geometry + workload name (the file stem) for an external trace.
+fn trace_geometry(
+    args: &[String],
+    path: &str,
+) -> Result<(gmap::gpu::hierarchy::LaunchConfig, String), String> {
+    let grid: u32 = flag(args, &["--grid"])
+        .ok_or("external traces need --grid BLOCKS")?
+        .parse()
+        .map_err(|e| format!("bad --grid: {e}"))?;
+    let block: u32 = flag(args, &["--block"])
+        .ok_or("external traces need --block THREADS")?
+        .parse()
+        .map_err(|e| format!("bad --block: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map_or("trace", |s| s.to_str().unwrap_or("trace"))
+        .to_owned();
+    Ok((gmap::gpu::hierarchy::LaunchConfig::new(grid, block), name))
 }
 
 fn load_spec(path: &str) -> Result<gmap::gpu::kernel::KernelDesc, String> {
@@ -313,9 +345,18 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             "--fixture",
             "--scale",
             "--dump-spec",
+            "--trace",
+            "--grid",
+            "--block",
         ],
-        &["--all"],
+        &["--all", "--json"],
     )?;
+    if let Some(path) = flag(args, &["--trace"]) {
+        return analyze_trace(args, path);
+    }
+    if has_flag(args, "--json") {
+        return Err("--json only applies to --trace heat-map reports".into());
+    }
     let kernels: Vec<gmap::gpu::kernel::KernelDesc> = match (
         flag(args, &["--workload"]),
         flag(args, &["--spec"]),
@@ -355,6 +396,30 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// `gmap analyze --trace FILE --grid B --block T [--json]`: stream an
+/// external trace and print its per-array/per-PC heat-map report.
+fn analyze_trace(args: &[String], path: &str) -> Result<(), String> {
+    if flag(args, &["--workload", "--spec", "--fixture"]).is_some() || has_flag(args, "--all") {
+        return Err("pass exactly one of --workload, --spec, --fixture, --all, or --trace".into());
+    }
+    let (launch, name) = trace_geometry(args, path)?;
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let outcome = gmap::ingest::ingest_reader(
+        &name,
+        BufReader::new(file),
+        &launch,
+        gmap::ingest::IngestConfig::default(),
+        gmap::ingest::DEFAULT_CHUNK_BYTES,
+    )
+    .map_err(|e| format!("cannot analyze {path}: {e}"))?;
+    if has_flag(args, "--json") {
+        println!("{}", outcome.report.to_json());
+    } else {
+        print!("{}", outcome.report.render_text());
+    }
+    Ok(())
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -753,15 +818,57 @@ fn parse_grid(
         .collect()
 }
 
+/// `gmap client ingest`: stream a trace file to `POST /v1/ingest` with
+/// chunked transfer encoding, so the service profiles it as it arrives.
+/// Separate from the JSON actions because the body is a file, not a
+/// materialized request.
+fn client_ingest(rest: &[String]) -> Result<(), String> {
+    check_flags(
+        rest,
+        &[
+            "--addr", "--trace", "--grid", "--block", "--name", "--chunk",
+        ],
+        &[],
+    )?;
+    let path = flag(rest, &["--trace"]).ok_or("missing --trace FILE")?;
+    let (launch, stem) = trace_geometry(rest, path)?;
+    let name = flag(rest, &["--name"]).unwrap_or(&stem);
+    let chunk: usize = flag(rest, &["--chunk"])
+        .map(|n| n.parse().map_err(|e| format!("bad --chunk {n:?}: {e}")))
+        .transpose()?
+        .unwrap_or(gmap::ingest::DEFAULT_CHUNK_BYTES);
+    if chunk == 0 {
+        return Err("--chunk must be nonzero".into());
+    }
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let url = format!(
+        "/v1/ingest?grid={}&block={}&name={name}",
+        launch.num_blocks(),
+        launch.threads_per_block()
+    );
+    let mut reader = BufReader::new(file);
+    let response = gmap::serve::client::post_chunked(client_addr(rest)?, &url, &mut reader, chunk)
+        .map_err(|e| format!("request failed: {e}"))?;
+    println!("{}", response.body.trim_end());
+    if response.is_ok() {
+        Ok(())
+    } else {
+        Err(format!("server answered {}", response.status))
+    }
+}
+
 fn cmd_client(args: &[String]) -> Result<(), String> {
     use gmap::core::cachekey::canonical_json;
     use gmap::serve::{api, client};
 
-    let action = args
-        .first()
-        .ok_or("client needs an action: health, metrics, profile, analyze, clone, or evaluate")?
-        .as_str();
+    let action = args.first().ok_or(
+        "client needs an action: health, metrics, profile, analyze, ingest, clone, or evaluate",
+    )?;
+    let action = action.as_str();
     let rest = &args[1..];
+    if action == "ingest" {
+        return client_ingest(rest);
+    }
     let (path, body): (&str, Option<String>) = match action {
         "health" => {
             check_flags(rest, &["--addr", "--retries"], &[])?;
@@ -1106,6 +1213,63 @@ mod tests {
         ]))
         .expect("profile external trace");
         run(&s(&["info", "-p", &p2])).expect("info on ingested profile");
+        // The same trace also heat-maps, in text and JSON.
+        run(&s(&[
+            "analyze", "--trace", &tfile, "--grid", "24", "--block", "128",
+        ]))
+        .expect("heat-map report");
+        run(&s(&[
+            "analyze", "--trace", &tfile, "--grid", "24", "--block", "128", "--json",
+        ]))
+        .expect("heat-map report as JSON");
+        // The heat-map mode is a source like any other: exclusive, and
+        // incomplete geometry fails loudly.
+        assert!(run(&s(&[
+            "analyze", "--trace", &tfile, "--grid", "24", "--block", "128", "--all"
+        ]))
+        .is_err());
+        assert!(run(&s(&["analyze", "--trace", &tfile, "--grid", "24"])).is_err());
+        assert!(run(&s(&["analyze", "--workload", "kmeans", "--json"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn client_ingest_streams_a_trace_to_a_live_server() {
+        let dir = std::env::temp_dir().join(format!("gmap-cli-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let tfile = dir.join("wl.txt").to_string_lossy().into_owned();
+        // One block of 64 threads, three steps each: enough to exercise
+        // warp reconstruction without slowing the suite down.
+        let mut trace = String::new();
+        for step in 0..3u64 {
+            for tid in 0..64u64 {
+                trace.push_str(&format!(
+                    "{tid} 0x40 R {:#x}\n",
+                    0x1000 + tid * 4 + step * 0x800
+                ));
+            }
+        }
+        std::fs::write(&tfile, trace).expect("write trace");
+
+        let handle = gmap::serve::start(gmap::serve::ServeConfig::default()).expect("start");
+        let addr = handle.addr().to_string();
+        run(&s(&[
+            "client", "ingest", "--addr", &addr, "--trace", &tfile, "--grid", "1", "--block", "64",
+            "--chunk", "97",
+        ]))
+        .expect("chunked ingest");
+        // Bad invocations fail before touching the network.
+        assert!(cmd_client(&s(&["ingest", "--addr", &addr, "--trace", &tfile])).is_err());
+        assert!(cmd_client(&s(&[
+            "ingest", "--trace", &tfile, "--grid", "1", "--block", "64"
+        ]))
+        .is_err());
+        assert!(cmd_client(&s(&[
+            "ingest", "--addr", &addr, "--trace", &tfile, "--grid", "1", "--block", "64",
+            "--chunk", "0",
+        ]))
+        .is_err());
+        handle.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -16,6 +16,7 @@
 //! | [`trace`] | `gmap-trace` | records, histograms, reuse distance, statistics |
 //! | [`mod@bench`] | `gmap-bench` | single-pass multi-config sweep engine |
 //! | [`analyze`] | `gmap-analyze` | static verifier for the kernel DSL, determinism lint |
+//! | [`ingest`] | `gmap-ingest` | streaming trace ingestion, online pattern classification |
 //! | [`serve`] | `gmap-serve` | concurrent model-cloning HTTP service |
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@ pub use gmap_bench as bench;
 pub use gmap_core as core;
 pub use gmap_dram as dram;
 pub use gmap_gpu as gpu;
+pub use gmap_ingest as ingest;
 pub use gmap_memsim as memsim;
 pub use gmap_serve as serve;
 pub use gmap_trace as trace;

@@ -14,8 +14,10 @@ use std::path::Path;
 /// (responses must be byte-identical to direct library calls). `trace`
 /// joined the list with the SoA capture columns and batch kernels — the
 /// columns feed every downstream hit-rate count, so ordering there is
-/// load-bearing too.
-const SIMULATION_CRATES: &[&str] = &["memsim", "gpu", "dram", "core", "serve", "trace"];
+/// load-bearing too. `ingest` joined with the streaming profiler: its
+/// output must be byte-identical to the materialize-then-profile path,
+/// and its heat-map report is content-keyed.
+const SIMULATION_CRATES: &[&str] = &["memsim", "gpu", "dram", "core", "serve", "trace", "ingest"];
 
 #[test]
 fn simulation_crates_do_not_iterate_hash_maps() {
