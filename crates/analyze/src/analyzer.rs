@@ -52,6 +52,8 @@ pub fn analyze_kernel_with(kernel: &KernelDesc, warp_size: u32) -> StaticReport 
         warp_size,
         sites: Vec::new(),
         findings: Vec::new(),
+        races: Vec::new(),
+        race_certified: false,
     };
     if let Err(e) = kernel.validate() {
         use gmap_gpu::kernel::ValidateKernelError;
@@ -82,6 +84,12 @@ pub fn analyze_kernel_with(kernel: &KernelDesc, warp_size: u32) -> StaticReport 
     report.sites = walker.sites;
     report.findings = walker.findings;
     check_overlaps(kernel, &walker.written, &mut report.findings);
+    // Barrier-phase race detection: per-(array, PC-pair) verdicts plus
+    // findings for proven/potential races.
+    let race = crate::races::analyze_races(kernel, warp_size);
+    report.findings.extend(race.findings);
+    report.races = race.pairs;
+    report.race_certified = race.certified;
     // Errors first, then warnings, preserving discovery order within
     // each class.
     report

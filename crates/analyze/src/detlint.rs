@@ -152,12 +152,17 @@ fn strip_comments(source: &str) -> impl Iterator<Item = &str> {
 /// suppresses matching `(file-suffix, binding)` pairs.
 pub fn lint_source(label: &str, source: &str, allow: &[AllowEntry]) -> Vec<LintFinding> {
     let bindings = hash_bindings(source);
+    let raws: Vec<&str> = source.lines().collect();
+    let codes: Vec<&str> = raws
+        .iter()
+        .map(|l| l.split("//").next().unwrap_or(l))
+        .collect();
     let mut findings = Vec::new();
     let mut in_tests = false;
     let mut brace_depth_at_tests = 0usize;
     let mut depth = 0usize;
-    for (idx, raw) in source.lines().enumerate() {
-        let code = raw.split("//").next().unwrap_or(raw);
+    for (idx, &raw) in raws.iter().enumerate() {
+        let code = codes[idx];
         if !in_tests && code.trim_start().starts_with("#[cfg(test)]") {
             in_tests = true;
             brace_depth_at_tests = depth;
@@ -173,7 +178,13 @@ pub fn lint_source(label: &str, source: &str, allow: &[AllowEntry]) -> Vec<LintF
             continue;
         }
         for binding in &bindings {
-            if !iterates_binding(code, binding) {
+            // Line-broken chains — `… = binding` / `    .iter()…` — put
+            // the receiver and the call on different lines.
+            let chained = ends_with_binding(code, binding)
+                && codes
+                    .get(idx + 1)
+                    .is_some_and(|n| starts_with_iter_method(n));
+            if !iterates_binding(code, binding) && !chained {
                 continue;
             }
             let allowed = allow
@@ -190,6 +201,27 @@ pub fn lint_source(label: &str, source: &str, allow: &[AllowEntry]) -> Vec<LintF
         }
     }
     findings
+}
+
+/// Whether `code` ends with `binding` at an identifier boundary — the
+/// receiver half of a line-broken method chain.
+fn ends_with_binding(code: &str, binding: &str) -> bool {
+    let t = code.trim_end();
+    if !t.ends_with(binding) {
+        return false;
+    }
+    let at = t.len() - binding.len();
+    at == 0 || !is_ident_char(t[..at].chars().next_back().unwrap_or(' '))
+}
+
+/// Whether `code` begins (modulo indentation) with `.<iter-method>(` —
+/// the call half of a line-broken method chain.
+fn starts_with_iter_method(code: &str) -> bool {
+    let Some(rest) = code.trim_start().strip_prefix('.') else {
+        return false;
+    };
+    let method: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    ITER_METHODS.contains(&method.as_str()) && rest[method.len()..].starts_with('(')
 }
 
 /// Whether `code` iterates `binding`'s hash order: `for … in [&[mut]] b`
@@ -226,19 +258,20 @@ fn iterates_binding(code: &str, binding: &str) -> bool {
     false
 }
 
-/// Lints every `.rs` file under `src/` of each listed crate directory.
+/// Lints every `.rs` file under each workspace-relative directory (e.g.
+/// `crates/core/src`, or the binary's own `src`).
 ///
 /// # Errors
 ///
 /// Returns `Err` with a description when a directory cannot be read.
-pub fn lint_crates(
+pub fn lint_dirs(
     workspace_root: &Path,
-    crate_dirs: &[&str],
+    dirs: &[&str],
     allow: &[AllowEntry],
 ) -> Result<Vec<LintFinding>, String> {
     let mut findings = Vec::new();
-    for dir in crate_dirs {
-        let src = workspace_root.join("crates").join(dir).join("src");
+    for dir in dirs {
+        let src = workspace_root.join(dir);
         let mut files = Vec::new();
         collect_rs_files(&src, &mut files)
             .map_err(|e| format!("reading {}: {e}", src.display()))?;
@@ -255,6 +288,43 @@ pub fn lint_crates(
         }
     }
     Ok(findings)
+}
+
+/// Lints every `.rs` file under `src/` of each listed crate directory.
+///
+/// # Errors
+///
+/// Returns `Err` with a description when a directory cannot be read.
+pub fn lint_crates(
+    workspace_root: &Path,
+    crate_dirs: &[&str],
+    allow: &[AllowEntry],
+) -> Result<Vec<LintFinding>, String> {
+    let dirs: Vec<String> = crate_dirs
+        .iter()
+        .map(|d| format!("crates/{d}/src"))
+        .collect();
+    let dir_refs: Vec<&str> = dirs.iter().map(String::as_str).collect();
+    lint_dirs(workspace_root, &dir_refs, allow)
+}
+
+/// Allowlist entries that no longer suppress anything.
+///
+/// `findings` must come from a lint run with an **empty** allowlist — the
+/// ground truth of what the lint currently flags. An entry is stale when
+/// no finding matches its `(file, binding)` pair: the site was fixed,
+/// renamed, or moved, and the entry has rotted into a blanket permission
+/// for whatever next reuses the name. Stale entries should be deleted.
+pub fn stale_entries(findings: &[LintFinding], allow: &[AllowEntry]) -> Vec<AllowEntry> {
+    allow
+        .iter()
+        .filter(|a| {
+            !findings
+                .iter()
+                .any(|f| f.binding == a.binding && (f.file.ends_with(&a.file) || a.file == "*"))
+        })
+        .cloned()
+        .collect()
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
@@ -362,6 +432,47 @@ fn f() {
 }
 "#;
         assert!(lint_source("a.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn line_broken_method_chains_are_flagged() {
+        // rustfmt routinely splits `receiver.method()` across lines; the
+        // receiver line carries the finding.
+        let src = r#"
+fn f() {
+    let mut votes: HashMap<u64, u32> = HashMap::new();
+    let best = votes
+        .iter()
+        .max_by_key(|(k, &c)| (c, std::cmp::Reverse(*k)));
+    let fine = votes.len();
+}
+"#;
+        let findings = lint_source("a.rs", src, &[]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].binding, "votes");
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn stale_entries_are_those_suppressing_nothing() {
+        // Ground truth: lint with an empty allowlist.
+        let findings = lint_source("crates/x/src/lib.rs", FLAGGED, &[]);
+        assert!(!findings.is_empty());
+        let allow = parse_allowlist(
+            "crates/x/src/lib.rs:counts  summed, order-free\n\
+             crates/x/src/lib.rs:gone  binding was renamed away\n\
+             crates/y/src/lib.rs:counts  same name, wrong file\n",
+        );
+        let stale = stale_entries(&findings, &allow);
+        assert_eq!(stale.len(), 2, "{stale:?}");
+        assert!(stale.iter().any(|e| e.binding == "gone"));
+        assert!(stale
+            .iter()
+            .any(|e| e.file == "crates/y/src/lib.rs" && e.binding == "counts"));
+        // A wildcard-file entry is live as long as any file flags the
+        // binding.
+        let wild = parse_allowlist("*:counts  folded commutatively everywhere\n");
+        assert!(stale_entries(&findings, &wild).is_empty());
     }
 
     #[test]

@@ -30,11 +30,15 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod congruence;
 pub mod detlint;
 pub mod fixtures;
 pub mod interval;
+pub mod races;
 pub mod report;
 
 pub use analyzer::{analyze_kernel, analyze_kernel_with, verify_against_trace, SelfCheckViolation};
+pub use congruence::{AbsVal, Congruence};
 pub use interval::{ByteRange, Interval};
+pub use races::{PairVerdict, RacePairReport};
 pub use report::{Finding, FindingKind, PatternKind, Severity, SiteReport, StaticReport};

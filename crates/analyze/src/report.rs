@@ -1,6 +1,7 @@
 //! Structured output of the static analyzer: per-site facts and findings.
 
 use crate::interval::ByteRange;
+use crate::races::PairVerdict;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -21,7 +22,14 @@ pub enum Severity {
 }
 
 /// The class of a finding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialized (and displayed) as stable kebab-case strings — e.g.
+/// `"race-write-write"` — which CI gates and API clients match on;
+/// renaming a variant's wire string is a breaking change. The serde
+/// impls are hand-written (the vendored derive ignores rename
+/// attributes) so the JSON string always equals the [`fmt::Display`]
+/// string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FindingKind {
     /// The spec failed structural validation ([`gmap_gpu::kernel::KernelDesc::validate`]).
     SpecError,
@@ -38,18 +46,72 @@ pub enum FindingKind {
     /// A full warp touches one 128-byte segment per lane (degree =
     /// warp size): fully uncoalesced.
     Uncoalesced,
+    /// Two writes to the same array element from threads the execution
+    /// model leaves unordered (no barrier between them, or different
+    /// blocks), with a concrete witness pair of threads.
+    RaceWriteWrite,
+    /// A read and a write of the same array element from unordered
+    /// threads, with a concrete witness pair of threads.
+    RaceReadWrite,
+    /// A conflicting pair the detector could neither prove disjoint /
+    /// barrier-ordered nor witness concretely (irregular indices,
+    /// unresolved predicates, or search budget exhausted).
+    RacePotential,
 }
 
-impl fmt::Display for FindingKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl FindingKind {
+    /// The stable wire/display string of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
             FindingKind::SpecError => "spec-error",
             FindingKind::ArraySizeOverflow => "array-size-overflow",
             FindingKind::OutOfBounds => "out-of-bounds",
             FindingKind::OverlappingWrite => "overlapping-write",
             FindingKind::BarrierDivergence => "barrier-divergence",
             FindingKind::Uncoalesced => "uncoalesced",
-        })
+            FindingKind::RaceWriteWrite => "race-write-write",
+            FindingKind::RaceReadWrite => "race-read-write",
+            FindingKind::RacePotential => "race-potential",
+        }
+    }
+
+    /// Every kind, in declaration order — the full wire vocabulary.
+    pub const ALL: [FindingKind; 9] = [
+        FindingKind::SpecError,
+        FindingKind::ArraySizeOverflow,
+        FindingKind::OutOfBounds,
+        FindingKind::OverlappingWrite,
+        FindingKind::BarrierDivergence,
+        FindingKind::Uncoalesced,
+        FindingKind::RaceWriteWrite,
+        FindingKind::RaceReadWrite,
+        FindingKind::RacePotential,
+    ];
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for FindingKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for FindingKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => Self::ALL
+                .into_iter()
+                .find(|k| k.as_str() == s)
+                .ok_or_else(|| serde::DeError::custom(format!("unknown finding kind {s:?}"))),
+            other => Err(serde::DeError::custom(format!(
+                "expected a finding-kind string, got {other:?}"
+            ))),
+        }
     }
 }
 
@@ -136,6 +198,17 @@ pub struct StaticReport {
     pub sites: Vec<SiteReport>,
     /// Diagnostics, errors first.
     pub findings: Vec<Finding>,
+    /// Per-(array, PC-pair) race verdicts from the barrier-phase
+    /// detector, in site order. Defaults to empty when deserializing
+    /// reports produced before race analysis existed.
+    #[serde(default)]
+    pub races: Vec<crate::races::RacePairReport>,
+    /// Whether the barrier-phase detector certified the kernel free of
+    /// data races: every conflicting pair is provably disjoint or
+    /// barrier-ordered in every scope. Defaults to `false` (unknown) for
+    /// pre-race-analysis reports.
+    #[serde(default)]
+    pub race_certified: bool,
 }
 
 impl StaticReport {
@@ -198,24 +271,97 @@ impl StaticReport {
                 ));
             }
         }
+        if !self.races.is_empty() {
+            out.push('\n');
+            out.push_str(&self.render_races());
+        }
         if self.findings.is_empty() {
             out.push_str("\nno findings: the spec is clean\n");
         } else {
-            out.push('\n');
-            for f in &self.findings {
-                out.push_str(&format!(
-                    "{:<7} {:<20} {:<10} {}\n",
-                    match f.severity {
-                        Severity::Error => "ERROR",
-                        Severity::Warning => "warning",
-                    },
-                    f.kind.to_string(),
-                    f.pc.map_or("-".to_string(), |pc| format!("{pc:#x}")),
-                    f.message
-                ));
+            render_findings_tail(self, &mut out);
+        }
+        out
+    }
+
+    /// Only the race-verdict section: the summary line, the per-pair
+    /// table with one verdict per scope, and any witness schedules.
+    /// Embedded in [`Self::render`]; shown alone by
+    /// `gmap analyze --races`.
+    pub fn render_races(&self) -> String {
+        let mut out = String::new();
+        if self.races.is_empty() {
+            out.push_str(&format!(
+                "race analysis of '{}': no conflicting pairs — {}\n",
+                self.name,
+                if self.race_certified {
+                    "certified race-free"
+                } else {
+                    "not certified (spec invalid or analysis skipped)"
+                }
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "race analysis of '{}': {} conflicting pair{} — {}\n",
+            self.name,
+            self.races.len(),
+            if self.races.len() == 1 { "" } else { "s" },
+            if self.race_certified {
+                "certified race-free".to_string()
+            } else {
+                let proven = self
+                    .races
+                    .iter()
+                    .filter(|p| {
+                        p.same_block == PairVerdict::Proven || p.inter_block == PairVerdict::Proven
+                    })
+                    .count();
+                let potential = self
+                    .races
+                    .iter()
+                    .filter(|p| {
+                        p.same_block == PairVerdict::Potential
+                            || p.inter_block == PairVerdict::Potential
+                    })
+                    .count();
+                format!("{proven} proven, {potential} potential")
+            }
+        ));
+        out.push_str(&format!(
+            "{:<12} {:<18} {:<18} {:<12} {:<12}\n",
+            "array", "site A", "site B", "same-block", "inter-block"
+        ));
+        for p in &self.races {
+            out.push_str(&format!(
+                "{:<12} {:<18} {:<18} {:<12} {:<12}\n",
+                p.array_name,
+                format!("{:#x} ({})", p.pc_a, p.kind_a),
+                format!("{:#x} ({})", p.pc_b, p.kind_b),
+                p.same_block.to_string(),
+                p.inter_block.to_string(),
+            ));
+            if let Some(w) = &p.witness {
+                out.push_str(&format!("    witness: {w}\n"));
             }
         }
         out
+    }
+}
+
+/// The findings table at the end of [`StaticReport::render`].
+fn render_findings_tail(report: &StaticReport, out: &mut String) {
+    out.push('\n');
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{:<7} {:<20} {:<10} {}\n",
+            match f.severity {
+                Severity::Error => "ERROR",
+                Severity::Warning => "warning",
+            },
+            f.kind.to_string(),
+            f.pc.map_or("-".to_string(), |pc| format!("{pc:#x}")),
+            f.message
+        ));
     }
 }
 
@@ -239,6 +385,8 @@ mod tests {
             warp_size: 32,
             sites: vec![],
             findings: vec![finding(Severity::Warning), finding(Severity::Error)],
+            races: vec![],
+            race_certified: false,
         };
         assert!(r.has_errors());
         assert_eq!(r.errors().count(), 1);
@@ -248,6 +396,8 @@ mod tests {
             warp_size: 32,
             sites: vec![],
             findings: vec![finding(Severity::Warning)],
+            races: vec![],
+            race_certified: true,
         };
         assert!(!clean.has_errors());
     }
@@ -259,6 +409,8 @@ mod tests {
             warp_size: 32,
             sites: vec![],
             findings: vec![finding(Severity::Error)],
+            races: vec![],
+            race_certified: false,
         };
         let text = r.render();
         assert!(text.contains("ERROR"));

@@ -6,10 +6,11 @@
 //! per-PC interval, and the static coalescing degree must equal what
 //! `coalesce.rs` measures on a uniform warp.
 
-use gmap_analyze::{analyze_kernel, verify_against_trace};
+use gmap_analyze::{analyze_kernel, verify_against_trace, PairVerdict, StaticReport};
 use gmap_gpu::coalesce::coalesce_addrs;
 use gmap_gpu::exec::{execute_kernel, WarpEvent};
-use gmap_gpu::kernel::{dsl, IndexExpr, KernelBuilder, Pred, Stmt, Trip};
+use gmap_gpu::kernel::{dsl, IndexExpr, KernelBuilder, KernelDesc, Pred, Stmt, Trip};
+use gmap_gpu::race::{dynamic_races, RaceScope};
 use gmap_trace::record::Pc;
 use proptest::prelude::*;
 
@@ -133,4 +134,141 @@ proptest! {
             "static degree {} != dynamic transactions {}", site.degree, dynamic
         );
     }
+}
+
+/// Checks the two differential race invariants on one kernel:
+///
+/// 1. a certified kernel exhibits **zero** dynamic races (soundness of
+///    the certificate), and
+/// 2. every dynamic race maps to a static pair whose verdict in that
+///    scope is proven or potential (the detector never calls a really
+///    racing pair safe).
+fn assert_race_differential(kernel: &KernelDesc, report: &StaticReport) {
+    let trace = execute_kernel(kernel);
+    let dynamic = dynamic_races(kernel, &trace, 4096);
+    if report.race_certified {
+        assert!(
+            dynamic.is_empty(),
+            "{}: certified but dynamically racy: {:?}",
+            kernel.name,
+            dynamic
+        );
+    }
+    for r in &dynamic {
+        let hit = report.races.iter().any(|p| {
+            let pcs_match = (p.pc_a.min(p.pc_b), p.pc_a.max(p.pc_b))
+                == (r.pc_lo.min(r.pc_hi), r.pc_lo.max(r.pc_hi));
+            let verdict = match r.scope {
+                RaceScope::CrossWarpSameBlock => p.same_block,
+                RaceScope::InterBlock => p.inter_block,
+            };
+            pcs_match && matches!(verdict, PairVerdict::Proven | PairVerdict::Potential)
+        });
+        assert!(
+            hit,
+            "{}: dynamic race {:?} has no static proven/potential pair in {:?}",
+            kernel.name, r, report.races
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Differential soundness of the race detector over arbitrary phased
+    /// kernels: two writes and a read of one array with random affine
+    /// coefficients, optional barriers between them and an optional
+    /// enclosing loop. Whatever the verdicts, a certificate implies a
+    /// dynamically race-free execution, and every observed race is a
+    /// statically proven/potential pair.
+    #[test]
+    fn race_certificates_agree_with_the_dynamic_checker(
+        blocks in 1u32..4,
+        tpb in 1u32..130,
+        elems in 1u64..4096,
+        base_a in 0i64..8,
+        tid_a in -3i64..4,
+        lane_a in -2i64..3,
+        warp_a in -4i64..5,
+        block_a in -8i64..9,
+        base_b in 0i64..8,
+        tid_b in -3i64..4,
+        block_b in -8i64..9,
+        iter_coef in -4i64..5,
+        trip in 1u32..4,
+        sync_ab in any::<bool>(),
+        sync_bc in any::<bool>(),
+        wrap_in_loop in any::<bool>(),
+    ) {
+        let idx_a = IndexExpr::Affine {
+            base: base_a,
+            tid_coef: tid_a,
+            lane_coef: lane_a,
+            warp_coef: warp_a,
+            block_coef: block_a,
+            iter_coefs: if wrap_in_loop { vec![(0, iter_coef)] } else { vec![] },
+        };
+        let idx_b = IndexExpr::Affine {
+            base: base_b,
+            tid_coef: tid_b,
+            lane_coef: 0,
+            warp_coef: 0,
+            block_coef: block_b,
+            iter_coefs: vec![],
+        };
+        let mut body = vec![dsl::write(0x10, 0, idx_a.clone())];
+        if sync_ab {
+            body.push(Stmt::Sync);
+        }
+        body.push(dsl::write(0x20, 0, idx_b));
+        if sync_bc {
+            body.push(Stmt::Sync);
+        }
+        body.push(dsl::read(0x30, 0, idx_a));
+        if wrap_in_loop {
+            body = vec![dsl::loop_n(trip, body)];
+        }
+        let mut builder = KernelBuilder::new("race-prop", blocks, tpb).array("a", elems);
+        for stmt in body {
+            builder = builder.stmt(stmt);
+        }
+        let k = builder.build().expect("structurally valid");
+        let report = analyze_kernel(&k);
+        assert_race_differential(&k, &report);
+    }
+}
+
+/// Every built-in workload at every scale runs through the differential
+/// race check: the detector's verdicts must agree with the executor on
+/// all 18 models, and certified builtins must execute without a single
+/// dynamic race.
+#[test]
+fn builtin_workloads_pass_the_race_differential() {
+    use gmap_gpu::workloads::{self, Scale};
+
+    let mut certified = Vec::new();
+    for scale in [Scale::Tiny, Scale::Small] {
+        for kernel in workloads::all(scale) {
+            let report = analyze_kernel(&kernel);
+            // Race findings never escalate a builtin to an error: the
+            // racy models (reduction-style accumulations) declare no
+            // barrier phases, so their proven races stay warnings.
+            assert!(
+                !report.has_errors(),
+                "{} @ {scale:?}: {:?}",
+                kernel.name,
+                report.findings
+            );
+            assert_race_differential(&kernel, &report);
+            if scale == Scale::Tiny && report.race_certified {
+                certified.push(kernel.name.clone());
+            }
+        }
+    }
+    // The truly race-free builtins must actually earn their certificate;
+    // matrixmul is the only one that needs barrier reasoning for it.
+    assert!(
+        certified.iter().any(|n| n == "matrixmul"),
+        "matrixmul lost its certificate: {certified:?}"
+    );
 }

@@ -139,6 +139,20 @@ mod tests {
     }
 
     #[test]
+    fn racy_phased_spec_is_rejected_and_certified_one_admitted() {
+        let err = admit_kernel(&fixtures::race_rw()).expect_err("racy spec inadmissible");
+        match err {
+            GmapError::Inadmissible { kernel, findings } => {
+                assert_eq!(kernel, "race-rw");
+                assert!(findings.iter().any(|m| m.contains("race")), "{findings:?}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        let report = admit_kernel(&fixtures::phased_stencil()).expect("certified admissible");
+        assert!(report.race_certified);
+    }
+
+    #[test]
     fn application_gate_covers_every_kernel() {
         let app = gmap_gpu::app::apps::backprop_training(Scale::Tiny);
         let (profile, reports) =

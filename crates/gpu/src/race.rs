@@ -1,0 +1,315 @@
+//! Dynamic data-race detection over executed traces.
+//!
+//! The static barrier-phase analysis in `gmap-analyze` proves kernels
+//! race-free; this module is its ground-truth oracle. It replays an
+//! [`AppTrace`] through the per-phase access recorder
+//! ([`AppTrace::phased_accesses`]) and reports every pair of scalar
+//! accesses that the execution model leaves unordered:
+//!
+//! - accesses from the *same warp* are always ordered (lock-step SIMT
+//!   execution serializes them),
+//! - accesses from *different warps of the same block* are ordered iff a
+//!   barrier separates them, i.e. their phase counters differ,
+//! - accesses from *different blocks* are never ordered.
+//!
+//! A pair is a race when it is unordered, touches the same byte, and at
+//! least one side writes. Races are deduplicated to the static reporting
+//! granularity — (PC pair, scope, write-write vs read-write) — so the
+//! differential tests can compare them 1:1 against static verdicts.
+
+use crate::exec::AppTrace;
+use crate::kernel::KernelDesc;
+use gmap_trace::record::AccessKind;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Which pair of threads a (potential) race is between. Intra-warp pairs
+/// are never racy in the lock-step model, so they have no variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RaceScope {
+    /// Different warps of the same threadblock: ordered only by barriers.
+    CrossWarpSameBlock,
+    /// Warps of different threadblocks: never ordered.
+    InterBlock,
+}
+
+impl fmt::Display for RaceScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceScope::CrossWarpSameBlock => write!(f, "cross-warp same-block"),
+            RaceScope::InterBlock => write!(f, "inter-block"),
+        }
+    }
+}
+
+/// One dynamic race, deduplicated per (PC pair, scope, kind).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynamicRace {
+    /// Index of the conflicting array in [`KernelDesc::arrays`], if the
+    /// address falls inside a declared array.
+    pub array: Option<usize>,
+    /// Lower PC of the conflicting pair.
+    pub pc_lo: u64,
+    /// Higher PC of the conflicting pair (equal to `pc_lo` for a
+    /// self-conflicting instruction).
+    pub pc_hi: u64,
+    /// Write-write (`true`) or read-write (`false`).
+    pub write_write: bool,
+    /// Thread-pair scope of the conflict.
+    pub scope: RaceScope,
+    /// One witness byte address where the conflict occurred.
+    pub addr: u64,
+    /// Global warp ids of a witness pair of conflicting warps.
+    pub warps: (u32, u32),
+}
+
+/// Work budget for the per-address pair scan. Traces whose conflict scan
+/// would exceed this many pair comparisons are truncated (the returned
+/// races are still genuine; completeness is only needed at test scales,
+/// which sit far below the budget).
+const PAIR_BUDGET: u64 = 20_000_000;
+
+/// Replays `trace` and returns every unordered conflicting access pair,
+/// deduplicated per (PC pair, scope, write-write), capped at `limit`
+/// races.
+///
+/// `kernel` is only used to attribute addresses back to declared arrays;
+/// the happens-before relation itself is derived purely from the trace.
+pub fn dynamic_races(kernel: &KernelDesc, trace: &AppTrace, limit: usize) -> Vec<DynamicRace> {
+    // Group scalar accesses by byte address. BTreeMap keeps the scan
+    // order (and therefore the witness choice) deterministic.
+    let mut by_addr: BTreeMap<u64, Vec<Acc>> = BTreeMap::new();
+    for pa in trace.phased_accesses() {
+        by_addr.entry(pa.addr.0).or_default().push(Acc {
+            block: pa.block,
+            warp: pa.warp,
+            phase: pa.phase,
+            pc: pa.pc.0,
+            write: pa.kind == AccessKind::Write,
+        });
+    }
+    let mut seen: BTreeSet<(u64, u64, RaceScope, bool)> = BTreeSet::new();
+    let mut out = Vec::new();
+    let mut budget = PAIR_BUDGET;
+    'addrs: for (&addr, accs) in &by_addr {
+        if !accs.iter().any(|a| a.write) {
+            continue;
+        }
+        for i in 0..accs.len() {
+            for j in (i + 1)..accs.len() {
+                if budget == 0 {
+                    break 'addrs;
+                }
+                budget -= 1;
+                let (a, b) = (&accs[i], &accs[j]);
+                if !(a.write || b.write) || a.warp == b.warp {
+                    continue;
+                }
+                let scope = if a.block == b.block {
+                    // Same block: a barrier orders the pair iff the two
+                    // warps were in different phases.
+                    if a.phase != b.phase {
+                        continue;
+                    }
+                    RaceScope::CrossWarpSameBlock
+                } else {
+                    RaceScope::InterBlock
+                };
+                let (pc_lo, pc_hi) = (a.pc.min(b.pc), a.pc.max(b.pc));
+                let write_write = a.write && b.write;
+                if seen.insert((pc_lo, pc_hi, scope, write_write)) {
+                    out.push(DynamicRace {
+                        array: array_of(kernel, addr),
+                        pc_lo,
+                        pc_hi,
+                        write_write,
+                        scope,
+                        addr,
+                        warps: (a.warp, b.warp),
+                    });
+                    if out.len() >= limit {
+                        break 'addrs;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One scalar access, reduced to the fields the happens-before check
+/// needs.
+struct Acc {
+    block: u32,
+    warp: u32,
+    phase: u32,
+    pc: u64,
+    write: bool,
+}
+
+fn array_of(kernel: &KernelDesc, addr: u64) -> Option<usize> {
+    kernel
+        .arrays
+        .iter()
+        .position(|a| addr >= a.base.0 && addr < a.base.0 + a.size_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_kernel;
+    use crate::kernel::{dsl, IndexExpr, KernelBuilder, Stmt};
+    use gmap_trace::record::Pc;
+
+    #[test]
+    fn tid_linear_writes_are_race_free() {
+        let k = KernelBuilder::new("clean", 2u32, 64u32)
+            .array("a", 1 << 10)
+            .write(Pc(0x10), 0, IndexExpr::tid_linear(0, 1))
+            .build()
+            .expect("valid");
+        let races = dynamic_races(&k, &execute_kernel(&k), 64);
+        assert!(races.is_empty(), "unexpected races: {races:?}");
+    }
+
+    #[test]
+    fn same_phase_cross_warp_write_is_a_race() {
+        // Every thread of a block writes element `block`: warps of the
+        // same block collide (same phase), and so do warps of different
+        // blocks — but the latter touch *different* elements, so only the
+        // same-block WW race exists here.
+        let k = KernelBuilder::new("ww", 2u32, 64u32)
+            .array("acc", 64)
+            .write(
+                Pc(0x10),
+                0,
+                IndexExpr::Affine {
+                    base: 0,
+                    tid_coef: 0,
+                    lane_coef: 0,
+                    warp_coef: 0,
+                    block_coef: 1,
+                    iter_coefs: vec![],
+                },
+            )
+            .build()
+            .expect("valid");
+        let races = dynamic_races(&k, &execute_kernel(&k), 64);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].scope, RaceScope::CrossWarpSameBlock);
+        assert!(races[0].write_write);
+        assert_eq!(races[0].array, Some(0));
+        assert_eq!((races[0].pc_lo, races[0].pc_hi), (0x10, 0x10));
+    }
+
+    #[test]
+    fn barrier_orders_same_block_but_not_inter_block() {
+        // Phase 0 writes a[tid % 64]; phase 1 reads the same slot. The
+        // barrier orders warps within a block, but block 1 writes the
+        // same 64 elements as block 0 (tid wraps to block-local), so the
+        // read-write pair races inter-block only.
+        let k = KernelBuilder::new("phased", 2u32, 64u32)
+            .array("a", 64)
+            .write(
+                Pc(0x10),
+                0,
+                IndexExpr::Affine {
+                    base: 0,
+                    tid_coef: 1,
+                    lane_coef: 0,
+                    warp_coef: 0,
+                    block_coef: -64,
+                    iter_coefs: vec![],
+                },
+            )
+            .stmt(Stmt::Sync)
+            .read(
+                Pc(0x20),
+                0,
+                IndexExpr::Affine {
+                    base: 0,
+                    tid_coef: 1,
+                    lane_coef: 0,
+                    warp_coef: 0,
+                    block_coef: -64,
+                    iter_coefs: vec![],
+                },
+            )
+            .build()
+            .expect("valid");
+        let races = dynamic_races(&k, &execute_kernel(&k), 64);
+        assert!(!races.is_empty());
+        assert!(
+            races.iter().all(|r| r.scope == RaceScope::InterBlock),
+            "same-block pairs must be barrier-ordered: {races:?}"
+        );
+        // Both the WW pair (0x10, 0x10) and the RW pair (0x10, 0x20)
+        // race across blocks.
+        assert!(races.iter().any(|r| r.write_write));
+        assert!(races
+            .iter()
+            .any(|r| !r.write_write && (r.pc_lo, r.pc_hi) == (0x10, 0x20)));
+    }
+
+    #[test]
+    fn read_only_sharing_is_not_a_race() {
+        let k = KernelBuilder::new("ro", 2u32, 64u32)
+            .array("a", 4)
+            .read(Pc(0x10), 0, IndexExpr::tid_linear(0, 0))
+            .build()
+            .expect("valid");
+        let races = dynamic_races(&k, &execute_kernel(&k), 64);
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn intra_warp_conflicts_are_ordered() {
+        // All 32 lanes of each warp write element `warp`: the collisions
+        // are intra-warp only (one warp per element), hence lock-step
+        // ordered and not races.
+        let k = KernelBuilder::new("warp-local", 1u32, 64u32)
+            .array("a", 2)
+            .write(
+                Pc(0x10),
+                0,
+                IndexExpr::Affine {
+                    base: 0,
+                    tid_coef: 0,
+                    lane_coef: 0,
+                    warp_coef: 1,
+                    block_coef: 0,
+                    iter_coefs: vec![],
+                },
+            )
+            .build()
+            .expect("valid");
+        let races = dynamic_races(&k, &execute_kernel(&k), 64);
+        assert!(races.is_empty(), "intra-warp writes are ordered: {races:?}");
+    }
+
+    #[test]
+    fn phases_count_syncs_inside_loops() {
+        // Loop of 2 iterations: write then barrier each iteration, with
+        // the write target swapping between halves per iteration. Every
+        // same-block conflicting pair is separated by the barrier.
+        let k = KernelBuilder::new("loop-phase", 1u32, 64u32)
+            .array("a", 64)
+            .stmt(dsl::loop_n(
+                2,
+                vec![
+                    dsl::write(0x10, 0, dsl::warp_lane(0, 32, 1, vec![(0, 32)])),
+                    Stmt::Sync,
+                ],
+            ))
+            .build()
+            .expect("valid");
+        let trace = execute_kernel(&k);
+        let phased = trace.phased_accesses();
+        assert!(phased.iter().any(|p| p.phase == 1));
+        // warp 0 iter 1 writes a[32..64] == warp 1 iter 0's target, but
+        // those sit in different phases.
+        let races = dynamic_races(&k, &trace, 64);
+        assert!(races.is_empty(), "barrier separates iterations: {races:?}");
+    }
+}

@@ -88,20 +88,48 @@ pub fn resolve_kernel(
     }
 }
 
-/// The static-analysis admission gate: 422 when the analyzer finds
-/// correctness errors. Runs on the connection thread, *before* the job
-/// queue — an inadmissible spec never occupies a worker.
+/// Resolves and statically analyzes a profile request, returning the
+/// full report so callers can record race metrics before gating.
 ///
 /// # Errors
 ///
-/// 400 from kernel resolution, 422 with the error findings otherwise.
-pub fn admission_gate(req: &ProfileRequest) -> Result<(), ApiError> {
+/// 400 from kernel resolution only — admissibility is the caller's call
+/// (see [`admission_gate`]).
+pub fn admission_report(req: &ProfileRequest) -> Result<gmap_analyze::StaticReport, ApiError> {
     let (kernel, _) = resolve_kernel(
         req.workload.as_deref(),
         req.scale.as_deref(),
         req.spec.as_ref(),
     )?;
-    let report = analyze_kernel(&kernel);
+    Ok(analyze_kernel(&kernel))
+}
+
+/// Race findings (proven or potential, any severity) in a report, for
+/// the `gmap_analyze_races_total` counter.
+pub fn race_finding_count(report: &gmap_analyze::StaticReport) -> u64 {
+    use gmap_analyze::FindingKind;
+    report
+        .findings
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.kind,
+                FindingKind::RaceWriteWrite
+                    | FindingKind::RaceReadWrite
+                    | FindingKind::RacePotential
+            )
+        })
+        .count() as u64
+}
+
+/// Converts an analysis report into the admission verdict: 422 when the
+/// analyzer found correctness errors (including proven data races in
+/// barrier-phased kernels).
+///
+/// # Errors
+///
+/// 422 with the error findings.
+pub fn gate_report(report: &gmap_analyze::StaticReport) -> Result<(), ApiError> {
     if report.has_errors() {
         let findings: Vec<String> = report.errors().map(|f| f.message.clone()).collect();
         return Err(ApiError::new(
@@ -110,6 +138,17 @@ pub fn admission_gate(req: &ProfileRequest) -> Result<(), ApiError> {
         ));
     }
     Ok(())
+}
+
+/// The static-analysis admission gate: 422 when the analyzer finds
+/// correctness errors. Runs on the connection thread, *before* the job
+/// queue — an inadmissible spec never occupies a worker.
+///
+/// # Errors
+///
+/// 400 from kernel resolution, 422 with the error findings otherwise.
+pub fn admission_gate(req: &ProfileRequest) -> Result<(), ApiError> {
+    gate_report(&admission_report(req)?)
 }
 
 /// `POST /v1/analyze`: run the static analyzer and return the full
@@ -725,6 +764,36 @@ mod tests {
         ] {
             admission_gate(&req).expect("admissible");
         }
+    }
+
+    #[test]
+    fn admission_gate_rejects_racy_barrier_phased_specs_with_422() {
+        let racy = ProfileRequest {
+            workload: None,
+            scale: None,
+            spec: Some(gmap_analyze::fixtures::race_ww()),
+        };
+        let report = admission_report(&racy).expect("resolves and analyzes");
+        assert!(race_finding_count(&report) >= 1, "{:?}", report.findings);
+        let err = admission_gate(&racy).expect_err("racy spec rejected");
+        assert_eq!(err.status, 422);
+        assert!(
+            err.message.contains("race"),
+            "names the race: {}",
+            err.message
+        );
+
+        // A certified phased kernel sails through, and its report counts
+        // zero race findings.
+        let clean = ProfileRequest {
+            workload: None,
+            scale: None,
+            spec: Some(gmap_analyze::fixtures::phased_stencil()),
+        };
+        let report = admission_report(&clean).expect("resolves and analyzes");
+        assert!(report.race_certified);
+        assert_eq!(race_finding_count(&report), 0);
+        admission_gate(&clean).expect("admissible");
     }
 
     #[test]

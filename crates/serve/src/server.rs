@@ -497,7 +497,16 @@ fn route(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static 
             // thread — no queue slot, no worker, no deadline machinery.
             match parse_body::<api::AnalyzeRequest>(request).and_then(|req| handlers::analyze(&req))
             {
-                Ok(resp) => (200, canonical_json(&resp), "application/json"),
+                Ok(resp) => {
+                    let races = handlers::race_finding_count(&resp.report);
+                    if races > 0 {
+                        state
+                            .metrics
+                            .analyze_races
+                            .fetch_add(races, Ordering::Relaxed);
+                    }
+                    (200, canonical_json(&resp), "application/json")
+                }
                 Err(e) => (e.status, e.body(), "application/json"),
             }
         }
@@ -533,14 +542,24 @@ fn profile_endpoint(request: &Request, state: &Arc<ServerState>) -> (u16, String
         Ok(r) => r,
         Err(e) => return (e.status, e.body(), "application/json"),
     };
-    if let Err(e) = handlers::admission_gate(&parsed) {
-        if e.status == 422 {
-            state
-                .metrics
-                .analyze_rejects
-                .fetch_add(1, Ordering::Relaxed);
+    match handlers::admission_report(&parsed) {
+        Ok(report) => {
+            let races = handlers::race_finding_count(&report);
+            if races > 0 {
+                state
+                    .metrics
+                    .analyze_races
+                    .fetch_add(races, Ordering::Relaxed);
+            }
+            if let Err(e) = handlers::gate_report(&report) {
+                state
+                    .metrics
+                    .analyze_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                return (e.status, e.body(), "application/json");
+            }
         }
-        return (e.status, e.body(), "application/json");
+        Err(e) => return (e.status, e.body(), "application/json"),
     }
     let (status, body) = run_job(state, parsed, |state, req, cancel| {
         handlers::profile(&state.store, &state.metrics, &req, cancel)

@@ -461,6 +461,52 @@ fn inadmissible_specs_are_rejected_422_before_the_queue() {
 }
 
 #[test]
+fn racy_specs_are_rejected_422_and_counted_in_metrics() {
+    let (handle, addr) = start(ServeConfig::default());
+
+    // A barrier-phased kernel with a proven cross-warp write-write race:
+    // the admission gate answers 422 and the race counter moves.
+    let racy = canonical_json(&ProfileRequest {
+        workload: None,
+        scale: None,
+        spec: Some(gmap_analyze::fixtures::race_ww()),
+    });
+    let resp = client::post_json(&addr, "/v1/profile", &racy).expect("reachable");
+    assert_eq!(resp.status, 422, "gate rejects races: {}", resp.body);
+    assert!(resp.body.contains("race"), "{}", resp.body);
+
+    // `/v1/analyze` returns the verdict table and counts races too.
+    let areq = canonical_json(&AnalyzeRequest {
+        workload: None,
+        scale: None,
+        spec: Some(gmap_analyze::fixtures::race_interblock()),
+    });
+    let resp = client::post_json(&addr, "/v1/analyze", &areq).expect("reachable");
+    assert_eq!(resp.status, 200, "analyze answers: {}", resp.body);
+    let report: AnalyzeResponse = serde_json::from_str(&resp.body).expect("parses");
+    assert!(!report.admissible);
+    assert!(!report.report.race_certified);
+    assert!(!report.report.races.is_empty(), "verdict table served");
+
+    // A certified phased kernel profiles cleanly without touching the
+    // race counter.
+    let good = canonical_json(&ProfileRequest {
+        workload: None,
+        scale: None,
+        spec: Some(gmap_analyze::fixtures::phased_reduction()),
+    });
+    let resp = client::post_json(&addr, "/v1/profile", &good).expect("reachable");
+    assert_eq!(resp.status, 200, "certified spec profiles: {}", resp.body);
+
+    let m = client::get(&addr, "/metrics").expect("metrics reachable");
+    assert_eq!(scrape(&m.body, "gmap_analyze_rejects_total"), Some(1.0));
+    // race-ww carries one proven race finding; race-interblock one more.
+    assert_eq!(scrape(&m.body, "gmap_analyze_races_total"), Some(2.0));
+
+    handle.shutdown();
+}
+
+#[test]
 fn prefetcher_grids_evaluate_single_pass_and_match_direct_calls() {
     let (handle, addr) = start(ServeConfig::default());
 

@@ -96,19 +96,27 @@ ANALYZE OPTIONS (exactly one source: --workload, --spec, --fixture, --all,
 or --trace):
   --workload NAME               analyze a bundled workload model
   --spec FILE                   analyze a kernel spec from a JSON file
-  --fixture NAME                analyze a named defect fixture (oob-affine,
+  --fixture NAME                analyze a named fixture: defects (oob-affine,
                                 uncoalesced, barrier-divergent,
-                                overlapping-write, clean-streaming)
+                                overlapping-write, race-ww, race-rw,
+                                race-interblock, race-ww-interblock) or
+                                certified-clean ones (phased-stencil,
+                                phased-reduction, clean-streaming)
   --all                         analyze every bundled workload; exit nonzero
                                 if any has error findings
   --scale tiny|small|default    workload size (default: small)
   --dump-spec FILE              also write the resolved spec as JSON
+  --races                       print only the race-verdict pair table
+                                (per-scope verdicts plus witness schedules)
   --trace FILE                  stream an external trace (text or binary) and
                                 print its per-array/per-PC heat-map report
                                 instead of static analysis; needs --grid
                                 BLOCKS and --block THREADS
-  --json                        emit the heat-map report as JSON
-  Exits nonzero when the analyzer reports error-severity findings.
+  --json                        emit the full report as JSON (the static
+                                report for spec sources, an array under
+                                --all, or the heat-map for --trace)
+  Exits nonzero when the analyzer reports error-severity findings,
+  in every output mode (--races and --json included).
 
 CLONE OPTIONS:
   --seed N                      generation seed (default: 42)
@@ -349,13 +357,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             "--grid",
             "--block",
         ],
-        &["--all", "--json"],
+        &["--all", "--json", "--races"],
     )?;
     if let Some(path) = flag(args, &["--trace"]) {
+        if has_flag(args, "--races") {
+            return Err("--races only applies to kernel specs, not --trace heat-maps".into());
+        }
         return analyze_trace(args, path);
-    }
-    if has_flag(args, "--json") {
-        return Err("--json only applies to --trace heat-map reports".into());
     }
     let kernels: Vec<gmap::gpu::kernel::KernelDesc> = match (
         flag(args, &["--workload"]),
@@ -371,7 +379,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         (None, None, Some(name), false) => {
             vec![gmap::analyze::fixtures::by_name(name).ok_or_else(|| {
                 format!(
-                    "unknown fixture {name:?} (known: {}, clean-streaming)",
+                    "unknown fixture {name:?} (known: {}, phased-stencil, phased-reduction, clean-streaming)",
                     gmap::analyze::fixtures::NAMES.join(", ")
                 )
             })?]
@@ -383,11 +391,27 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         let spec = gmap::core::cachekey::canonical_json(&kernels[0]);
         std::fs::write(out, spec).map_err(|e| format!("cannot write {out}: {e}"))?;
     }
-    let mut total_errors = 0usize;
-    for kernel in &kernels {
-        let report = gmap::analyze::analyze_kernel(kernel);
-        print!("{}", report.render());
-        total_errors += report.errors().count();
+    let reports: Vec<gmap::analyze::StaticReport> =
+        kernels.iter().map(gmap::analyze::analyze_kernel).collect();
+    let total_errors: usize = reports.iter().map(|r| r.errors().count()).sum();
+    if has_flag(args, "--json") {
+        // One source -> one report object; --all -> an array. Error
+        // findings still fail the process so the JSON mode can gate CI.
+        let body = if reports.len() == 1 {
+            serde_json::to_string_pretty(&reports[0])
+        } else {
+            serde_json::to_string_pretty(&reports)
+        }
+        .map_err(|e| format!("cannot serialize report: {e}"))?;
+        println!("{body}");
+    } else if has_flag(args, "--races") {
+        for report in &reports {
+            print!("{}", report.render_races());
+        }
+    } else {
+        for report in &reports {
+            print!("{}", report.render());
+        }
     }
     if total_errors > 0 {
         Err(format!(
@@ -1229,7 +1253,11 @@ mod tests {
         ]))
         .is_err());
         assert!(run(&s(&["analyze", "--trace", &tfile, "--grid", "24"])).is_err());
-        assert!(run(&s(&["analyze", "--workload", "kmeans", "--json"])).is_err());
+        // --races is a static-analysis view; heat-maps reject it.
+        assert!(run(&s(&[
+            "analyze", "--trace", &tfile, "--grid", "24", "--block", "128", "--races"
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1310,6 +1338,23 @@ mod tests {
         let err = run(&s(&["analyze", "--spec", &spec])).expect_err("spec file re-analyzed");
         assert!(err.contains("error finding"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn analyze_race_views_gate_like_the_default_view() {
+        // Racy fixtures fail in every output mode — the view never
+        // weakens the exit-status contract.
+        let err = run(&s(&["analyze", "--fixture", "race-ww", "--races"])).expect_err("gated");
+        assert!(err.contains("error finding"), "{err}");
+        let err = run(&s(&["analyze", "--fixture", "race-rw", "--json"])).expect_err("gated");
+        assert!(err.contains("error finding"), "{err}");
+
+        // Certified positives pass in both modes, and the whole bundled
+        // set stays clean under --races and --json as well.
+        run(&s(&["analyze", "--fixture", "phased-stencil", "--races"])).expect("certified");
+        run(&s(&["analyze", "--fixture", "phased-reduction", "--json"])).expect("certified");
+        run(&s(&["analyze", "--all", "--scale", "tiny", "--races"])).expect("all, races view");
+        run(&s(&["analyze", "--all", "--scale", "tiny", "--json"])).expect("all, JSON view");
     }
 
     #[test]

@@ -6,33 +6,52 @@
 //! sites are recorded in `scripts/determinism_allowlist.txt` with a
 //! justification. See `gmap_analyze::detlint` for the lint itself.
 
-use gmap::analyze::detlint::{lint_crates, parse_allowlist};
+use gmap::analyze::detlint::{lint_dirs, parse_allowlist, stale_entries};
 use std::path::Path;
 
-/// The crates whose outputs are part of the deterministic contract:
-/// profiles, clone traces, simulation statistics, and the service layer
-/// (responses must be byte-identical to direct library calls). `trace`
-/// joined the list with the SoA capture columns and batch kernels — the
-/// columns feed every downstream hit-rate count, so ordering there is
-/// load-bearing too. `ingest` joined with the streaming profiler: its
-/// output must be byte-identical to the materialize-then-profile path,
-/// and its heat-map report is content-keyed.
-const SIMULATION_CRATES: &[&str] = &["memsim", "gpu", "dram", "core", "serve", "trace", "ingest"];
+/// The source roots whose outputs are part of the deterministic
+/// contract: profiles, clone traces, simulation statistics, and the
+/// service layer (responses must be byte-identical to direct library
+/// calls). `trace` joined the list with the SoA capture columns and
+/// batch kernels — the columns feed every downstream hit-rate count, so
+/// ordering there is load-bearing too. `ingest` joined with the
+/// streaming profiler: its output must be byte-identical to the
+/// materialize-then-profile path, and its heat-map report is
+/// content-keyed. `analyze` joined with the race detector (verdict and
+/// witness selection must be reproducible — findings gate admission and
+/// fail CI), `bench` with the sweep engine (figure data is diffed
+/// against golden files), and the top-level `src` because the CLI
+/// renders reports that scripts diff.
+const LINTED_DIRS: &[&str] = &[
+    "crates/memsim/src",
+    "crates/gpu/src",
+    "crates/dram/src",
+    "crates/core/src",
+    "crates/serve/src",
+    "crates/trace/src",
+    "crates/ingest/src",
+    "crates/analyze/src",
+    "crates/bench/src",
+    "src",
+];
+
+fn allowlist_text(root: &Path) -> String {
+    std::fs::read_to_string(root.join("scripts/determinism_allowlist.txt"))
+        .expect("allowlist readable")
+}
 
 #[test]
 fn simulation_crates_do_not_iterate_hash_maps() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let allow_text = std::fs::read_to_string(root.join("scripts/determinism_allowlist.txt"))
-        .expect("allowlist readable");
-    let allow = parse_allowlist(&allow_text);
+    let allow = parse_allowlist(&allowlist_text(root));
     assert!(
         allow.iter().all(|e| !e.justification.is_empty()),
         "every allowlist entry needs a justification"
     );
-    let findings = lint_crates(root, SIMULATION_CRATES, &allow).expect("crates lintable");
+    let findings = lint_dirs(root, LINTED_DIRS, &allow).expect("roots lintable");
     assert!(
         findings.is_empty(),
-        "nondeterministic hash iteration in simulation crates \
+        "nondeterministic hash iteration in deterministic-contract code \
          (sort the keys, switch to BTreeMap, or justify the site in \
          scripts/determinism_allowlist.txt):\n{}",
         findings
@@ -44,22 +63,24 @@ fn simulation_crates_do_not_iterate_hash_maps() {
 }
 
 #[test]
-fn allowlist_entries_are_not_stale() {
-    // Every allowlisted site must still exist: the file must be lintable
-    // and actually contain the named binding. Stale entries rot into
-    // blanket permissions for future code.
+fn allowlist_entries_each_suppress_a_live_finding() {
+    // Every allowlist entry must still match a finding the lint would
+    // otherwise raise: lint with an *empty* allowlist for ground truth,
+    // then demand each entry suppresses at least one of those findings.
+    // An entry whose site was fixed, renamed, or moved rots into a
+    // blanket permission for whatever next reuses the binding name.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let allow_text = std::fs::read_to_string(root.join("scripts/determinism_allowlist.txt"))
-        .expect("allowlist readable");
-    for entry in parse_allowlist(&allow_text) {
-        let path = root.join(&entry.file);
-        let source = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("allowlisted file {} unreadable: {e}", entry.file));
-        assert!(
-            source.contains(&entry.binding),
-            "allowlist entry {}:{} names a binding that no longer exists",
-            entry.file,
-            entry.binding
-        );
-    }
+    let allow = parse_allowlist(&allowlist_text(root));
+    let ground_truth = lint_dirs(root, LINTED_DIRS, &[]).expect("roots lintable");
+    let stale = stale_entries(&ground_truth, &allow);
+    assert!(
+        stale.is_empty(),
+        "stale determinism-allowlist entries (they no longer suppress any \
+         finding — delete them from scripts/determinism_allowlist.txt):\n{}",
+        stale
+            .iter()
+            .map(|e| format!("{}:{}  {}", e.file, e.binding, e.justification))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
