@@ -17,10 +17,23 @@
 //! seeded (via [`gmap_trace::rng::mix64`]) so a given policy replays the
 //! same sleep schedule.
 
+use crate::shard::Ring;
+use gmap_core::cachekey;
 use gmap_trace::rng::mix64;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Request header carrying the remaining deadline budget in
+/// milliseconds. Set by the router (and [`request_with_deadline`]),
+/// honored by replicas: a peer clamps its own per-request deadline to
+/// this value so it never keeps working on a request whose requester
+/// has already been answered 504 upstream.
+pub const DEADLINE_HEADER: &str = "X-Gmap-Deadline-Ms";
+
+/// Read-timeout grace beyond the propagated budget: long enough for a
+/// peer's honest in-budget 504 to arrive before the transport gives up.
+const BUDGET_GRACE: Duration = Duration::from_secs(2);
 
 /// A parsed HTTP response.
 #[derive(Debug, Clone)]
@@ -98,13 +111,36 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<Response> {
+    request_with_deadline(addr, method, path, body, None)
+}
+
+/// Performs one request carrying a deadline budget: the remaining
+/// budget is propagated in [`DEADLINE_HEADER`] and the read timeout is
+/// tightened to budget + a small grace (so a replica's honest in-budget
+/// 504 wins over the transport timeout). `None` behaves like
+/// [`request`].
+///
+/// # Errors
+///
+/// Transport failures and unparseable responses surface as `io::Error`.
+pub fn request_with_deadline(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    budget: Option<Duration>,
+) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let read_timeout = budget.map_or(Duration::from_secs(120), |b| b + BUDGET_GRACE);
+    stream.set_read_timeout(Some(read_timeout))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     let payload = body.unwrap_or("");
+    let deadline_line = budget.map_or(String::new(), |b| {
+        format!("{DEADLINE_HEADER}: {}\r\n", b.as_millis())
+    });
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\n{deadline_line}Connection: close\r\n\r\n",
         payload.len()
     );
     let mut request = head.into_bytes();
@@ -119,7 +155,7 @@ pub fn request(
 /// Writes the whole buffer, looping on short writes instead of assuming
 /// one `write` call moves everything (a stalled or slow server must not
 /// silently truncate the request).
-fn write_all_looping<W: Write>(writer: &mut W, mut buf: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_all_looping<W: Write>(writer: &mut W, mut buf: &[u8]) -> std::io::Result<()> {
     while !buf.is_empty() {
         match writer.write(buf) {
             Ok(0) => {
@@ -177,6 +213,109 @@ pub fn request_with_retry(
         }
     }
     Err(last_err.unwrap_or_else(|| std::io::Error::other("retries exhausted")))
+}
+
+/// Peer-aware sharded client: computes each request's shard key (the
+/// model id it reads or creates), sends it to the owning replica on the
+/// consistent-hash [`Ring`], and **fails over to the ring successors on
+/// transport failures** — connection refused, reset mid-response, or a
+/// read timeout. Every replica serves every request correctly (the
+/// model cache is an accelerator over a content-addressed pipeline), so
+/// failover preserves byte-identical results and only costs cache
+/// locality on the substitute replica.
+///
+/// Transient *statuses* (408/429/500/503/504) stay on the same peer —
+/// the replica is alive and its `Retry-After` is the better signal;
+/// only a failed transport advances to the successor. Both paths share
+/// the policy's seeded backoff schedule, and non-idempotent requests
+/// get exactly one attempt, as in [`request_with_retry`].
+#[derive(Debug, Clone)]
+pub struct PeerClient {
+    ring: Ring,
+    policy: RetryPolicy,
+}
+
+impl PeerClient {
+    /// Builds a client over `peers` (replica `host:port` addresses).
+    pub fn new(peers: &[String], policy: RetryPolicy) -> PeerClient {
+        PeerClient {
+            ring: Ring::new(peers),
+            policy,
+        }
+    }
+
+    /// The underlying consistent-hash ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Performs a request against the owning replica, deriving the
+    /// shard key from the request itself (falling back to a hash of the
+    /// body for unroutable requests, so the choice stays deterministic).
+    ///
+    /// # Errors
+    ///
+    /// The last transport error once every peer and retry is exhausted,
+    /// or immediately when the ring is empty.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<Response> {
+        let key = crate::shard::request_key(path, body.unwrap_or(""))
+            .unwrap_or_else(|| cachekey::content_key(body.unwrap_or(path)));
+        self.request_keyed(&key, method, path, body)
+    }
+
+    /// Performs a request routed by an explicit shard key.
+    ///
+    /// # Errors
+    ///
+    /// See [`PeerClient::request`].
+    pub fn request_keyed(
+        &self,
+        key: &str,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<Response> {
+        let order = self.ring.successors(key);
+        if order.is_empty() {
+            return Err(std::io::Error::other("peer ring is empty"));
+        }
+        let attempts = if is_idempotent(method, path) {
+            self.policy.max_retries + 1
+        } else {
+            1
+        };
+        let mut sleep = self.policy.base;
+        let mut peer_idx = 0usize;
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(sleep);
+            }
+            let peer = order[peer_idx % order.len()];
+            let hint = match request(peer, method, path, body) {
+                Ok(resp) if !RETRYABLE_STATUSES.contains(&resp.status) => return Ok(resp),
+                Ok(resp) if attempt + 1 == attempts => return Ok(resp),
+                Ok(resp) => resp.retry_after,
+                Err(e) => {
+                    // Transport failure: this replica is unreachable or
+                    // died mid-response — fail over to the successor.
+                    last_err = Some(e);
+                    peer_idx += 1;
+                    None
+                }
+            };
+            sleep = self.policy.next_sleep(sleep, attempt);
+            if let Some(secs) = hint {
+                sleep = sleep.max(Duration::from_secs(secs)).min(self.policy.cap);
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("retries exhausted")))
+    }
 }
 
 /// Convenience `GET`.
@@ -240,7 +379,7 @@ pub fn post_chunked<R: Read>(
     parse_response(&raw)
 }
 
-fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+pub(crate) fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
     let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
     let text = String::from_utf8_lossy(raw);
     let (head, body) = text

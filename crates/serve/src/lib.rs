@@ -30,8 +30,15 @@
 //! * [`server`] — accept loop, worker pool, deadlines, load shedding,
 //!   graceful shutdown.
 //! * [`client`] — the minimal client used by `gmap client` and tests,
-//!   with an idempotent-only retry wrapper (backoff + jitter).
+//!   with an idempotent-only retry wrapper (backoff + jitter) and a
+//!   peer-aware sharded client that fails over on transport errors.
 //! * [`faults`] — deterministic seeded fault injection for chaos tests.
+//! * [`shard`] — consistent-hash ring over the FNV-128 content-key
+//!   space (128 virtual nodes per replica, minimal remapping on
+//!   membership change).
+//! * [`router`] — the `--route` mode: forwards pipeline requests to the
+//!   owning replica on the connection thread, propagating the remaining
+//!   deadline budget and failing over to ring successors.
 //!
 //! ```no_run
 //! let handle = gmap_serve::start(gmap_serve::ServeConfig::default())
@@ -57,6 +64,8 @@ pub mod handlers;
 pub mod http;
 pub mod jobs;
 pub mod metrics;
+pub mod router;
 pub mod server;
+pub mod shard;
 
 pub use server::{start, ServeConfig, ServerHandle, ServerState};

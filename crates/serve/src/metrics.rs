@@ -64,6 +64,54 @@ impl EndpointStats {
     }
 }
 
+/// Per-peer router counters, present only in router mode (see
+/// [`Metrics::with_route`]).
+#[derive(Debug)]
+pub struct RouteMetrics {
+    /// Requests forwarded to each peer, in ring listing order.
+    forwards: Vec<(String, AtomicU64)>,
+    /// Forward attempts moved to a successor replica after a transport
+    /// failure (refused connection, reset, timeout).
+    pub failovers: AtomicU64,
+}
+
+impl RouteMetrics {
+    /// Creates zeroed counters for `peers`.
+    pub fn new(peers: &[String]) -> RouteMetrics {
+        RouteMetrics {
+            forwards: peers
+                .iter()
+                .map(|p| (p.clone(), AtomicU64::new(0)))
+                .collect(),
+            failovers: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one request forwarded to `peer` (a response was received,
+    /// whatever its status). Unknown peers are ignored.
+    pub fn record_forward(&self, peer: &str) {
+        if let Some((_, counter)) = self.forwards.iter().find(|(p, _)| p == peer) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The forward count for one peer (tests and assertions).
+    pub fn forwards_to(&self, peer: &str) -> u64 {
+        self.forwards
+            .iter()
+            .find(|(p, _)| p == peer)
+            .map_or(0, |(_, c)| c.load(Ordering::Relaxed))
+    }
+
+    /// Total forwards across all peers.
+    pub fn forwards_total(&self) -> u64 {
+        self.forwards
+            .iter()
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
 /// The service-wide metrics registry.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -97,6 +145,8 @@ pub struct Metrics {
     pub ingest_bytes: AtomicU64,
     /// Trace streams fully received by `/v1/ingest`.
     pub ingest_streams: AtomicU64,
+    /// Per-peer router counters; `None` outside router mode.
+    pub route: Option<RouteMetrics>,
 }
 
 /// Point-in-time values that live outside the counter registry (queue
@@ -128,6 +178,14 @@ impl Metrics {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// Creates a registry with router counters for `peers`.
+    pub fn with_route(peers: &[String]) -> Self {
+        Metrics {
+            route: Some(RouteMetrics::new(peers)),
+            ..Metrics::default()
+        }
     }
 
     fn endpoint(&self, which: Endpoint) -> &EndpointStats {
@@ -255,6 +313,21 @@ impl Metrics {
         ] {
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
         }
+        if let Some(route) = &self.route {
+            out.push_str("# TYPE gmap_route_forwards_total counter\n");
+            for (peer, counter) in &route.forwards {
+                let _ = writeln!(
+                    out,
+                    "gmap_route_forwards_total{{peer=\"{peer}\"}} {}",
+                    counter.load(Ordering::Relaxed)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "# TYPE gmap_route_failovers_total counter\ngmap_route_failovers_total {}",
+                route.failovers.load(Ordering::Relaxed)
+            );
+        }
         for (name, value) in [
             ("gmap_queue_depth", rt.queue_depth),
             ("gmap_jobs_in_flight", rt.jobs_in_flight),
@@ -343,6 +416,33 @@ mod tests {
         assert!(
             text.contains("gmap_request_latency_seconds{endpoint=\"evaluate\",quantile=\"0.5\"}")
         );
+    }
+
+    #[test]
+    fn route_counters_render_per_peer() {
+        let peers = vec!["127.0.0.1:9001".to_string(), "127.0.0.1:9002".to_string()];
+        let m = Metrics::with_route(&peers);
+        let route = m.route.as_ref().expect("router registry");
+        route.record_forward("127.0.0.1:9001");
+        route.record_forward("127.0.0.1:9001");
+        route.record_forward("127.0.0.1:9002");
+        route.record_forward("10.9.9.9:1"); // unknown peer: ignored
+        route.failovers.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(route.forwards_to("127.0.0.1:9001"), 2);
+        assert_eq!(route.forwards_total(), 3);
+        let text = m.render(RuntimeStats::default());
+        assert_eq!(
+            scrape(&text, "gmap_route_forwards_total{peer=\"127.0.0.1:9001\"}"),
+            Some(2.0)
+        );
+        assert_eq!(
+            scrape(&text, "gmap_route_forwards_total{peer=\"127.0.0.1:9002\"}"),
+            Some(1.0)
+        );
+        assert_eq!(scrape(&text, "gmap_route_failovers_total"), Some(1.0));
+        // Outside router mode the family is absent entirely.
+        let plain = Metrics::new().render(RuntimeStats::default());
+        assert!(!plain.contains("gmap_route_"));
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Router mode: a thin `gmap serve --route peer1,peer2,...` process
+//! that owns no model cache of its own and forwards every pipeline
+//! request to the replica owning its shard key on the consistent-hash
+//! [`Ring`].
+//!
+//! Design constraints, in order:
+//!
+//! * **Byte-identical or honest.** A forwarded response is relayed
+//!   verbatim; when no replica can answer, the router emits its own
+//!   structured 503/504 — always a definite outcome, never a silent
+//!   drop. Router-originated and relayed 5xx responses carry
+//!   `Retry-After` (every `/v1/*` endpoint is idempotent, so retrying
+//!   is always safe).
+//! * **Connection-thread forwarding.** The router has no job queue in
+//!   the request path: parsing, key derivation, and the peer exchange
+//!   all happen on the connection thread, mirroring how `/metrics` and
+//!   `/v1/analyze` are served. Backpressure is the replicas' job —
+//!   their 429/503 flows straight through.
+//! * **Deadline budget propagation.** The remaining budget travels in
+//!   [`client::DEADLINE_HEADER`]; a replica clamps its own deadline to
+//!   it, so a request that expires in a replica's queue is shed there
+//!   (504, handler never runs) instead of being computed for a
+//!   requester the router has already given up on.
+//! * **Failover on transport failure only.** Refused connections,
+//!   resets, and timeouts advance to the ring successor (counted in
+//!   `gmap_route_failovers_total`); received statuses are final from
+//!   the router's point of view — the client's retry policy owns that
+//!   decision. Any replica computes any request correctly, so failover
+//!   can't change bytes, only cache locality.
+//!
+//! `/v1/ingest` streams: the body is re-framed chunk by chunk to the
+//! owning replica (never materialized on the router). Failover happens
+//! only while connecting — once body bytes have flowed they cannot be
+//! replayed, so a mid-stream failure is an honest 503 with
+//! `Connection: close`.
+
+use crate::api::ApiError;
+use crate::client;
+use crate::http::{self, ReadError, RequestHead};
+use crate::metrics::Metrics;
+use crate::shard::{self, Ring};
+use gmap_core::cachekey;
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// The routing state of a router-mode server: the ring plus nothing —
+/// routers are deliberately stateless so any number of them can front
+/// the same replica fleet.
+#[derive(Debug)]
+pub struct Router {
+    ring: Ring,
+}
+
+impl Router {
+    /// Builds a router over the replica addresses.
+    pub fn new(peers: &[String]) -> Router {
+        Router {
+            ring: Ring::new(peers),
+        }
+    }
+
+    /// The consistent-hash ring (tests compute expected owners from it).
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Forwards one materialized JSON request to the owning replica and
+    /// relays its response. `budget` is the time remaining before this
+    /// request's deadline; it is propagated to the peer and bounds the
+    /// whole failover walk. Returns `(status, body)`.
+    pub fn forward(
+        &self,
+        metrics: &Metrics,
+        path: &str,
+        body: &str,
+        budget: Duration,
+    ) -> (u16, String) {
+        let key = shard::request_key(path, body)
+            .unwrap_or_else(|| cachekey::content_key(if body.is_empty() { path } else { body }));
+        let give_up = Instant::now() + budget;
+        let mut attempted = 0usize;
+        for peer in self.ring.successors(&key) {
+            let remaining = give_up.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            if attempted > 0 {
+                self.count_failover(metrics);
+            }
+            attempted += 1;
+            match client::request_with_deadline(peer, "POST", path, Some(body), Some(remaining)) {
+                Ok(resp) => {
+                    self.count_forward(metrics, peer);
+                    return (resp.status, resp.body);
+                }
+                Err(_) => continue, // transport failure: try the successor
+            }
+        }
+        self.no_replica_reply(attempted, give_up)
+    }
+
+    /// Forwards a streaming `/v1/ingest` request: decodes the inbound
+    /// body with the normal [`http::BodyReader`] limits and re-frames it
+    /// chunked to the owning replica. Returns `(status, body,
+    /// body_fully_consumed)` like the local ingest endpoint, or `None`
+    /// when the *client* transport died mid-body and nothing can be
+    /// answered.
+    pub fn forward_ingest<R: std::io::BufRead>(
+        &self,
+        metrics: &Metrics,
+        head: &RequestHead,
+        reader: &mut R,
+        budget: Duration,
+    ) -> Option<(u16, String, bool)> {
+        let err = |e: ApiError| Some((e.status, e.body(), false));
+        let key = cachekey::content_key(&head.path);
+        let kind = match http::body_kind(head) {
+            Ok(k) => k,
+            Err(ReadError::Malformed(msg)) => return err(ApiError::bad_request(msg)),
+            Err(_) => return None,
+        };
+        let mut body = match http::BodyReader::new(reader, kind, http::MAX_INGEST_BODY_BYTES) {
+            Ok(b) => b,
+            Err(ReadError::TooLarge(msg)) => return err(ApiError::new(413, msg)),
+            Err(_) => return None,
+        };
+        let give_up = Instant::now() + budget;
+
+        // Connect phase: the only point where failover is still free —
+        // no body bytes have been consumed yet.
+        let mut attempted = 0usize;
+        let mut connected: Option<(&str, TcpStream)> = None;
+        for peer in self.ring.successors(&key) {
+            if give_up.saturating_duration_since(Instant::now()).is_zero() {
+                break;
+            }
+            if attempted > 0 {
+                self.count_failover(metrics);
+            }
+            attempted += 1;
+            if let Ok(stream) = TcpStream::connect(peer) {
+                connected = Some((peer, stream));
+                break;
+            }
+        }
+        let Some((peer, mut stream)) = connected else {
+            let (status, reply) = self.no_replica_reply(attempted, give_up);
+            return Some((status, reply, false));
+        };
+
+        let remaining = give_up.saturating_duration_since(Instant::now());
+        let exchange = stream_body_to_peer(&mut stream, head, &mut body, remaining);
+        match exchange {
+            Ok(resp) => {
+                self.count_forward(metrics, peer);
+                Some((resp.status, resp.body, true))
+            }
+            // The client-side body failed mid-stream: answer its error
+            // and force a close (the unread tail is unframed garbage).
+            Err(StreamError::Client(e)) => err(e),
+            Err(StreamError::ClientGone) => None,
+            // The peer died after body bytes flowed: the stream cannot
+            // be replayed, so this is an honest transient 503.
+            Err(StreamError::Peer) => Some((
+                503,
+                ApiError::new(503, format!("replica {peer} failed mid-stream, retry")).body(),
+                false,
+            )),
+        }
+    }
+
+    /// The honest reply when no replica produced a response: 504 when
+    /// the budget ran out mid-walk, 503 otherwise — both transient,
+    /// both carrying `Retry-After` (added by the response writer).
+    fn no_replica_reply(&self, attempted: usize, give_up: Instant) -> (u16, String) {
+        if give_up.saturating_duration_since(Instant::now()).is_zero() {
+            let e = ApiError::new(504, "deadline exceeded while forwarding");
+            (e.status, e.body())
+        } else {
+            let e = ApiError::new(
+                503,
+                format!("no replica reachable ({attempted} tried), retry"),
+            );
+            (e.status, e.body())
+        }
+    }
+
+    fn count_forward(&self, metrics: &Metrics, peer: &str) {
+        if let Some(route) = &metrics.route {
+            route.record_forward(peer);
+        }
+    }
+
+    fn count_failover(&self, metrics: &Metrics) {
+        if let Some(route) = &metrics.route {
+            route.failovers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Why a streamed forward failed.
+enum StreamError {
+    /// The inbound body was malformed/oversized/stalled: answer the
+    /// mapped error to the client.
+    Client(ApiError),
+    /// The inbound transport died: nothing can be answered.
+    ClientGone,
+    /// The peer connection failed after body bytes were sent.
+    Peer,
+}
+
+/// Streams the decoded body to the connected peer as chunked transfer
+/// encoding and reads back its response.
+fn stream_body_to_peer<R: std::io::BufRead>(
+    stream: &mut TcpStream,
+    head: &RequestHead,
+    body: &mut http::BodyReader<'_, R>,
+    budget: Duration,
+) -> Result<client::Response, StreamError> {
+    let setup = stream
+        .set_read_timeout(Some(budget + Duration::from_secs(2)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))));
+    if setup.is_err() {
+        return Err(StreamError::Peer);
+    }
+    let peer_head = format!(
+        "POST {} HTTP/1.1\r\nHost: router\r\nContent-Type: application/octet-stream\r\n\
+         Transfer-Encoding: chunked\r\n{}: {}\r\nConnection: close\r\n\r\n",
+        head.path,
+        client::DEADLINE_HEADER,
+        budget.as_millis()
+    );
+    if client::write_all_looping(stream, peer_head.as_bytes()).is_err() {
+        return Err(StreamError::Peer);
+    }
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = match body.next_piece(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(ReadError::Malformed(msg)) => {
+                return Err(StreamError::Client(ApiError::bad_request(msg)))
+            }
+            Err(ReadError::TooLarge(msg)) => {
+                return Err(StreamError::Client(ApiError::new(413, msg)))
+            }
+            Err(ReadError::Timeout { .. }) => {
+                return Err(StreamError::Client(ApiError::new(
+                    408,
+                    "timed out reading trace body",
+                )))
+            }
+            Err(ReadError::Eof) | Err(ReadError::Io(_)) => return Err(StreamError::ClientGone),
+        };
+        let framed_ok = client::write_all_looping(stream, format!("{n:x}\r\n").as_bytes()).is_ok()
+            && client::write_all_looping(stream, &buf[..n]).is_ok()
+            && client::write_all_looping(stream, b"\r\n").is_ok();
+        if !framed_ok {
+            return Err(StreamError::Peer);
+        }
+    }
+    if client::write_all_looping(stream, b"0\r\n\r\n").is_err() {
+        return Err(StreamError::Peer);
+    }
+    let mut raw = Vec::new();
+    if stream.read_to_end(&mut raw).is_err() {
+        return Err(StreamError::Peer);
+    }
+    client::parse_response(&raw).map_err(|_| StreamError::Peer)
+}

@@ -35,6 +35,7 @@ use crate::handlers;
 use crate::http::{self, ReadError, Request, RequestHead, ResponseOpts};
 use crate::jobs::{JobQueue, SubmitError};
 use crate::metrics::{Endpoint, Metrics, RuntimeStats};
+use crate::router::Router;
 use gmap_core::cachekey::canonical_json;
 use gmap_gpu::hierarchy::LaunchConfig;
 use serde::{Deserialize, Serialize};
@@ -74,6 +75,10 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Deterministic fault-injection spec (`None` in production).
     pub faults: Option<FaultSpec>,
+    /// Router mode: forward pipeline requests to these replica
+    /// addresses by consistent-hash shard instead of serving them
+    /// locally (`None` = normal replica).
+    pub route: Option<Vec<String>>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +94,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
             faults: None,
+            route: None,
         }
     }
 }
@@ -106,6 +112,7 @@ pub struct ServerState {
     read_timeout: Duration,
     idle_timeout: Duration,
     faults: Option<Arc<FaultInjector>>,
+    router: Option<Router>,
     active_connections: AtomicUsize,
 }
 
@@ -113,6 +120,11 @@ impl ServerState {
     /// The armed fault injector, when a fault spec is configured.
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.faults.as_ref()
+    }
+
+    /// The router, when this server runs in `--route` mode.
+    pub fn router(&self) -> Option<&Router> {
+        self.router.as_ref()
     }
 
     /// Samples the point-in-time values rendered alongside the counters.
@@ -156,6 +168,20 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         injector.set_armed(true);
         injector
     });
+    let router = match &config.route {
+        Some(peers) if peers.is_empty() => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router mode needs at least one replica address",
+            ))
+        }
+        Some(peers) => Some(Router::new(peers)),
+        None => None,
+    };
+    let metrics = match &config.route {
+        Some(peers) => Metrics::with_route(peers),
+        None => Metrics::new(),
+    };
     let state = Arc::new(ServerState {
         queue: JobQueue::new(config.queue_capacity),
         store: ModelStore::with_config(
@@ -163,12 +189,13 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
             config.cache_capacity,
             faults.clone(),
         )?,
-        metrics: Metrics::new(),
+        metrics,
         deadline: config.deadline,
         keepalive_max: config.keepalive_max.max(1),
         read_timeout: config.read_timeout,
         idle_timeout: config.idle_timeout,
         faults,
+        router,
         active_connections: AtomicUsize::new(0),
     });
     let worker_threads = (0..config.workers.max(1))
@@ -308,14 +335,19 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
         };
         served += 1;
         let started = Instant::now();
+        let deadline = request_deadline(state, &head);
 
         // Streaming ingest: the body is consumed piece by piece *inside*
         // the endpoint (it may be far larger than any materialized-body
-        // limit), so it bypasses the read-whole-body path below.
+        // limit), so it bypasses the read-whole-body path below. In
+        // router mode the stream is re-framed to the owning replica
+        // instead of being profiled here.
         if head.method == "POST" && head.route_path() == "/v1/ingest" {
-            let Some((status, body, consumed)) =
-                ingest_endpoint(&head, &mut reader, state, started)
-            else {
+            let forwarded = match &state.router {
+                Some(router) => router.forward_ingest(&state.metrics, &head, &mut reader, deadline),
+                None => ingest_endpoint(&head, &mut reader, state, started, deadline),
+            };
+            let Some((status, body, consumed)) = forwarded else {
                 return; // transport failed mid-body; nothing to answer
             };
             state
@@ -353,7 +385,7 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             }
         };
         let endpoint = classify(&request);
-        let (status, body, content_type) = route(&request, state);
+        let (status, body, content_type) = route(&request, state, started, deadline);
         state
             .metrics
             .record_request(endpoint, started.elapsed(), status);
@@ -362,6 +394,18 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
             return;
         }
     }
+}
+
+/// The effective deadline of one request: the server's configured
+/// budget, tightened by a router-propagated [`client::DEADLINE_HEADER`]
+/// — a replica must never keep working on a request whose router has
+/// already answered 504 upstream. The header can only shrink the
+/// budget, never extend it.
+fn request_deadline(state: &ServerState, head: &RequestHead) -> Duration {
+    head.header(crate::client::DEADLINE_HEADER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .map_or(state.deadline, |propagated| propagated.min(state.deadline))
 }
 
 fn classify(request: &Request) -> Endpoint {
@@ -388,6 +432,7 @@ fn ingest_endpoint<R: BufRead>(
     reader: &mut R,
     state: &Arc<ServerState>,
     started: Instant,
+    deadline: Duration,
 ) -> Option<(u16, String, bool)> {
     let err = |e: ApiError| Some((e.status, e.body(), false));
     let query = match api::parse_ingest_query(&head.path) {
@@ -412,7 +457,7 @@ fn ingest_endpoint<R: BufRead>(
         // The deadline covers the whole request, including a slow
         // uploader: a stream that cannot finish in time is cut off here
         // rather than occupying the connection thread indefinitely.
-        if started.elapsed() >= state.deadline {
+        if started.elapsed() >= deadline {
             state
                 .metrics
                 .deadline_timeouts
@@ -443,7 +488,10 @@ fn ingest_endpoint<R: BufRead>(
         }
     }
     state.metrics.ingest_streams.fetch_add(1, Ordering::Relaxed);
-    let (status, response) = run_job(state, ing, |state, ing, cancel| {
+    // Whatever the upload consumed of the budget is gone; the finalize
+    // job runs under the remainder.
+    let remaining = deadline.saturating_sub(started.elapsed());
+    let (status, response) = run_job(state, remaining, ing, |state, ing, cancel| {
         handlers::ingest_finalize(&state.store, ing, cancel)
     });
     Some((status, response, true))
@@ -451,7 +499,8 @@ fn ingest_endpoint<R: BufRead>(
 
 /// Renders and writes one response. Returns `false` when the connection
 /// must not serve further requests (write failure or an injected reset).
-/// 429/503 responses carry a `Retry-After` hint for well-behaved clients.
+/// Transient 429/500/503/504 responses carry a `Retry-After` hint for
+/// well-behaved clients (every `/v1/*` endpoint is idempotent).
 fn write_reply(
     stream: &mut TcpStream,
     state: &Arc<ServerState>,
@@ -462,7 +511,7 @@ fn write_reply(
 ) -> bool {
     let opts = ResponseOpts {
         close,
-        retry_after: matches!(status, 429 | 503).then_some(RETRY_AFTER_SECS),
+        retry_after: matches!(status, 429 | 500 | 503 | 504).then_some(RETRY_AFTER_SECS),
     };
     let mut buf = Vec::with_capacity(body.len() + 128);
     if http::write_response_opts(&mut buf, status, content_type, body, opts).is_err() {
@@ -483,15 +532,45 @@ fn write_reply(
 }
 
 /// Dispatches a parsed request to its endpoint and renders the response
-/// body. Returns `(status, body, content_type)`.
-fn route(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static str) {
+/// body. Returns `(status, body, content_type)`. `deadline` is this
+/// request's effective budget (possibly router-tightened), measured
+/// from `started`.
+fn route(
+    request: &Request,
+    state: &Arc<ServerState>,
+    started: Instant,
+    deadline: Duration,
+) -> (u16, String, &'static str) {
+    // Router mode: the pipeline endpoints are forwarded to the owning
+    // replica right here on the connection thread, with the remaining
+    // budget propagated. `/healthz`, `/metrics`, and `/v1/analyze`
+    // (stateless) are still answered locally.
+    if let Some(router) = &state.router {
+        if request.method == "POST"
+            && matches!(
+                request.path.as_str(),
+                "/v1/profile" | "/v1/clone" | "/v1/evaluate"
+            )
+        {
+            let body = match request.body_utf8() {
+                Ok(b) => b,
+                Err(msg) => {
+                    let e = ApiError::bad_request(msg);
+                    return (e.status, e.body(), "application/json");
+                }
+            };
+            let budget = deadline.saturating_sub(started.elapsed());
+            let (status, reply) = router.forward(&state.metrics, &request.path, body, budget);
+            return (status, reply, "application/json");
+        }
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string(), "application/json"),
         ("GET", "/metrics") => {
             let text = state.metrics.render(state.runtime_stats());
             (200, text, "text/plain; version=0.0.4")
         }
-        ("POST", "/v1/profile") => profile_endpoint(request, state),
+        ("POST", "/v1/profile") => profile_endpoint(request, state, started, deadline),
         ("POST", "/v1/analyze") => {
             // Pure static analysis: answered right here on the connection
             // thread — no queue slot, no worker, no deadline machinery.
@@ -510,12 +589,16 @@ fn route(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static 
                 Err(e) => (e.status, e.body(), "application/json"),
             }
         }
-        ("POST", "/v1/clone") => json_endpoint(request, state, |state, req, cancel| {
-            handlers::clone_model(&state.store, &req, cancel)
-        }),
-        ("POST", "/v1/evaluate") => json_endpoint(request, state, |state, req, cancel| {
-            handlers::evaluate(&state.store, &req, cancel)
-        }),
+        ("POST", "/v1/clone") => {
+            json_endpoint(request, state, started, deadline, |state, req, cancel| {
+                handlers::clone_model(&state.store, &req, cancel)
+            })
+        }
+        ("POST", "/v1/evaluate") => {
+            json_endpoint(request, state, started, deadline, |state, req, cancel| {
+                handlers::evaluate(&state.store, &req, cancel)
+            })
+        }
         ("GET", _) | ("POST", _) => {
             let e = ApiError::new(404, format!("no such route {}", request.path));
             (404, e.body(), "application/json")
@@ -537,7 +620,12 @@ fn parse_body<Req: Deserialize>(request: &Request) -> Result<Req, ApiError> {
 /// `POST /v1/profile`: the static-analysis admission gate runs here on
 /// the connection thread, *before* the job queue — an inadmissible spec
 /// is answered 422 without ever occupying a queue slot or a worker.
-fn profile_endpoint(request: &Request, state: &Arc<ServerState>) -> (u16, String, &'static str) {
+fn profile_endpoint(
+    request: &Request,
+    state: &Arc<ServerState>,
+    started: Instant,
+    deadline: Duration,
+) -> (u16, String, &'static str) {
     let parsed: api::ProfileRequest = match parse_body(request) {
         Ok(r) => r,
         Err(e) => return (e.status, e.body(), "application/json"),
@@ -561,7 +649,8 @@ fn profile_endpoint(request: &Request, state: &Arc<ServerState>) -> (u16, String
         }
         Err(e) => return (e.status, e.body(), "application/json"),
     }
-    let (status, body) = run_job(state, parsed, |state, req, cancel| {
+    let budget = deadline.saturating_sub(started.elapsed());
+    let (status, body) = run_job(state, budget, parsed, |state, req, cancel| {
         handlers::profile(&state.store, &state.metrics, &req, cancel)
     });
     (status, body, "application/json")
@@ -572,6 +661,8 @@ fn profile_endpoint(request: &Request, state: &Arc<ServerState>) -> (u16, String
 fn json_endpoint<Req, Resp, F>(
     request: &Request,
     state: &Arc<ServerState>,
+    started: Instant,
+    deadline: Duration,
     handler: F,
 ) -> (u16, String, &'static str)
 where
@@ -583,13 +674,20 @@ where
         Ok(r) => r,
         Err(e) => return (e.status, e.body(), "application/json"),
     };
-    let (status, body) = run_job(state, parsed, handler);
+    let budget = deadline.saturating_sub(started.elapsed());
+    let (status, body) = run_job(state, budget, parsed, handler);
     (status, body, "application/json")
 }
 
 /// Submits one handler invocation to the queue and waits for its result
-/// under the configured deadline.
-fn run_job<Req, Resp, F>(state: &Arc<ServerState>, parsed: Req, handler: F) -> (u16, String)
+/// under `deadline` — the request's remaining budget, already clamped to
+/// any router-propagated `X-Gmap-Deadline-Ms`.
+fn run_job<Req, Resp, F>(
+    state: &Arc<ServerState>,
+    deadline: Duration,
+    parsed: Req,
+    handler: F,
+) -> (u16, String)
 where
     Req: Send + 'static,
     Resp: Serialize,
@@ -600,7 +698,6 @@ where
     let job_cancel = Arc::clone(&cancel);
     let job_state = Arc::clone(state);
     let enqueued = Instant::now();
-    let deadline = state.deadline;
     let submitted = state.queue.submit(Box::new(move || {
         // Load shedding: if the deadline expired while this job sat in
         // the queue, the requester has already been answered 504 — do
@@ -638,7 +735,7 @@ where
             let e = ApiError::new(503, "service is shutting down");
             (e.status, e.body())
         }
-        Ok(()) => match rx.recv_timeout(state.deadline) {
+        Ok(()) => match rx.recv_timeout(deadline) {
             Ok(Ok(body)) => (200, body),
             Ok(Err(e)) => (e.status, e.body()),
             Err(mpsc::RecvTimeoutError::Timeout) => {

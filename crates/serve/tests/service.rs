@@ -683,6 +683,70 @@ fn deadline_expired_in_queue_is_shed_without_executing() {
 }
 
 #[test]
+fn routed_deadline_expires_in_peer_queue_without_executing() {
+    // The replica's own deadline is a generous 30s and every job is
+    // slowed 400ms — on its own it would happily serve 200s. Behind a
+    // router with a 150ms deadline the propagated budget must take over:
+    // the router answers 504 and the peer sheds the queued jobs without
+    // ever reaching the profiler.
+    let (peer, peer_addr) = start(ServeConfig {
+        workers: 1,
+        deadline: Duration::from_secs(30),
+        faults: Some(FaultSpec::parse("7:slow=1,slow_ms=400").expect("valid spec")),
+        ..ServeConfig::default()
+    });
+    let (router, router_addr) = start(ServeConfig {
+        workers: 1,
+        deadline: Duration::from_millis(150),
+        route: Some(vec![peer_addr.clone()]),
+        ..ServeConfig::default()
+    });
+
+    let clients: Vec<_> = ["kmeans", "bfs", "hotspot"]
+        .iter()
+        .map(|w| {
+            let addr = router_addr.clone();
+            let body = profile_req(w, "tiny");
+            thread::spawn(move || {
+                client::post_json(&addr, "/v1/profile", &body).expect("request answered")
+            })
+        })
+        .collect();
+    for t in clients {
+        let resp = t.join().expect("client thread returns");
+        assert_eq!(resp.status, 504, "routed expired request: {}", resp.body);
+        assert!(
+            resp.retry_after.is_some(),
+            "routed 504 carries Retry-After: {}",
+            resp.body
+        );
+    }
+
+    // The peer enforced the router's budget, not its own 30s deadline,
+    // and no shed or cancelled job ever ran a simulation.
+    wait_for_metric(&peer_addr, "gmap_queue_depth", |v| v == 0.0);
+    wait_for_metric(&peer_addr, "gmap_jobs_in_flight", |v| v == 0.0);
+    wait_for_metric(&peer_addr, "gmap_jobs_shed_total", |v| v >= 1.0);
+    let m = client::get(&peer_addr, "/metrics").expect("peer metrics reachable");
+    assert_eq!(
+        scrape(&m.body, "gmap_cache_misses_total"),
+        Some(0.0),
+        "propagated deadlines must shed work before it executes"
+    );
+    assert_eq!(scrape(&m.body, "gmap_deadline_timeouts_total"), Some(3.0));
+
+    // Every request was genuinely forwarded (the 504s are the peer's
+    // honest answers relayed by the router, not router-local failures).
+    let m = client::get(&router_addr, "/metrics").expect("router metrics reachable");
+    let series = format!("gmap_route_forwards_total{{peer=\"{peer_addr}\"}}");
+    assert_eq!(scrape(&m.body, &series), Some(3.0), "all three forwarded");
+    assert_eq!(scrape(&m.body, "gmap_route_failovers_total"), Some(0.0));
+
+    router.shutdown();
+    peer.shutdown();
+}
+
+#[test]
 fn memory_tier_never_exceeds_its_configured_capacity() {
     let (handle, addr) = start(ServeConfig {
         cache_capacity: 2,

@@ -3,7 +3,8 @@
 # exercises a profile -> clone round trip through `gmap client`, pokes
 # the HTTP edge cases (keep-alive, truncated and oversized bodies) with
 # raw sockets, and checks that closing the server's stdin drains it
-# cleanly.
+# cleanly. A final section boots two replicas behind a `--route` router
+# and checks that routed responses match locally computed model ids.
 #
 # Usage: scripts/smoke_serve.sh [path-to-gmap-binary]
 set -euo pipefail
@@ -18,12 +19,17 @@ WORK="$(mktemp -d)"
 SERVER_OUT="$WORK/server.out"
 mkfifo "$WORK/stdin"
 cleanup() {
-    # Closing the fifo writer ends the server; kill as a fallback only.
+    # Closing the fifo writers ends the servers; kill as a fallback only.
     exec 9>&- 2>/dev/null || true
-    if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
-        sleep 2
-        kill "$SERVER_PID" 2>/dev/null || true
-    fi
+    exec 5>&- 2>/dev/null || true
+    exec 6>&- 2>/dev/null || true
+    exec 7>&- 2>/dev/null || true
+    for pid in "${SERVER_PID:-}" "${R1_PID:-}" "${R2_PID:-}" "${ROUTER_PID:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            sleep 2
+            kill "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -190,3 +196,78 @@ fi
 wait "$SERVER_PID"
 grep -q 'drained and stopped' "$SERVER_OUT"
 echo "smoke: graceful shutdown ok"
+
+# ------------------------------------------------------------------
+# Router mode: two replicas behind a consistent-hash router. A routed
+# profile must return exactly the model id `gmap profile` computes
+# locally from the same spec, routed evaluate must work end to end, and
+# the router's per-peer forward counters must move.
+
+start_server() { # start_server <name> <fd> [extra serve args...]
+    local name="$1" fd="$2"; shift 2
+    mkfifo "$WORK/$name.stdin"
+    "$GMAP" serve --listen 127.0.0.1:0 --workers 2 "$@" \
+        <"$WORK/$name.stdin" >"$WORK/$name.out" &
+    START_PID=$!
+    eval "exec $fd>\"$WORK/$name.stdin\""
+    START_ADDR=""
+    for _ in $(seq 1 100); do
+        START_ADDR="$(sed -n 's/^gmap-serve listening on //p' "$WORK/$name.out" | head -n1)"
+        [[ -n "$START_ADDR" ]] && break
+        sleep 0.1
+    done
+    if [[ -z "$START_ADDR" ]]; then
+        echo "smoke: $name never reported its address" >&2
+        cat "$WORK/$name.out" >&2
+        exit 1
+    fi
+}
+
+start_server replica1 5
+R1_PID=$START_PID; R1_ADDR=$START_ADDR
+start_server replica2 6
+R2_PID=$START_PID; R2_ADDR=$START_ADDR
+start_server router 7 --route "$R1_ADDR,$R2_ADDR"
+ROUTER_PID=$START_PID; ROUTER_ADDR=$START_ADDR
+echo "smoke: router $ROUTER_ADDR fronting $R1_ADDR and $R2_ADDR"
+
+# The model id a routed profile returns must equal the locally computed
+# content key for the same workload+scale spec.
+WANT_ID="$("$GMAP" profile --workload kmeans --scale tiny -o "$WORK/local.json" \
+    | sed -n 's/^model id: //p')"
+[[ -n "$WANT_ID" ]] || { echo "smoke: gmap profile printed no model id" >&2; exit 1; }
+ROUTED="$("$GMAP" client profile --addr "$ROUTER_ADDR" --workload kmeans --scale tiny)"
+ROUTED_ID="$(printf '%s' "$ROUTED" | sed -n 's/.*"model_id":"\([0-9a-f]*\)".*/\1/p')"
+if [[ "$ROUTED_ID" != "$WANT_ID" ]]; then
+    echo "smoke: routed profile diverged from the locally computed model id" >&2
+    echo "  local model id : $WANT_ID" >&2
+    echo "  routed model id: $ROUTED_ID" >&2
+    exit 1
+fi
+expect '"values":' "$GMAP" client evaluate --addr "$ROUTER_ADDR" \
+    --model "$ROUTED_ID" --grid 16:4,32:4
+METRICS="$("$GMAP" client metrics --addr "$ROUTER_ADDR")"
+grep -q 'gmap_route_forwards_total{peer="' <<<"$METRICS"
+FORWARDS="$(sed -n 's/^gmap_route_forwards_total{[^}]*} //p' <<<"$METRICS" \
+    | awk '{s+=$1} END {print s+0}')"
+if [[ "$FORWARDS" -lt 2 ]]; then
+    echo "smoke: router forward counters did not move ($FORWARDS)" >&2
+    grep '^gmap_route' <<<"$METRICS" >&2 || true
+    exit 1
+fi
+echo "smoke: routed profile matches local model id ($ROUTED_ID), $FORWARDS forwards"
+
+# Close all three stdin fifos: replicas and router drain cleanly.
+exec 7>&- 6>&- 5>&-
+for pid in "$ROUTER_PID" "$R2_PID" "$R1_PID"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "smoke: sharded server (pid $pid) did not exit after stdin EOF" >&2
+        exit 1
+    fi
+done
+grep -q 'drained and stopped' "$WORK/router.out"
+echo "smoke: sharded fleet drained cleanly"

@@ -83,7 +83,9 @@ USAGE:
   gmap simulate SOURCE [OPTS]                   run the memory hierarchy
   gmap fidelity (-p FILE | --workload NAME)     predict clone trustworthiness
   gmap serve [OPTS]                             run the model-cloning HTTP service
+                                                (or a router with --route)
   gmap client ACTION --addr HOST:PORT [OPTS]    talk to a running service
+                                                (or --peers P1,P2 for a fleet)
 
 PROFILE OPTIONS:
   --scale tiny|small|default    workload size (default: small)
@@ -148,10 +150,18 @@ SERVE OPTIONS:
   --faults SEED:SPEC            deterministic fault injection, e.g.
                                 7:disk_err=0.2,panic=0.1,slow_ms=50
                                 (also read from GMAP_FAULTS; flag wins)
+  --route P1,P2,...             router mode: forward /v1/profile, /v1/clone,
+                                /v1/evaluate, and /v1/ingest to the replica
+                                owning each request's content key on a
+                                consistent-hash ring, propagating the
+                                remaining deadline budget and failing over
+                                to ring successors on transport errors
   The server runs until stdin reaches EOF, then drains and exits.
 
-CLIENT ACTIONS (all need --addr HOST:PORT; add --retries N to retry
-transient failures with exponential backoff — idempotent requests only):
+CLIENT ACTIONS (all need --addr HOST:PORT, or --peers P1,P2,... to shard
+requests across a replica fleet by content key with failover; add
+--retries N to retry transient failures with exponential backoff —
+idempotent requests only; ingest is --addr-only):
   health                        GET /healthz
   metrics                       GET /metrics
   profile  (--workload NAME [--scale tiny|small|default] | --spec FILE)
@@ -316,6 +326,16 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         kernels: vec![profile],
     });
     println!("content key: {key}");
+    // For bundled workloads, also print the spec-addressed model id the
+    // service computes for the same profile request, so routed responses
+    // can be checked against a locally computed key.
+    if let Some(w) = flag(args, &["--workload"]) {
+        let scale = gmap::serve::api::scale_name(parse_scale(args));
+        println!(
+            "model id: {}",
+            gmap::serve::handlers::model_id_for(w, scale)
+        );
+    }
     Ok(())
 }
 
@@ -685,10 +705,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--read-timeout-ms",
             "--idle-timeout-ms",
             "--faults",
+            "--route",
         ],
         &[],
     )?;
     let mut config = gmap::serve::ServeConfig::default();
+    if let Some(peers) = flag(args, &["--route"]) {
+        config.route = Some(parse_peer_list(peers, "--route")?);
+    }
     if let Some(listen) = flag(args, &["--listen"]) {
         config.listen = listen.to_owned();
     }
@@ -761,6 +785,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn client_addr(args: &[String]) -> Result<&str, String> {
     flag(args, &["--addr"]).ok_or_else(|| "missing --addr HOST:PORT".into())
+}
+
+/// Parses a comma-separated replica list (`--route` / `--peers`).
+fn parse_peer_list(spec: &str, flag_name: &str) -> Result<Vec<String>, String> {
+    let peers: Vec<String> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if peers.is_empty() {
+        return Err(format!("{flag_name} needs at least one HOST:PORT"));
+    }
+    Ok(peers)
 }
 
 fn client_seed(args: &[String]) -> Result<Option<u64>, String> {
@@ -895,17 +933,24 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     }
     let (path, body): (&str, Option<String>) = match action {
         "health" => {
-            check_flags(rest, &["--addr", "--retries"], &[])?;
+            check_flags(rest, &["--addr", "--peers", "--retries"], &[])?;
             ("/healthz", None)
         }
         "metrics" => {
-            check_flags(rest, &["--addr", "--retries"], &[])?;
+            check_flags(rest, &["--addr", "--peers", "--retries"], &[])?;
             ("/metrics", None)
         }
         "profile" => {
             check_flags(
                 rest,
-                &["--addr", "--workload", "--scale", "--spec", "--retries"],
+                &[
+                    "--addr",
+                    "--peers",
+                    "--workload",
+                    "--scale",
+                    "--spec",
+                    "--retries",
+                ],
                 &[],
             )?;
             let spec = flag(rest, &["--spec"]).map(load_spec).transpose()?;
@@ -922,7 +967,14 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         "analyze" => {
             check_flags(
                 rest,
-                &["--addr", "--workload", "--scale", "--spec", "--retries"],
+                &[
+                    "--addr",
+                    "--peers",
+                    "--workload",
+                    "--scale",
+                    "--spec",
+                    "--retries",
+                ],
                 &[],
             )?;
             let spec = flag(rest, &["--spec"]).map(load_spec).transpose()?;
@@ -939,7 +991,14 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         "clone" => {
             check_flags(
                 rest,
-                &["--addr", "--model", "--factor", "--seed", "--retries"],
+                &[
+                    "--addr",
+                    "--peers",
+                    "--model",
+                    "--factor",
+                    "--seed",
+                    "--retries",
+                ],
                 &[],
             )?;
             let factor = flag(rest, &["--factor"])
@@ -959,6 +1018,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 rest,
                 &[
                     "--addr",
+                    "--peers",
                     "--model",
                     "--grid",
                     "--level",
@@ -1008,8 +1068,17 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         ..client::RetryPolicy::default()
     };
     let method = if body.is_some() { "POST" } else { "GET" };
-    let response =
-        client::request_with_retry(client_addr(rest)?, method, path, body.as_deref(), &policy);
+    // --peers routes through the consistent-hash ring with failover to
+    // ring successors; --addr talks to one server (or a router) directly.
+    let response = match flag(rest, &["--peers"]) {
+        Some(peers) => {
+            let peers = parse_peer_list(peers, "--peers")?;
+            client::PeerClient::new(&peers, policy).request(method, path, body.as_deref())
+        }
+        None => {
+            client::request_with_retry(client_addr(rest)?, method, path, body.as_deref(), &policy)
+        }
+    };
     let response = response.map_err(|e| format!("request failed: {e}"))?;
     println!("{}", response.body.trim_end());
     if response.is_ok() {
@@ -1087,6 +1156,46 @@ mod tests {
         .is_err());
         // A value flag at the end of the line is missing its value.
         assert!(cmd_clone(&s(&["-p", "x.json", "-o", "y", "--seed"])).is_err());
+    }
+
+    #[test]
+    fn peer_list_parsing() {
+        assert_eq!(
+            parse_peer_list("a:1, b:2 ,c:3", "--peers").expect("valid"),
+            vec!["a:1".to_string(), "b:2".to_string(), "c:3".to_string()]
+        );
+        assert!(parse_peer_list("", "--route").is_err());
+        assert!(parse_peer_list(",,", "--peers").is_err());
+        // An empty --route list must fail before any socket is bound.
+        assert!(cmd_serve(&s(&["--route", ","])).is_err());
+    }
+
+    #[test]
+    fn client_peers_route_to_a_replica_fleet() {
+        let replicas: Vec<_> = (0..2)
+            .map(|_| gmap::serve::start(gmap::serve::ServeConfig::default()).expect("bind replica"))
+            .collect();
+        let peers = replicas
+            .iter()
+            .map(|h| h.addr().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        assert!(cmd_client(&s(&["health", "--peers", peers.as_str()])).is_ok());
+        assert!(cmd_client(&s(&[
+            "profile",
+            "--peers",
+            peers.as_str(),
+            "--workload",
+            "kmeans",
+            "--scale",
+            "tiny",
+        ]))
+        .is_ok());
+        // Neither --peers nor --addr: a clear error, not a panic.
+        assert!(cmd_client(&s(&["health"])).is_err());
+        for handle in replicas {
+            handle.shutdown();
+        }
     }
 
     #[test]
