@@ -17,11 +17,13 @@
 //! seeded (via [`gmap_trace::rng::mix64`]) so a given policy replays the
 //! same sleep schedule.
 
+use crate::health::{self, PeerHealth, ProbeHandle};
 use crate::shard::Ring;
 use gmap_core::cachekey;
 use gmap_trace::rng::mix64;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Request header carrying the remaining deadline budget in
@@ -229,24 +231,62 @@ pub fn request_with_retry(
 /// only a failed transport advances to the successor. Both paths share
 /// the policy's seeded backoff schedule, and non-idempotent requests
 /// get exactly one attempt, as in [`request_with_retry`].
+///
+/// Every exchange feeds a shared [`PeerHealth`] circuit breaker:
+/// ejected (or draining) peers are moved to the *end* of the walk, so
+/// repeated requests stop paying a dead replica's connect timeout —
+/// without ever making a key unservable (the ejected peers remain the
+/// last resort). [`PeerClient::spawn_prober`] adds active `/healthz`
+/// probing on top for long-lived clients.
 #[derive(Debug, Clone)]
 pub struct PeerClient {
     ring: Ring,
     policy: RetryPolicy,
+    health: Arc<PeerHealth>,
 }
 
+/// Probe interval assumed when a client builds its own health registry
+/// (drives the breaker cooldown; [`PeerClient::spawn_prober`] may use a
+/// different cadence).
+pub const DEFAULT_PROBE_INTERVAL: Duration = Duration::from_millis(500);
+
 impl PeerClient {
-    /// Builds a client over `peers` (replica `host:port` addresses).
+    /// Builds a client over `peers` (replica `host:port` addresses)
+    /// with its own private health registry.
     pub fn new(peers: &[String], policy: RetryPolicy) -> PeerClient {
+        let health = Arc::new(PeerHealth::new(peers, DEFAULT_PROBE_INTERVAL));
+        PeerClient::with_health(peers, policy, health)
+    }
+
+    /// Builds a client sharing an existing health registry (a server
+    /// embedding a client reuses its prober's view of the fleet).
+    pub fn with_health(
+        peers: &[String],
+        policy: RetryPolicy,
+        health: Arc<PeerHealth>,
+    ) -> PeerClient {
         PeerClient {
             ring: Ring::new(peers),
             policy,
+            health,
         }
     }
 
     /// The underlying consistent-hash ring.
     pub fn ring(&self) -> &Ring {
         &self.ring
+    }
+
+    /// The shared peer-health registry.
+    pub fn health(&self) -> &Arc<PeerHealth> {
+        &self.health
+    }
+
+    /// Spawns an active `/healthz` prober over this client's peers,
+    /// feeding its health registry. The returned handle stops the
+    /// prober when dropped.
+    pub fn spawn_prober(&self, interval: Duration) -> ProbeHandle {
+        health::spawn_prober(Arc::clone(&self.health), interval, None)
     }
 
     /// Performs a request against the owning replica, deriving the
@@ -284,6 +324,12 @@ impl PeerClient {
         if order.is_empty() {
             return Err(std::io::Error::other("peer ring is empty"));
         }
+        // Health-aware walk: usable peers in ring order, then ejected/
+        // draining ones as the last resort (skipping them outright
+        // could strand a key when the whole fleet looks down).
+        let (mut walk, skipped): (Vec<&str>, Vec<&str>) =
+            order.into_iter().partition(|p| self.health.usable(p));
+        walk.extend(skipped);
         let attempts = if is_idempotent(method, path) {
             self.policy.max_retries + 1
         } else {
@@ -296,8 +342,13 @@ impl PeerClient {
             if attempt > 0 {
                 std::thread::sleep(sleep);
             }
-            let peer = order[peer_idx % order.len()];
-            let hint = match request(peer, method, path, body) {
+            let peer = walk[peer_idx % walk.len()];
+            let outcome = request(peer, method, path, body);
+            match &outcome {
+                Ok(_) => self.health.record_success(peer),
+                Err(_) => self.health.record_failure(peer),
+            }
+            let hint = match outcome {
                 Ok(resp) if !RETRYABLE_STATUSES.contains(&resp.status) => return Ok(resp),
                 Ok(resp) if attempt + 1 == attempts => return Ok(resp),
                 Ok(resp) => resp.retry_after,

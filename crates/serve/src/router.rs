@@ -27,6 +27,13 @@
 //!   the router's point of view — the client's retry policy owns that
 //!   decision. Any replica computes any request correctly, so failover
 //!   can't change bytes, only cache locality.
+//! * **Health-aware walks.** Every attempt's outcome feeds the shared
+//!   [`PeerHealth`] circuit breaker; peers whose breaker is open (or
+//!   that advertise draining) are moved to the *end* of the walk
+//!   instead of being paid a connect timeout up front. They are never
+//!   dropped entirely — if every healthy peer fails, the ejected ones
+//!   are still tried, so routing is never worse than breaker-less
+//!   failover.
 //!
 //! `/v1/ingest` streams: the body is re-framed chunk by chunk to the
 //! owning replica (never materialized on the router). Failover happens
@@ -36,6 +43,7 @@
 
 use crate::api::ApiError;
 use crate::client;
+use crate::health::PeerHealth;
 use crate::http::{self, ReadError, RequestHead};
 use crate::metrics::Metrics;
 use crate::shard::{self, Ring};
@@ -43,27 +51,48 @@ use gmap_core::cachekey;
 use std::io::Read;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// The routing state of a router-mode server: the ring plus nothing —
-/// routers are deliberately stateless so any number of them can front
-/// the same replica fleet.
+/// The routing state of a router-mode server: the ring plus the shared
+/// peer-health registry — no model cache, so any number of routers can
+/// front the same replica fleet.
 #[derive(Debug)]
 pub struct Router {
     ring: Ring,
+    health: Arc<PeerHealth>,
 }
 
 impl Router {
-    /// Builds a router over the replica addresses.
-    pub fn new(peers: &[String]) -> Router {
+    /// Builds a router over the replica addresses, sharing `health`
+    /// with the server's prober and metrics sampler.
+    pub fn new(peers: &[String], health: Arc<PeerHealth>) -> Router {
         Router {
             ring: Ring::new(peers),
+            health,
         }
     }
 
     /// The consistent-hash ring (tests compute expected owners from it).
     pub fn ring(&self) -> &Ring {
         &self.ring
+    }
+
+    /// The shared peer-health registry.
+    pub fn health(&self) -> &Arc<PeerHealth> {
+        &self.health
+    }
+
+    /// The failover walk for `key`: healthy peers in ring order first,
+    /// then ejected/draining peers as a last resort. Skipping an
+    /// ejected peer saves its connect timeout on the hot path without
+    /// ever making a key unservable.
+    fn walk(&self, key: &str) -> Vec<&str> {
+        let order = self.ring.successors(key);
+        let (mut usable, skipped): (Vec<&str>, Vec<&str>) =
+            order.into_iter().partition(|p| self.health.usable(p));
+        usable.extend(skipped);
+        usable
     }
 
     /// Forwards one materialized JSON request to the owning replica and
@@ -81,7 +110,7 @@ impl Router {
             .unwrap_or_else(|| cachekey::content_key(if body.is_empty() { path } else { body }));
         let give_up = Instant::now() + budget;
         let mut attempted = 0usize;
-        for peer in self.ring.successors(&key) {
+        for peer in self.walk(&key) {
             let remaining = give_up.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 break;
@@ -92,10 +121,16 @@ impl Router {
             attempted += 1;
             match client::request_with_deadline(peer, "POST", path, Some(body), Some(remaining)) {
                 Ok(resp) => {
+                    self.health.record_success(peer);
                     self.count_forward(metrics, peer);
                     return (resp.status, resp.body);
                 }
-                Err(_) => continue, // transport failure: try the successor
+                Err(_) => {
+                    // Transport failure: feed the breaker, try the
+                    // successor.
+                    self.health.record_failure(peer);
+                    continue;
+                }
             }
         }
         self.no_replica_reply(attempted, give_up)
@@ -132,7 +167,7 @@ impl Router {
         // no body bytes have been consumed yet.
         let mut attempted = 0usize;
         let mut connected: Option<(&str, TcpStream)> = None;
-        for peer in self.ring.successors(&key) {
+        for peer in self.walk(&key) {
             if give_up.saturating_duration_since(Instant::now()).is_zero() {
                 break;
             }
@@ -140,9 +175,12 @@ impl Router {
                 self.count_failover(metrics);
             }
             attempted += 1;
-            if let Ok(stream) = TcpStream::connect(peer) {
-                connected = Some((peer, stream));
-                break;
+            match TcpStream::connect(peer) {
+                Ok(stream) => {
+                    connected = Some((peer, stream));
+                    break;
+                }
+                Err(_) => self.health.record_failure(peer),
             }
         }
         let Some((peer, mut stream)) = connected else {
@@ -154,6 +192,7 @@ impl Router {
         let exchange = stream_body_to_peer(&mut stream, head, &mut body, remaining);
         match exchange {
             Ok(resp) => {
+                self.health.record_success(peer);
                 self.count_forward(metrics, peer);
                 Some((resp.status, resp.body, true))
             }
@@ -163,11 +202,14 @@ impl Router {
             Err(StreamError::ClientGone) => None,
             // The peer died after body bytes flowed: the stream cannot
             // be replayed, so this is an honest transient 503.
-            Err(StreamError::Peer) => Some((
-                503,
-                ApiError::new(503, format!("replica {peer} failed mid-stream, retry")).body(),
-                false,
-            )),
+            Err(StreamError::Peer) => {
+                self.health.record_failure(peer);
+                Some((
+                    503,
+                    ApiError::new(503, format!("replica {peer} failed mid-stream, retry")).body(),
+                    false,
+                ))
+            }
         }
     }
 

@@ -32,9 +32,11 @@ use crate::api::{self, ApiError};
 use crate::cache::{ModelStore, DEFAULT_MEM_CAPACITY};
 use crate::faults::{FaultInjector, FaultSpec, TruncatedReader};
 use crate::handlers;
+use crate::health::{self, PeerHealth, ProbeHandle};
 use crate::http::{self, ReadError, Request, RequestHead, ResponseOpts};
 use crate::jobs::{JobQueue, SubmitError};
 use crate::metrics::{Endpoint, Metrics, RuntimeStats};
+use crate::replicate::{self, ReplicationState, ReplicationWorker};
 use crate::router::Router;
 use gmap_core::cachekey::canonical_json;
 use gmap_gpu::hierarchy::LaunchConfig;
@@ -47,8 +49,16 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// Seconds advertised in `Retry-After` on 429/503 responses.
+/// Seconds advertised in `Retry-After` on transient-error responses.
 const RETRY_AFTER_SECS: u64 = 1;
+
+/// Default replication factor in fleet mode: the owner plus one ring
+/// successor.
+pub const DEFAULT_REPLICATION_FACTOR: usize = 2;
+
+/// Default cadence of the active health prober (also the replication
+/// worker's hint-replay tick).
+pub const DEFAULT_PROBE_INTERVAL: Duration = Duration::from_millis(500);
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -79,6 +89,19 @@ pub struct ServeConfig {
     /// addresses by consistent-hash shard instead of serving them
     /// locally (`None` = normal replica).
     pub route: Option<Vec<String>>,
+    /// Replica-fleet membership (including this server's own
+    /// [`ServeConfig::advertise`] address): enables successor
+    /// replication and hinted handoff (`None` = standalone replica).
+    pub fleet: Option<Vec<String>>,
+    /// The address this server is known by inside the fleet; defaults
+    /// to the bound listen address. Must be a member of `fleet`.
+    pub advertise: Option<String>,
+    /// Replica-set size per key in fleet mode (owner + RF−1 ring
+    /// successors).
+    pub replication_factor: usize,
+    /// Cadence of active `/healthz` probes toward peers (router or
+    /// fleet mode); also paces hint replay.
+    pub probe_interval: Duration,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +118,10 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             faults: None,
             route: None,
+            fleet: None,
+            advertise: None,
+            replication_factor: DEFAULT_REPLICATION_FACTOR,
+            probe_interval: DEFAULT_PROBE_INTERVAL,
         }
     }
 }
@@ -103,8 +130,9 @@ impl Default for ServeConfig {
 pub struct ServerState {
     /// Bounded pipeline job queue.
     pub queue: JobQueue,
-    /// Content-addressed model cache.
-    pub store: ModelStore,
+    /// Content-addressed model cache (shared with the replication
+    /// worker in fleet mode).
+    pub store: Arc<ModelStore>,
     /// Metrics registry behind `/metrics`.
     pub metrics: Metrics,
     deadline: Duration,
@@ -113,6 +141,9 @@ pub struct ServerState {
     idle_timeout: Duration,
     faults: Option<Arc<FaultInjector>>,
     router: Option<Router>,
+    health: Arc<PeerHealth>,
+    replication: Option<Arc<ReplicationState>>,
+    draining: AtomicBool,
     active_connections: AtomicUsize,
 }
 
@@ -127,8 +158,25 @@ impl ServerState {
         self.router.as_ref()
     }
 
+    /// The shared peer-health registry (empty outside router/fleet
+    /// mode).
+    pub fn health(&self) -> &Arc<PeerHealth> {
+        &self.health
+    }
+
+    /// The replication state, when this server runs in `--fleet` mode.
+    pub fn replication(&self) -> Option<&Arc<ReplicationState>> {
+        self.replication.as_ref()
+    }
+
+    /// Whether `/v1/admin/drain` has flipped this server to draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
     /// Samples the point-in-time values rendered alongside the counters.
     fn runtime_stats(&self) -> RuntimeStats {
+        let repl = self.replication.as_deref();
         RuntimeStats {
             queue_depth: self.queue.depth(),
             jobs_in_flight: self.queue.in_flight(),
@@ -139,6 +187,16 @@ impl ServerState {
             cache_quarantined: self.store.quarantined(),
             worker_panics: self.queue.panics(),
             faults_injected: self.faults.as_ref().map_or(0, |f| f.injected_total()),
+            peer_ejections: self.health.ejections(),
+            peer_recoveries: self.health.recoveries(),
+            replication_sent: repl.map_or(0, ReplicationState::sent),
+            replication_failed: repl.map_or(0, ReplicationState::failed),
+            replication_dropped: repl.map_or(0, ReplicationState::dropped),
+            hints_queued: repl.map_or(0, ReplicationState::hints_queued),
+            hints_replayed: repl.map_or(0, ReplicationState::hints_replayed),
+            read_repairs: repl.map_or(0, ReplicationState::read_repairs),
+            draining: self.is_draining(),
+            peer_states: self.health.snapshot(),
         }
     }
 }
@@ -151,6 +209,8 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     accept_thread: thread::JoinHandle<()>,
     worker_threads: Vec<thread::JoinHandle<()>>,
+    prober: Option<ProbeHandle>,
+    repl_worker: Option<ReplicationWorker>,
 }
 
 /// Binds the listener and starts the accept loop and worker pool.
@@ -168,27 +228,81 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         injector.set_armed(true);
         injector
     });
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg);
+    if config.route.is_some() && config.fleet.is_some() {
+        return Err(invalid(
+            "a server is either a router (--route) or a fleet replica (--fleet), not both".into(),
+        ));
+    }
+    let probe_interval = config.probe_interval.max(Duration::from_millis(50));
+    // The health registry tracks route peers in router mode and fleet
+    // members in replica mode; otherwise it is empty and every lookup
+    // degrades to "available".
+    let health_peers: &[String] = config
+        .route
+        .as_deref()
+        .or(config.fleet.as_deref())
+        .unwrap_or(&[]);
+    let health = Arc::new(PeerHealth::new(health_peers, probe_interval));
     let router = match &config.route {
         Some(peers) if peers.is_empty() => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidInput,
-                "router mode needs at least one replica address",
+            return Err(invalid(
+                "router mode needs at least one replica address".into(),
             ))
         }
-        Some(peers) => Some(Router::new(peers)),
+        Some(peers) => Some(Router::new(peers, Arc::clone(&health))),
         None => None,
     };
     let metrics = match &config.route {
         Some(peers) => Metrics::with_route(peers),
         None => Metrics::new(),
     };
+    let store = Arc::new(ModelStore::with_config(
+        config.cache_dir.clone(),
+        config.cache_capacity,
+        faults.clone(),
+    )?);
+    let advertise = config.advertise.clone().unwrap_or_else(|| addr.to_string());
+    let (replication, repl_worker) = match &config.fleet {
+        Some(fleet) if fleet.len() < 2 => {
+            return Err(invalid(
+                "fleet mode needs at least two replica addresses".into(),
+            ))
+        }
+        Some(fleet) if !fleet.contains(&advertise) => {
+            return Err(invalid(format!(
+                "advertised address {advertise} is not a member of the fleet"
+            )))
+        }
+        Some(fleet) => {
+            let (state, worker) = replicate::spawn(
+                fleet,
+                &advertise,
+                config.replication_factor,
+                Arc::clone(&store),
+                Arc::clone(&health),
+                faults.clone(),
+                probe_interval,
+            );
+            (Some(state), Some(worker))
+        }
+        None => (None, None),
+    };
+    // Active probing: a router probes its replicas, a fleet member
+    // probes every peer but itself.
+    let prober = if health.peers().is_empty() {
+        None
+    } else {
+        let skip_self = config.fleet.is_some().then(|| advertise.clone());
+        Some(health::spawn_prober(
+            Arc::clone(&health),
+            probe_interval,
+            skip_self,
+        ))
+    };
     let state = Arc::new(ServerState {
         queue: JobQueue::new(config.queue_capacity),
-        store: ModelStore::with_config(
-            config.cache_dir.clone(),
-            config.cache_capacity,
-            faults.clone(),
-        )?,
+        store,
         metrics,
         deadline: config.deadline,
         keepalive_max: config.keepalive_max.max(1),
@@ -196,6 +310,9 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         idle_timeout: config.idle_timeout,
         faults,
         router,
+        health,
+        replication,
+        draining: AtomicBool::new(false),
         active_connections: AtomicUsize::new(0),
     });
     let worker_threads = (0..config.workers.max(1))
@@ -222,6 +339,8 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         state,
         accept_thread,
         worker_threads,
+        prober,
+        repl_worker,
     })
 }
 
@@ -244,6 +363,15 @@ impl ServerHandle {
         self.accept_thread.join().expect("accept thread exits");
         while self.state.active_connections.load(Ordering::SeqCst) > 0 {
             thread::sleep(Duration::from_millis(2));
+        }
+        // Background availability machinery stops only after the last
+        // connection finished, so late stores still enqueue; remaining
+        // queued replication work is best-effort by design.
+        if let Some(prober) = self.prober {
+            prober.stop();
+        }
+        if let Some(worker) = self.repl_worker {
+            worker.stop();
         }
         self.state.queue.shutdown();
         self.state.queue.wait_drained();
@@ -492,15 +620,22 @@ fn ingest_endpoint<R: BufRead>(
     // job runs under the remainder.
     let remaining = deadline.saturating_sub(started.elapsed());
     let (status, response) = run_job(state, remaining, ing, |state, ing, cancel| {
-        handlers::ingest_finalize(&state.store, ing, cancel)
+        let resp = handlers::ingest_finalize(&state.store, ing, cancel)?;
+        if let Some(repl) = state.replication() {
+            // Ingested models are stored unconditionally (the id hashes
+            // the model itself), so always fan out.
+            repl.enqueue(&resp.model_id);
+        }
+        Ok(resp)
     });
     Some((status, response, true))
 }
 
 /// Renders and writes one response. Returns `false` when the connection
 /// must not serve further requests (write failure or an injected reset).
-/// Transient 429/500/503/504 responses carry a `Retry-After` hint for
-/// well-behaved clients (every `/v1/*` endpoint is idempotent).
+/// Transient 408/429/500/503/504 responses carry a `Retry-After` hint
+/// for well-behaved clients (every `/v1/*` endpoint is idempotent, and
+/// a request the server timed out reading is safe to resend).
 fn write_reply(
     stream: &mut TcpStream,
     state: &Arc<ServerState>,
@@ -511,7 +646,7 @@ fn write_reply(
 ) -> bool {
     let opts = ResponseOpts {
         close,
-        retry_after: matches!(status, 429 | 500 | 503 | 504).then_some(RETRY_AFTER_SECS),
+        retry_after: matches!(status, 408 | 429 | 500 | 503 | 504).then_some(RETRY_AFTER_SECS),
     };
     let mut buf = Vec::with_capacity(body.len() + 128);
     if http::write_response_opts(&mut buf, status, content_type, body, opts).is_err() {
@@ -565,7 +700,16 @@ fn route(
         }
     }
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".to_string(), "application/json"),
+        ("GET", "/healthz") => {
+            // A draining replica is still *alive* (200) but advertises
+            // the state so peers and routers deprioritize it.
+            let body = if state.is_draining() {
+                "{\"status\":\"draining\"}"
+            } else {
+                "{\"status\":\"ok\"}"
+            };
+            (200, body.to_string(), "application/json")
+        }
         ("GET", "/metrics") => {
             let text = state.metrics.render(state.runtime_stats());
             (200, text, "text/plain; version=0.0.4")
@@ -598,6 +742,41 @@ fn route(
             json_endpoint(request, state, started, deadline, |state, req, cancel| {
                 handlers::evaluate(&state.store, &req, cancel)
             })
+        }
+        ("POST", "/v1/replicate") => {
+            // Internal fleet endpoint: idempotent model push from a
+            // peer. Runs through the worker pool like any store-touching
+            // job, so injected faults apply. A push that created a new
+            // entry is re-enqueued once, which converges the rest of
+            // the replica set (an already-present entry stops the walk).
+            json_endpoint(request, state, started, deadline, |state, req, cancel| {
+                let resp = handlers::replicate_store(&state.store, &req, cancel)?;
+                if resp.stored {
+                    if let Some(repl) = state.replication() {
+                        repl.enqueue(&resp.model_id);
+                    }
+                }
+                Ok(resp)
+            })
+        }
+        ("POST", "/v1/admin/drain") => {
+            // Graceful decommission, answered on the connection thread:
+            // flip to draining first (health probes now advertise it),
+            // then synchronously stream every owned model to reachable
+            // successors. Idempotent — a second call re-streams
+            // whatever is still held.
+            state.draining.store(true, Ordering::SeqCst);
+            let (keys, pushed, failed) = state
+                .replication
+                .as_ref()
+                .map_or((0, 0, 0), |repl| repl.drain_to_successors());
+            let resp = api::DrainResponse {
+                status: "draining".to_string(),
+                keys,
+                pushed,
+                failed,
+            };
+            (200, canonical_json(&resp), "application/json")
         }
         ("GET", _) | ("POST", _) => {
             let e = ApiError::new(404, format!("no such route {}", request.path));
@@ -651,7 +830,19 @@ fn profile_endpoint(
     }
     let budget = deadline.saturating_sub(started.elapsed());
     let (status, body) = run_job(state, budget, parsed, |state, req, cancel| {
-        handlers::profile(&state.store, &state.metrics, &req, cancel)
+        let resp = handlers::profile(&state.store, &state.metrics, &req, cancel)?;
+        if let Some(repl) = state.replication() {
+            if !resp.cached {
+                // Fresh store: fan it out to the key's replica set.
+                repl.enqueue(&resp.model_id);
+            } else if !repl.is_owner(&resp.model_id) {
+                // A hit for a key this replica does not own means the
+                // owner was unreachable when the entry was created —
+                // push it back (read-repair, deduplicated per key).
+                repl.read_repair(&resp.model_id);
+            }
+        }
+        Ok(resp)
     });
     (status, body, "application/json")
 }

@@ -105,6 +105,21 @@ impl Ring {
         }
         order
     }
+
+    /// The replica set of `key` under replication factor `rf`: the
+    /// owner plus its first `rf − 1` distinct ring successors. These
+    /// are the peers that hold (or should hold) a replica of the
+    /// model. With fewer than `rf` peers, every peer is in the set.
+    ///
+    /// Because the set is a prefix of the successor walk, replica sets
+    /// inherit the ring's minimal-remapping property: removing a peer
+    /// only changes the sets that contained it (the membership
+    /// proptest below pins this down).
+    pub fn replica_set(&self, key: &str, rf: usize) -> Vec<&str> {
+        let mut order = self.successors(key);
+        order.truncate(rf.max(1));
+        order
+    }
 }
 
 /// The ring point of a shard key. A well-formed content key is 32 lower
@@ -332,6 +347,76 @@ mod tests {
                 (moved as f64 / keys as f64) <= bound,
                 "moved fraction {}/{} exceeds 2/N + ε = {}",
                 moved, keys, bound
+            );
+        }
+
+        /// RF=2 replica sets are genuinely redundant: for every key on
+        /// a 2–7-replica fleet, the owner and its first successor are
+        /// distinct peers, the set is exactly the first two entries of
+        /// the failover order, and it is capped by the fleet size.
+        #[test]
+        fn owner_and_first_successor_are_distinct(n in 2usize..7, seed in any::<u64>()) {
+            let ring = Ring::new(&peer_list(n));
+            for i in 0..512u64 {
+                let key = synth_key(seed, i);
+                let set = ring.replica_set(&key, 2);
+                prop_assert_eq!(set.len(), 2.min(n));
+                prop_assert!(set[0] != set[1], "owner replicates to a different peer");
+                prop_assert_eq!(set[0], ring.owner(&key).expect("non-empty"));
+                let order = ring.successors(&key);
+                prop_assert_eq!(&order[..set.len()], &set[..], "set is a walk prefix");
+                // An oversized rf degrades to the whole fleet, never panics.
+                prop_assert_eq!(ring.replica_set(&key, n + 3).len(), n);
+            }
+        }
+
+        /// Replica-set membership moves minimally on leave (and, read
+        /// backwards, on join): a set that did not contain the removed
+        /// peer is unchanged bit-for-bit, and the fraction of keys
+        /// whose set changes at all is bounded by the removed peer's
+        /// expected share of set slots (≈ 2·(2/N)).
+        #[test]
+        fn replica_sets_move_minimally_on_membership_change(
+            n in 3usize..8, seed in any::<u64>()
+        ) {
+            let peers = peer_list(n);
+            let full = Ring::new(&peers);
+            let reduced = Ring::new(&peers[..n - 1]);
+            let removed = peers[n - 1].as_str();
+            let keys = 1024u64;
+            let mut changed = 0u64;
+            for i in 0..keys {
+                let key = synth_key(seed, i);
+                let before = full.replica_set(&key, 2);
+                let after = reduced.replica_set(&key, 2);
+                if before.contains(&removed) {
+                    changed += 1;
+                    // The survivor of the old set is still in the new
+                    // one: the replica copy stays useful after the
+                    // membership change.
+                    let survivor = before
+                        .iter()
+                        .find(|p| **p != removed)
+                        .expect("rf=2 set has a survivor");
+                    prop_assert!(
+                        after.contains(survivor),
+                        "survivor {} dropped from {:?}",
+                        survivor, after
+                    );
+                } else {
+                    prop_assert_eq!(
+                        &before, &after,
+                        "sets without the removed peer never change"
+                    );
+                }
+            }
+            // The removed peer appears in ~2/N of owner slots and
+            // ~2/N of successor slots; double it and pad for variance.
+            let bound = 2.0 * (2.0 / n as f64) + 0.08;
+            prop_assert!(
+                (changed as f64 / keys as f64) <= bound,
+                "changed fraction {}/{} exceeds 2·(2/N) + ε = {}",
+                changed, keys, bound
             );
         }
     }

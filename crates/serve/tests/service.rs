@@ -776,9 +776,17 @@ fn memory_tier_never_exceeds_its_configured_capacity() {
     handle.shutdown();
 }
 
-/// Reads one full response from a keep-alive connection; returns
-/// `(status, connection_header, body)`.
-fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+/// One raw response off a keep-alive connection, with the headers the
+/// tests assert on.
+struct RawResponse {
+    status: u16,
+    connection: String,
+    retry_after: Option<u64>,
+    body: String,
+}
+
+/// Reads one full response from a keep-alive connection.
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> RawResponse {
     let mut line = String::new();
     reader.read_line(&mut line).expect("status line");
     let status: u16 = line
@@ -788,6 +796,7 @@ fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String)
         .expect("parseable status");
     let mut content_length = 0usize;
     let mut connection = String::new();
+    let mut retry_after = None;
     loop {
         let mut header = String::new();
         reader.read_line(&mut header).expect("header line");
@@ -799,13 +808,19 @@ fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String)
             match k.to_ascii_lowercase().as_str() {
                 "content-length" => content_length = v.trim().parse().expect("length"),
                 "connection" => connection = v.trim().to_string(),
+                "retry-after" => retry_after = v.trim().parse().ok(),
                 _ => {}
             }
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("body");
-    (status, connection, String::from_utf8(body).expect("utf8"))
+    RawResponse {
+        status,
+        connection,
+        retry_after,
+        body: String::from_utf8(body).expect("utf8"),
+    }
 }
 
 #[test]
@@ -824,18 +839,18 @@ fn keep_alive_serves_multiple_requests_then_caps_the_connection() {
 
     // First request: served and kept alive.
     stream.write_all(request.as_bytes()).expect("write");
-    let (status, connection, body) = read_one_response(&mut reader);
-    assert_eq!(status, 200);
-    assert_eq!(connection, "keep-alive");
-    assert_eq!(body, "{\"status\":\"ok\"}");
+    let r = read_one_response(&mut reader);
+    assert_eq!(r.status, 200);
+    assert_eq!(r.connection, "keep-alive");
+    assert_eq!(r.body, "{\"status\":\"ok\"}");
 
     // Second request on the same socket: served, then capped (the
     // per-connection request limit downgrades to `Connection: close`).
     stream.write_all(request.as_bytes()).expect("write");
-    let (status, connection, body) = read_one_response(&mut reader);
-    assert_eq!(status, 200);
-    assert_eq!(connection, "close");
-    assert_eq!(body, "{\"status\":\"ok\"}");
+    let r = read_one_response(&mut reader);
+    assert_eq!(r.status, 200);
+    assert_eq!(r.connection, "close");
+    assert_eq!(r.body, "{\"status\":\"ok\"}");
 
     // And the server really closes: the next read sees EOF.
     let mut rest = Vec::new();
@@ -854,9 +869,9 @@ fn keep_alive_serves_multiple_requests_then_caps_the_connection() {
                 .as_bytes(),
         )
         .expect("write");
-    let (status, connection, _) = read_one_response(&mut reader);
-    assert_eq!(status, 200);
-    assert_eq!(connection, "close");
+    let r = read_one_response(&mut reader);
+    assert_eq!(r.status, 200);
+    assert_eq!(r.connection, "close");
 
     handle.shutdown();
 }
@@ -879,9 +894,16 @@ fn mid_request_stall_gets_408_and_oversized_body_gets_413() {
         .write_all(b"POST /v1/profile HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"wor")
         .expect("write partial");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-    let (status, connection, body) = read_one_response(&mut reader);
-    assert_eq!(status, 408, "stalled mid-request: {body}");
-    assert_eq!(connection, "close");
+    let r = read_one_response(&mut reader);
+    assert_eq!(r.status, 408, "stalled mid-request: {}", r.body);
+    assert_eq!(r.connection, "close");
+    // A 408 is transient (the peer can simply resend): it must carry
+    // the same Retry-After hint as the other transient statuses.
+    assert_eq!(
+        r.retry_after,
+        Some(1),
+        "408 responses must carry Retry-After"
+    );
 
     // Oversized Content-Length: rejected up front with 413.
     let mut stream = TcpStream::connect(&addr).expect("connect");
@@ -892,9 +914,12 @@ fn mid_request_stall_gets_408_and_oversized_body_gets_413() {
         .write_all(b"POST /v1/profile HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
         .expect("write");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-    let (status, connection, _) = read_one_response(&mut reader);
-    assert_eq!(status, 413);
-    assert_eq!(connection, "close");
+    let r = read_one_response(&mut reader);
+    assert_eq!(r.status, 413);
+    assert_eq!(r.connection, "close");
+    // 413 is *not* transient — resending the same oversized body can
+    // never succeed, so no Retry-After is advertised.
+    assert_eq!(r.retry_after, None, "413 must not invite a retry");
 
     // An idle peer is closed silently (no 408 spam for quiet sockets).
     let stream = TcpStream::connect(&addr).expect("connect");

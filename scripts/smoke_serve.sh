@@ -24,7 +24,8 @@ cleanup() {
     exec 5>&- 2>/dev/null || true
     exec 6>&- 2>/dev/null || true
     exec 7>&- 2>/dev/null || true
-    for pid in "${SERVER_PID:-}" "${R1_PID:-}" "${R2_PID:-}" "${ROUTER_PID:-}"; do
+    for pid in "${SERVER_PID:-}" "${R1_PID:-}" "${R2_PID:-}" "${ROUTER_PID:-}" \
+        "${RES1_PID:-}" "${RES2_PID:-}" "${F1_PID:-}" "${F2_PID:-}"; do
         if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
             sleep 2
             kill "$pid" 2>/dev/null || true
@@ -203,10 +204,10 @@ echo "smoke: graceful shutdown ok"
 # locally from the same spec, routed evaluate must work end to end, and
 # the router's per-peer forward counters must move.
 
-start_server() { # start_server <name> <fd> [extra serve args...]
-    local name="$1" fd="$2"; shift 2
+start_server() { # start_server <name> <fd> <listen-addr> [extra serve args...]
+    local name="$1" fd="$2" listen="$3"; shift 3
     mkfifo "$WORK/$name.stdin"
-    "$GMAP" serve --listen 127.0.0.1:0 --workers 2 "$@" \
+    "$GMAP" serve --listen "$listen" --workers 2 "$@" \
         <"$WORK/$name.stdin" >"$WORK/$name.out" &
     START_PID=$!
     eval "exec $fd>\"$WORK/$name.stdin\""
@@ -223,11 +224,11 @@ start_server() { # start_server <name> <fd> [extra serve args...]
     fi
 }
 
-start_server replica1 5
+start_server replica1 5 127.0.0.1:0
 R1_PID=$START_PID; R1_ADDR=$START_ADDR
-start_server replica2 6
+start_server replica2 6 127.0.0.1:0
 R2_PID=$START_PID; R2_ADDR=$START_ADDR
-start_server router 7 --route "$R1_ADDR,$R2_ADDR"
+start_server router 7 127.0.0.1:0 --route "$R1_ADDR,$R2_ADDR"
 ROUTER_PID=$START_PID; ROUTER_ADDR=$START_ADDR
 echo "smoke: router $ROUTER_ADDR fronting $R1_ADDR and $R2_ADDR"
 
@@ -271,3 +272,79 @@ for pid in "$ROUTER_PID" "$R2_PID" "$R1_PID"; do
 done
 grep -q 'drained and stopped' "$WORK/router.out"
 echo "smoke: sharded fleet drained cleanly"
+
+# ------------------------------------------------------------------
+# Replicated fleet: two `--fleet` replicas with successor replication.
+# A model stored on one member must replicate to the other; after the
+# first member is killed outright (SIGKILL, no graceful drain), the
+# survivor must serve the victim's model from its replica copy — a
+# cache *hit*, proving zero recompute.
+
+# Reserve two ports by booting throwaway servers on ephemeral ports and
+# shutting them down again: fleet membership must be known before any
+# member starts. The reserve servers never accept a connection, so the
+# freed ports rebind immediately.
+start_server reserve1 5 127.0.0.1:0
+RES1_PID=$START_PID; FA1=$START_ADDR
+start_server reserve2 6 127.0.0.1:0
+RES2_PID=$START_PID; FA2=$START_ADDR
+exec 5>&- 6>&-
+for pid in "$RES1_PID" "$RES2_PID"; do
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+done
+
+start_server fleet1 5 "$FA1" --fleet "$FA1,$FA2" --advertise "$FA1" --probe-interval-ms 100
+F1_PID=$START_PID
+start_server fleet2 6 "$FA2" --fleet "$FA1,$FA2" --advertise "$FA2" --probe-interval-ms 100
+F2_PID=$START_PID
+echo "smoke: replicated fleet up at $FA1 and $FA2"
+
+FLEET_PROFILE="$("$GMAP" client profile --addr "$FA1" --workload kmeans --scale tiny)"
+FLEET_MODEL="$(printf '%s' "$FLEET_PROFILE" | sed -n 's/.*"model_id":"\([0-9a-f]*\)".*/\1/p')"
+[[ -n "$FLEET_MODEL" ]] || { echo "smoke: fleet profile returned no model id" >&2; exit 1; }
+
+# Wait until the asynchronous push lands on the peer (it can answer
+# /v1/evaluate for the model only once it holds a copy).
+REPLICATED=""
+for _ in $(seq 1 100); do
+    if "$GMAP" client evaluate --addr "$FA2" --model "$FLEET_MODEL" --grid 16:4 \
+        >/dev/null 2>&1; then
+        REPLICATED=1
+        break
+    fi
+    sleep 0.1
+done
+[[ -n "$REPLICATED" ]] || { echo "smoke: replication to the peer never landed" >&2; exit 1; }
+expect '^gmap_replication_total [1-9]' "$GMAP" client metrics --addr "$FA1"
+echo "smoke: model replicated to the fleet peer"
+
+# Kill the member that stored the model — hard, no drain — and serve
+# its model from the survivor's replica copy: a cache hit, not a
+# recompute.
+kill -9 "$F1_PID" 2>/dev/null || true
+exec 5>&- 2>/dev/null || true
+expect '"cached":true' "$GMAP" client profile --addr "$FA2" --workload kmeans --scale tiny
+expect '"values":' "$GMAP" client evaluate --addr "$FA2" --model "$FLEET_MODEL" --grid 16:4,32:4
+echo "smoke: survivor served the killed owner's model from its replica copy"
+
+# Graceful decommission via the CLI: the drain endpoint answers even
+# with the only peer dead (nothing is silently lost — failures are
+# reported in the response).
+expect '"status":"draining"' "$GMAP" client drain --addr "$FA2"
+expect '"status":"draining"' "$GMAP" client health --addr "$FA2"
+echo "smoke: drain flipped the survivor to draining"
+
+exec 6>&-
+for _ in $(seq 1 100); do
+    kill -0 "$F2_PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$F2_PID" 2>/dev/null; then
+    echo "smoke: fleet survivor did not exit after stdin EOF" >&2
+    exit 1
+fi
+grep -q 'drained and stopped' "$WORK/fleet2.out"
+echo "smoke: replicated fleet shut down cleanly"

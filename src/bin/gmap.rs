@@ -156,6 +156,18 @@ SERVE OPTIONS:
                                 consistent-hash ring, propagating the
                                 remaining deadline budget and failing over
                                 to ring successors on transport errors
+                                (duplicate or self-referencing entries are
+                                rejected)
+  --fleet P1,P2,...             replica-fleet membership, enabling successor
+                                replication (RF-1 ring successors receive an
+                                async copy of every stored model), hinted
+                                handoff while a peer is down, and read-repair
+  --advertise HOST:PORT         this server's own address inside --fleet
+                                (default: the bound listen address)
+  --replication-factor N        replica-set size per key (default 2:
+                                the owner plus one successor)
+  --probe-interval-ms N         cadence of active peer /healthz probes and
+                                hint replay (default 500)
   The server runs until stdin reaches EOF, then drains and exits.
 
 CLIENT ACTIONS (all need --addr HOST:PORT, or --peers P1,P2,... to shard
@@ -176,6 +188,8 @@ idempotent requests only; ingest is --addr-only):
            [--seed N]
            [--stride-prefetch TABLE:DEGREE[:DISTANCE[:CONFIDENCE]]]  (l1 grids)
            [--stream-prefetch WINDOW:DEGREE[:STREAMS]]               (l2 grids)
+  drain    POST /v1/admin/drain (--addr only): flip the replica to
+           draining and stream its models to ring successors
 "
     .to_owned()
 }
@@ -706,12 +720,51 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--idle-timeout-ms",
             "--faults",
             "--route",
+            "--fleet",
+            "--advertise",
+            "--replication-factor",
+            "--probe-interval-ms",
         ],
         &[],
     )?;
     let mut config = gmap::serve::ServeConfig::default();
     if let Some(peers) = flag(args, &["--route"]) {
-        config.route = Some(parse_peer_list(peers, "--route")?);
+        let route = parse_peer_list(peers, "--route")?;
+        // A router forwarding to itself would loop until the deadline
+        // burns out; reject the misconfiguration up front.
+        if let Some(listen) = flag(args, &["--listen"]) {
+            if route.iter().any(|p| p == listen) {
+                return Err(format!(
+                    "--route must not include the router's own --listen address {listen}"
+                ));
+            }
+        }
+        config.route = Some(route);
+    }
+    if let Some(peers) = flag(args, &["--fleet"]) {
+        config.fleet = Some(parse_peer_list(peers, "--fleet")?);
+    }
+    if let Some(addr) = flag(args, &["--advertise"]) {
+        if let Some(fleet) = &config.fleet {
+            if !fleet.iter().any(|p| p == addr) {
+                return Err(format!(
+                    "--advertise {addr} is not a member of --fleet (replication targets \
+                     are chosen by ring position, so the fleet must know this address)"
+                ));
+            }
+        }
+        config.advertise = Some(addr.to_owned());
+    }
+    if let Some(n) = flag(args, &["--replication-factor"]) {
+        config.replication_factor = n
+            .parse()
+            .map_err(|e| format!("bad --replication-factor {n:?}: {e}"))?;
+    }
+    if let Some(n) = flag(args, &["--probe-interval-ms"]) {
+        let ms: u64 = n
+            .parse()
+            .map_err(|e| format!("bad --probe-interval-ms {n:?}: {e}"))?;
+        config.probe_interval = std::time::Duration::from_millis(ms);
     }
     if let Some(listen) = flag(args, &["--listen"]) {
         config.listen = listen.to_owned();
@@ -787,7 +840,10 @@ fn client_addr(args: &[String]) -> Result<&str, String> {
     flag(args, &["--addr"]).ok_or_else(|| "missing --addr HOST:PORT".into())
 }
 
-/// Parses a comma-separated replica list (`--route` / `--peers`).
+/// Parses a comma-separated replica list (`--route` / `--fleet` /
+/// `--peers`). A duplicate entry is a usage error: it would double the
+/// duplicated replica's vnode share on the ring and silently skew
+/// placement.
 fn parse_peer_list(spec: &str, flag_name: &str) -> Result<Vec<String>, String> {
     let peers: Vec<String> = spec
         .split(',')
@@ -797,6 +853,12 @@ fn parse_peer_list(spec: &str, flag_name: &str) -> Result<Vec<String>, String> {
         .collect();
     if peers.is_empty() {
         return Err(format!("{flag_name} needs at least one HOST:PORT"));
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for peer in &peers {
+        if !seen.insert(peer.as_str()) {
+            return Err(format!("{flag_name} lists {peer:?} more than once"));
+        }
     }
     Ok(peers)
 }
@@ -924,7 +986,8 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     use gmap::serve::{api, client};
 
     let action = args.first().ok_or(
-        "client needs an action: health, metrics, profile, analyze, ingest, clone, or evaluate",
+        "client needs an action: health, metrics, profile, analyze, ingest, clone, evaluate, \
+         or drain",
     )?;
     let action = action.as_str();
     let rest = &args[1..];
@@ -939,6 +1002,13 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         "metrics" => {
             check_flags(rest, &["--addr", "--peers", "--retries"], &[])?;
             ("/metrics", None)
+        }
+        "drain" => {
+            // Decommission targets one specific replica, so only --addr
+            // makes sense (sharding the request would drain an
+            // arbitrary fleet member).
+            check_flags(rest, &["--addr", "--retries"], &[])?;
+            ("/v1/admin/drain", Some(String::new()))
         }
         "profile" => {
             check_flags(
@@ -1168,6 +1238,42 @@ mod tests {
         assert!(parse_peer_list(",,", "--peers").is_err());
         // An empty --route list must fail before any socket is bound.
         assert!(cmd_serve(&s(&["--route", ","])).is_err());
+        // Duplicates would double a replica's vnode share: usage error.
+        let err = parse_peer_list("a:1,b:2,a:1", "--peers").expect_err("duplicate rejected");
+        assert!(err.contains("more than once"), "unexpected error: {err}");
+        assert!(parse_peer_list("a:1, a:1", "--route").is_err());
+    }
+
+    #[test]
+    fn serve_rejects_misconfigured_fleets_and_routes() {
+        // A router that routes to itself would forward in a loop.
+        assert!(cmd_serve(&s(&[
+            "--listen",
+            "127.0.0.1:9101",
+            "--route",
+            "127.0.0.1:9100,127.0.0.1:9101",
+        ]))
+        .is_err());
+        // Duplicate fleet members are rejected before binding.
+        assert!(cmd_serve(&s(&["--fleet", "a:1,a:1"])).is_err());
+        // An advertised address outside the fleet can never own a key.
+        assert!(cmd_serve(&s(&[
+            "--fleet",
+            "127.0.0.1:9100,127.0.0.1:9101",
+            "--advertise",
+            "127.0.0.1:9102",
+        ]))
+        .is_err());
+        assert!(cmd_serve(&s(&["--replication-factor", "two"])).is_err());
+        assert!(cmd_serve(&s(&["--probe-interval-ms", "fast"])).is_err());
+    }
+
+    #[test]
+    fn client_drain_is_addr_only() {
+        // Drain targets one replica; sharding it via --peers is a usage
+        // error, and the flag set is validated before any connection.
+        assert!(cmd_client(&s(&["drain", "--peers", "a:1,b:2"])).is_err());
+        assert!(cmd_client(&s(&["drain"])).is_err());
     }
 
     #[test]
